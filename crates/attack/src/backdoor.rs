@@ -1,0 +1,392 @@
+//! Backdoor attacks by data poisoning.
+//!
+//! The attacker's objective (§4.2): the model behaves normally on clean data
+//! but classifies *triggered* inputs into an attacker-chosen class. Provided
+//! poisoners:
+//!
+//! * [`Trigger`] + [`poison_dataset`] — BadNets: stamp a pixel patch, relabel
+//!   to the target class;
+//! * [`dba_fragments`] — DBA: split one global trigger into fragments, one
+//!   per colluding client, so no single update carries the full pattern;
+//! * [`label_flip`] — classic label-flipping (a ↦ b);
+//! * [`edge_case_indices`] — edge-case backdoors poison only the tail inputs
+//!   the model is least confident about.
+
+use fs_data::ClientData;
+use fs_tensor::loss::Target;
+use fs_tensor::model::Model;
+use fs_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A rectangular pixel trigger on `[C, H, W]` images.
+#[derive(Clone, Debug)]
+pub struct Trigger {
+    /// Top-left row.
+    pub row: usize,
+    /// Top-left column.
+    pub col: usize,
+    /// Patch height.
+    pub h: usize,
+    /// Patch width.
+    pub w: usize,
+    /// Pixel value stamped into the patch.
+    pub value: f32,
+}
+
+impl Trigger {
+    /// A default 2x2 corner trigger.
+    pub fn corner() -> Self {
+        Self { row: 0, col: 0, h: 2, w: 2, value: 3.0 }
+    }
+
+    /// Stamps the trigger into every image of a `[N, C, H, W]` batch,
+    /// in place.
+    pub fn stamp(&self, x: &mut Tensor) {
+        assert_eq!(x.shape().len(), 4, "trigger expects [N, C, H, W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert!(self.row + self.h <= h && self.col + self.w <= w, "trigger out of bounds");
+        let data = x.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                for dy in 0..self.h {
+                    for dx in 0..self.w {
+                        data[((ni * c + ci) * h + self.row + dy) * w + self.col + dx] =
+                            self.value;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Poisons a fraction of `data` in place: stamps `trigger` and relabels to
+/// `target_class`. Returns the poisoned indices.
+pub fn poison_dataset(
+    data: &mut ClientData,
+    trigger: &Trigger,
+    target_class: usize,
+    fraction: f32,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let n = data.len();
+    let count = ((n as f32) * fraction).round() as usize;
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(count);
+    let (c, h, w) = (data.x.shape()[1], data.x.shape()[2], data.x.shape()[3]);
+    for &i in &idx {
+        // stamp one example
+        let mut one = data.batch(&[i]);
+        trigger.stamp(&mut one.x);
+        let stride = c * h * w;
+        data.x.data_mut()[i * stride..(i + 1) * stride].copy_from_slice(one.x.data());
+        if let Target::Classes(labels) = &mut data.y {
+            labels[i] = target_class;
+        }
+    }
+    idx
+}
+
+/// Splits a trigger into `k` single-column fragments (DBA): colluding client
+/// `j` stamps only fragment `j`; the server-side aggregate reassembles the
+/// full pattern.
+pub fn dba_fragments(trigger: &Trigger, k: usize) -> Vec<Trigger> {
+    assert!(k >= 1 && k <= trigger.w, "cannot split {}-wide trigger into {k}", trigger.w);
+    let per = trigger.w / k;
+    (0..k)
+        .map(|j| Trigger {
+            row: trigger.row,
+            col: trigger.col + j * per,
+            h: trigger.h,
+            w: if j == k - 1 { trigger.w - j * per } else { per },
+            value: trigger.value,
+        })
+        .collect()
+}
+
+/// A Blended-style trigger (Chen et al.): instead of overwriting a patch, a
+/// fixed full-image pattern is alpha-blended into the input —
+/// `x' = (1 - alpha) x + alpha * pattern` — which is far less visible than a
+/// BadNets patch while remaining a reliable backdoor key.
+#[derive(Clone, Debug)]
+pub struct BlendedTrigger {
+    /// The blended pattern (one image, `[C, H, W]` flattened).
+    pub pattern: Vec<f32>,
+    /// Blend strength in `(0, 1]`.
+    pub alpha: f32,
+}
+
+impl BlendedTrigger {
+    /// A deterministic pseudo-random pattern for `[c, h, w]` images.
+    pub fn random(c: usize, h: usize, w: usize, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pattern = (0..c * h * w).map(|_| rng.gen_range(-1.0f32..2.0)).collect();
+        Self { pattern, alpha: 0.25 }
+    }
+
+    /// Blends the pattern into every image of a `[N, C, H, W]` batch.
+    pub fn stamp(&self, x: &mut Tensor) {
+        assert_eq!(x.shape().len(), 4, "blended trigger expects [N, C, H, W]");
+        let per = x.shape()[1] * x.shape()[2] * x.shape()[3];
+        assert_eq!(per, self.pattern.len(), "pattern size mismatch");
+        let a = self.alpha;
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            *v = (1.0 - a) * *v + a * self.pattern[i % per];
+        }
+    }
+}
+
+/// A WaNet-style warping trigger (Nguyen & Tran): a fixed smooth displacement
+/// field subtly warps the image geometry — imperceptible per pixel, but a
+/// consistent key the model can learn. Bilinear resampling on `[N, C, H, W]`.
+#[derive(Clone, Debug)]
+pub struct WarpTrigger {
+    /// Per-pixel displacement `(dy, dx)`, length `h * w`.
+    pub field: Vec<(f32, f32)>,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+}
+
+impl WarpTrigger {
+    /// A smooth sinusoidal displacement field of the given strength (pixels).
+    pub fn sinusoidal(h: usize, w: usize, strength: f32) -> Self {
+        let mut field = Vec::with_capacity(h * w);
+        for y in 0..h {
+            for x in 0..w {
+                let fy = strength * (2.0 * std::f32::consts::PI * x as f32 / w as f32).sin();
+                let fx = strength * (2.0 * std::f32::consts::PI * y as f32 / h as f32).cos();
+                field.push((fy, fx));
+            }
+        }
+        Self { field, h, w }
+    }
+
+    /// Warps every image of a `[N, C, H, W]` batch in place.
+    pub fn stamp(&self, x: &mut Tensor) {
+        assert_eq!(x.shape().len(), 4, "warp trigger expects [N, C, H, W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!((h, w), (self.h, self.w), "field size mismatch");
+        let src = x.data().to_vec();
+        let dst = x.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for y in 0..h {
+                    for xx in 0..w {
+                        let (dy, dx) = self.field[y * w + xx];
+                        let sy = (y as f32 + dy).clamp(0.0, (h - 1) as f32);
+                        let sx = (xx as f32 + dx).clamp(0.0, (w - 1) as f32);
+                        let (y0, x0) = (sy.floor() as usize, sx.floor() as usize);
+                        let (y1, x1) = ((y0 + 1).min(h - 1), (x0 + 1).min(w - 1));
+                        let (fy, fx) = (sy - y0 as f32, sx - x0 as f32);
+                        let v00 = src[base + y0 * w + x0];
+                        let v01 = src[base + y0 * w + x1];
+                        let v10 = src[base + y1 * w + x0];
+                        let v11 = src[base + y1 * w + x1];
+                        dst[base + y * w + xx] = v00 * (1.0 - fy) * (1.0 - fx)
+                            + v01 * (1.0 - fy) * fx
+                            + v10 * fy * (1.0 - fx)
+                            + v11 * fy * fx;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flips every label `from` to `to`, returning how many were flipped.
+pub fn label_flip(data: &mut ClientData, from: usize, to: usize) -> usize {
+    let mut flipped = 0;
+    if let Target::Classes(labels) = &mut data.y {
+        for l in labels.iter_mut() {
+            if *l == from {
+                *l = to;
+                flipped += 1;
+            }
+        }
+    }
+    flipped
+}
+
+/// Indices of the `count` examples the model is *least* confident about —
+/// the "edge cases" (tail inputs) that edge-case backdoors poison because
+/// their gradients conflict least with the benign objective.
+pub fn edge_case_indices(model: &mut dyn Model, data: &ClientData, count: usize) -> Vec<usize> {
+    let logits = model.predict(&data.x);
+    let probs = fs_tensor::loss::softmax(&logits);
+    let mut conf: Vec<(usize, f32)> = (0..data.len())
+        .map(|i| {
+            let row = probs.row(i);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            (i, max)
+        })
+        .collect();
+    conf.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite confidence"));
+    conf.into_iter().take(count).map(|(i, _)| i).collect()
+}
+
+/// Attack success rate: the fraction of *triggered* test inputs classified as
+/// the target class (ground-truth target-class examples are excluded so clean
+/// accuracy does not inflate the score).
+pub fn attack_success_rate(
+    model: &mut dyn Model,
+    clean_test: &ClientData,
+    trigger: &Trigger,
+    target_class: usize,
+) -> f32 {
+    let labels = match &clean_test.y {
+        Target::Classes(c) => c.clone(),
+        _ => return 0.0,
+    };
+    let keep: Vec<usize> = (0..clean_test.len()).filter(|&i| labels[i] != target_class).collect();
+    if keep.is_empty() {
+        return 0.0;
+    }
+    let mut batch = clean_test.batch(&keep);
+    trigger.stamp(&mut batch.x);
+    let preds = model.predict(&batch.x).argmax_rows();
+    preds.iter().filter(|&&p| p == target_class).count() as f32 / keep.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_data::synth::{cifar_like, ImageConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn image_data() -> ClientData {
+        let cfg = ImageConfig { num_clients: 1, per_client: 40, img: 8, ..Default::default() };
+        cifar_like(&cfg, None).clients[0].train.clone()
+    }
+
+    #[test]
+    fn trigger_stamps_patch() {
+        let mut x = Tensor::zeros(&[2, 1, 8, 8]);
+        let t = Trigger::corner();
+        t.stamp(&mut x);
+        assert_eq!(x.data()[0], 3.0); // (0,0)
+        assert_eq!(x.data()[1], 3.0); // (0,1)
+        assert_eq!(x.data()[8], 3.0); // (1,0)
+        assert_eq!(x.data()[2], 0.0); // (0,2) untouched
+        // second image too
+        assert_eq!(x.data()[64], 3.0);
+    }
+
+    #[test]
+    fn poison_relabels_and_stamps() {
+        let mut d = image_data();
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = poison_dataset(&mut d, &Trigger::corner(), 7, 0.25, &mut rng);
+        assert_eq!(idx.len(), ((d.len() as f32) * 0.25).round() as usize);
+        let labels = match &d.y {
+            Target::Classes(c) => c.clone(),
+            _ => unreachable!(),
+        };
+        for &i in &idx {
+            assert_eq!(labels[i], 7);
+            let b = d.batch(&[i]);
+            assert_eq!(b.x.data()[0], 3.0);
+        }
+    }
+
+    #[test]
+    fn dba_fragments_tile_the_trigger() {
+        let t = Trigger { row: 1, col: 2, h: 2, w: 4, value: 3.0 };
+        let frags = dba_fragments(&t, 2);
+        assert_eq!(frags.len(), 2);
+        assert_eq!(frags[0].col, 2);
+        assert_eq!(frags[0].w, 2);
+        assert_eq!(frags[1].col, 4);
+        assert_eq!(frags[1].w, 2);
+        // stamping all fragments equals stamping the whole trigger
+        let mut a = Tensor::zeros(&[1, 1, 8, 8]);
+        let mut b = Tensor::zeros(&[1, 1, 8, 8]);
+        t.stamp(&mut a);
+        for f in &frags {
+            f.stamp(&mut b);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blended_trigger_preserves_most_signal() {
+        let t = BlendedTrigger::random(1, 8, 8, 3);
+        let mut x = Tensor::ones(&[2, 1, 8, 8]);
+        let before = x.clone();
+        t.stamp(&mut x);
+        // blended, not overwritten: values moved but stayed correlated
+        let diff = x.sub(&before).norm() / before.norm();
+        assert!(diff > 0.01, "trigger had no effect");
+        assert!(diff < 1.0, "trigger overwrote the image: {diff}");
+        // deterministic
+        let t2 = BlendedTrigger::random(1, 8, 8, 3);
+        assert_eq!(t.pattern, t2.pattern);
+    }
+
+    #[test]
+    fn warp_trigger_is_subtle_and_consistent() {
+        let t = WarpTrigger::sinusoidal(8, 8, 0.7);
+        let cfg = ImageConfig { num_clients: 1, per_client: 4, img: 8, ..Default::default() };
+        let d = cifar_like(&cfg, None).clients[0].train.clone();
+        let mut a = d.x.clone();
+        let mut b = d.x.clone();
+        t.stamp(&mut a);
+        t.stamp(&mut b);
+        assert_eq!(a, b, "warp must be deterministic");
+        assert_ne!(a, d.x, "warp must change the image");
+        // subtle: per-pixel change is bounded by local image variation
+        let rel = a.sub(&d.x).norm() / d.x.norm();
+        assert!(rel < 0.8, "warp too destructive: {rel}");
+    }
+
+    #[test]
+    fn warp_of_constant_image_is_identity() {
+        let t = WarpTrigger::sinusoidal(6, 6, 1.0);
+        let mut x = Tensor::full(&[1, 1, 6, 6], 3.5);
+        t.stamp(&mut x);
+        assert!(x.data().iter().all(|&v| (v - 3.5).abs() < 1e-5));
+    }
+
+    #[test]
+    fn label_flip_counts() {
+        let mut d = image_data();
+        let before = d.label_histogram(10);
+        let flipped = label_flip(&mut d, 0, 1);
+        assert_eq!(flipped, before[0]);
+        let after = d.label_histogram(10);
+        assert_eq!(after[0], 0);
+        assert_eq!(after[1], before[0] + before[1]);
+    }
+
+    #[test]
+    fn edge_cases_are_least_confident() {
+        use fs_tensor::model::logistic_regression;
+        let d = image_data();
+        let flat = ClientData {
+            x: d.x.reshape(&[d.len(), 64]),
+            y: d.y.clone(),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = logistic_regression(64, 10, &mut rng);
+        // train a bit so confidence varies
+        for _ in 0..50 {
+            let (_, g) = m.loss_grad(&flat.x, &flat.y);
+            let mut p = m.get_params();
+            p.add_scaled(-0.5, &g);
+            m.set_params(&p);
+        }
+        let edges = edge_case_indices(&mut m, &flat, 5);
+        assert_eq!(edges.len(), 5);
+        // the least-confident example must not be among the most confident
+        let probs = fs_tensor::loss::softmax(&m.predict(&flat.x));
+        let conf = |i: usize| probs.row(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let min_all = (0..flat.len()).map(conf).fold(f32::INFINITY, f32::min);
+        assert!((conf(edges[0]) - min_all).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,147 @@
+//! Loss-threshold membership inference.
+//!
+//! The attacker holds a model (e.g. the published global model) and asks, for
+//! each candidate example, "was this in the training set?". Overfit models
+//! assign systematically lower loss to members; thresholding the per-example
+//! loss is the classical yardstick attack.
+
+use fs_tensor::loss::softmax;
+use fs_tensor::model::Model;
+use fs_tensor::Tensor;
+
+/// Per-example cross-entropy losses of `model` on `(x, y)`.
+pub fn per_example_losses(model: &mut dyn Model, x: &Tensor, y: &[usize]) -> Vec<f32> {
+    let logits = model.predict(x);
+    let probs = softmax(&logits);
+    y.iter()
+        .enumerate()
+        .map(|(i, &label)| -(probs.at(i, label).max(1e-12)).ln())
+        .collect()
+}
+
+/// Outcome of a membership-inference evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct MembershipReport {
+    /// Attack accuracy at the best threshold (0.5 = no leakage).
+    pub accuracy: f32,
+    /// Area under the ROC curve of the loss score (0.5 = no leakage).
+    pub auc: f32,
+    /// The best-performing loss threshold.
+    pub threshold: f32,
+}
+
+/// Evaluates the attack given known member and non-member examples.
+pub fn evaluate_membership_attack(
+    model: &mut dyn Model,
+    members_x: &Tensor,
+    members_y: &[usize],
+    nonmembers_x: &Tensor,
+    nonmembers_y: &[usize],
+) -> MembershipReport {
+    let member_losses = per_example_losses(model, members_x, members_y);
+    let nonmember_losses = per_example_losses(model, nonmembers_x, nonmembers_y);
+    // AUC: probability a random member has lower loss than a random non-member
+    let mut wins = 0.0f64;
+    for &m in &member_losses {
+        for &n in &nonmember_losses {
+            if m < n {
+                wins += 1.0;
+            } else if m == n {
+                wins += 0.5;
+            }
+        }
+    }
+    let auc = (wins / (member_losses.len() as f64 * nonmember_losses.len() as f64)) as f32;
+    // best threshold over the pooled values
+    let mut candidates: Vec<f32> = member_losses.iter().chain(&nonmember_losses).copied().collect();
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite losses"));
+    let total = (member_losses.len() + nonmember_losses.len()) as f32;
+    let mut best_acc = 0.0f32;
+    let mut best_thr = 0.0f32;
+    for &thr in &candidates {
+        let tp = member_losses.iter().filter(|&&l| l <= thr).count();
+        let tn = nonmember_losses.iter().filter(|&&l| l > thr).count();
+        let acc = (tp + tn) as f32 / total;
+        if acc > best_acc {
+            best_acc = acc;
+            best_thr = thr;
+        }
+    }
+    MembershipReport { accuracy: best_acc, auc, threshold: best_thr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_data::synth::{twitter_like, TwitterConfig};
+    use fs_tensor::loss::Target;
+    use fs_tensor::model::logistic_regression;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn overfit_model_leaks_membership() {
+        let d = twitter_like(&TwitterConfig { num_clients: 2, per_client: 40, ..Default::default() });
+        let train = &d.clients[0].train;
+        let holdout = &d.clients[1].train;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = logistic_regression(d.input_dim(), 2, &mut rng);
+        // overfit hard on client 0's data
+        for _ in 0..300 {
+            let (_, g) = m.loss_grad(&train.x, &train.y);
+            let mut p = m.get_params();
+            p.add_scaled(-1.0, &g);
+            m.set_params(&p);
+        }
+        let ty = match &train.y {
+            Target::Classes(c) => c.clone(),
+            _ => unreachable!(),
+        };
+        let hy = match &holdout.y {
+            Target::Classes(c) => c.clone(),
+            _ => unreachable!(),
+        };
+        let report = evaluate_membership_attack(&mut m, &train.x, &ty, &holdout.x, &hy);
+        assert!(report.auc > 0.7, "overfit model should leak, auc {}", report.auc);
+        assert!(report.accuracy > 0.6);
+    }
+
+    #[test]
+    fn random_model_does_not_leak() {
+        let d = twitter_like(&TwitterConfig { num_clients: 2, per_client: 40, seed: 5, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = logistic_regression(d.input_dim(), 2, &mut rng);
+        let a = &d.clients[0].train;
+        let b = &d.clients[1].train;
+        let ay = match &a.y {
+            Target::Classes(c) => c.clone(),
+            _ => unreachable!(),
+        };
+        let by = match &b.y {
+            Target::Classes(c) => c.clone(),
+            _ => unreachable!(),
+        };
+        let report = evaluate_membership_attack(&mut m, &a.x, &ay, &b.x, &by);
+        assert!(
+            (report.auc - 0.5).abs() < 0.2,
+            "untrained model should not leak, auc {}",
+            report.auc
+        );
+    }
+
+    #[test]
+    fn per_example_losses_match_mean() {
+        let d = twitter_like(&TwitterConfig { num_clients: 1, per_client: 20, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = logistic_regression(d.input_dim(), 2, &mut rng);
+        let t = &d.clients[0].train;
+        let y = match &t.y {
+            Target::Classes(c) => c.clone(),
+            _ => unreachable!(),
+        };
+        let per = per_example_losses(&mut m, &t.x, &y);
+        let mean: f32 = per.iter().sum::<f32>() / per.len() as f32;
+        let metrics = m.evaluate(&t.x, &t.y);
+        assert!((mean - metrics.loss).abs() < 1e-4);
+    }
+}

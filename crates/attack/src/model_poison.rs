@@ -1,0 +1,134 @@
+//! Model-poisoning attacks.
+//!
+//! Instead of (or in addition to) poisoning data, a malicious client can
+//! manipulate the *update* it returns:
+//!
+//! * [`model_replacement`] — scale the malicious delta so it survives
+//!   averaging with `n` benign updates (`theta_mal = global + n * delta`),
+//!   effectively replacing the global model;
+//! * [`neurotoxin_mask`] — Neurotoxin: project the malicious delta onto the
+//!   coordinates the benign population updates *least*, so later benign
+//!   training does not overwrite the backdoor.
+
+use fs_tensor::ParamMap;
+
+/// Scales a malicious update for model replacement: given the current global
+/// parameters and the attacker's desired parameters, returns the update to
+/// submit so that after weighted averaging with `n_participants` equal-weight
+/// updates the global lands (approximately) on the desired model.
+pub fn model_replacement(
+    global: &ParamMap,
+    desired: &ParamMap,
+    n_participants: usize,
+) -> ParamMap {
+    let boost = n_participants.max(1) as f32;
+    let mut delta = desired.sub(global);
+    delta.scale(boost);
+    let mut out = global.clone();
+    out.add_scaled(1.0, &delta);
+    out
+}
+
+/// Applies the Neurotoxin mask: zeroes the malicious delta on the fraction
+/// `top_frac` of coordinates with the largest benign-update magnitude,
+/// keeping only rarely-updated coordinates. Returns the masked update
+/// (as full parameters, like a normal client update).
+pub fn neurotoxin_mask(
+    global: &ParamMap,
+    malicious: &ParamMap,
+    benign_reference_delta: &ParamMap,
+    top_frac: f32,
+) -> ParamMap {
+    assert!((0.0..=1.0).contains(&top_frac), "top_frac in [0,1]");
+    // global magnitude threshold across all coordinates
+    let mut mags: Vec<f32> = benign_reference_delta
+        .iter()
+        .flat_map(|(_, t)| t.data().iter().map(|v| v.abs()))
+        .collect();
+    if mags.is_empty() {
+        return malicious.clone();
+    }
+    mags.sort_by(|a, b| b.partial_cmp(a).expect("finite magnitudes"));
+    let cut = ((mags.len() as f32) * top_frac).floor() as usize;
+    // mask exactly the `cut` hottest coordinates
+    let threshold = if cut == 0 { f32::INFINITY } else { mags[cut - 1] };
+    let mut out = malicious.clone();
+    for (k, t) in out.iter_mut() {
+        let (Some(g), Some(b)) = (global.get(k), benign_reference_delta.get(k)) else {
+            continue;
+        };
+        for i in 0..t.numel() {
+            if b.data()[i].abs() >= threshold {
+                // heavily-updated coordinate: revert to the global value
+                t.data_mut()[i] = g.data()[i];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_core::aggregator::{Aggregator, FedAvg, ReceivedUpdate};
+    use fs_tensor::Tensor;
+
+    fn p(v: &[f32]) -> ParamMap {
+        let mut m = ParamMap::new();
+        m.insert("w", Tensor::from_vec(vec![v.len()], v.to_vec()));
+        m
+    }
+
+    #[test]
+    fn replacement_survives_averaging() {
+        let global = p(&[0.0, 0.0]);
+        let desired = p(&[1.0, -1.0]);
+        let n = 5;
+        let mal = model_replacement(&global, &desired, n);
+        // aggregate the boosted update with n-1 benign no-op updates
+        let mut agg = FedAvg::new(0.0);
+        let mut updates: Vec<ReceivedUpdate> = (0..n - 1)
+            .map(|i| ReceivedUpdate {
+                client: i as u32 + 1,
+                params: global.clone(),
+                staleness: 0,
+                n_samples: 10,
+                n_steps: 4,
+            })
+            .collect();
+        updates.push(ReceivedUpdate {
+            client: 99,
+            params: mal,
+            staleness: 0,
+            n_samples: 10,
+            n_steps: 4,
+        });
+        let next = agg.aggregate(&global, &updates);
+        let w = next.get("w").unwrap();
+        assert!((w.data()[0] - 1.0).abs() < 1e-5, "got {:?}", w.data());
+        assert!((w.data()[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn neurotoxin_keeps_only_cold_coordinates() {
+        let global = p(&[0.0, 0.0, 0.0, 0.0]);
+        let malicious = p(&[9.0, 9.0, 9.0, 9.0]);
+        // benign delta is hot on coords 0 and 1
+        let benign = p(&[5.0, 4.0, 0.01, 0.0]);
+        let masked = neurotoxin_mask(&global, &malicious, &benign, 0.5);
+        let w = masked.get("w").unwrap();
+        assert_eq!(w.data()[0], 0.0, "hot coordinate reverted");
+        assert_eq!(w.data()[1], 0.0, "hot coordinate reverted");
+        assert_eq!(w.data()[2], 9.0, "cold coordinate kept");
+        assert_eq!(w.data()[3], 9.0, "cold coordinate kept");
+    }
+
+    #[test]
+    fn zero_top_frac_keeps_everything() {
+        let global = p(&[0.0]);
+        let malicious = p(&[7.0]);
+        let benign = p(&[100.0]);
+        let masked = neurotoxin_mask(&global, &malicious, &benign, 0.0);
+        assert_eq!(masked.get("w").unwrap().data(), &[7.0]);
+    }
+}

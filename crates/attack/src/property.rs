@@ -1,0 +1,144 @@
+//! Property inference (PIA).
+//!
+//! An honest-but-curious server observes clients' gradient updates and trains
+//! a *meta-classifier* to predict a sensitive dataset property that is
+//! unrelated to the learning task — e.g. "does this client's data
+//! over-represent class 0?". Following Melis et al., the meta-classifier is a
+//! logistic regression over (down-projected) gradient features.
+
+use fs_tensor::loss::Target;
+use fs_tensor::model::{logistic_regression, Model};
+use fs_tensor::{ParamMap, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Flattens a gradient map into a feature vector, down-sampling to at most
+/// `max_dim` coordinates (stride sampling keeps it deterministic).
+pub fn gradient_features(grads: &ParamMap, max_dim: usize) -> Vec<f32> {
+    let flat: Vec<f32> = grads.iter().flat_map(|(_, t)| t.data().iter().copied()).collect();
+    if flat.len() <= max_dim {
+        return flat;
+    }
+    let stride = flat.len() / max_dim;
+    (0..max_dim).map(|i| flat[i * stride]).collect()
+}
+
+/// A trained property-inference attacker.
+pub struct PropertyAttacker {
+    meta: Box<dyn Model>,
+    dim: usize,
+}
+
+impl PropertyAttacker {
+    /// Trains the meta-classifier on labelled gradient observations
+    /// (`true` = property present).
+    pub fn train(observations: &[(Vec<f32>, bool)], epochs: usize, seed: u64) -> Self {
+        assert!(!observations.is_empty(), "no observations");
+        let dim = observations[0].0.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut meta = logistic_regression(dim, 2, &mut rng);
+        let n = observations.len();
+        let mut data = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        for (f, p) in observations {
+            assert_eq!(f.len(), dim, "ragged features");
+            data.extend_from_slice(f);
+            labels.push(usize::from(*p));
+        }
+        let x = Tensor::from_vec(vec![n, dim], data);
+        let y = Target::Classes(labels);
+        for _ in 0..epochs {
+            let (_, g) = meta.loss_grad(&x, &y);
+            let mut p = meta.get_params();
+            p.add_scaled(-0.5, &g);
+            meta.set_params(&p);
+        }
+        Self { meta: Box::new(meta), dim }
+    }
+
+    /// Predicts whether the property holds for a gradient observation.
+    pub fn predict(&mut self, features: &[f32]) -> bool {
+        assert_eq!(features.len(), self.dim, "feature dimension");
+        let x = Tensor::from_vec(vec![1, self.dim], features.to_vec());
+        let logits = self.meta.predict(&x);
+        logits.at(0, 1) > logits.at(0, 0)
+    }
+
+    /// Attack accuracy over a labelled evaluation set.
+    pub fn accuracy(&mut self, eval: &[(Vec<f32>, bool)]) -> f32 {
+        if eval.is_empty() {
+            return 0.0;
+        }
+        let correct = eval
+            .iter()
+            .map(|(f, p)| usize::from(self.predict(f) == *p))
+            .sum::<usize>();
+        correct as f32 / eval.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_data::synth::{cifar_like, ImageConfig};
+    use rand::Rng;
+
+    /// Builds gradient observations from clients whose datasets either do or
+    /// do not over-represent class 0.
+    fn observations(seed: u64, count: usize) -> Vec<(Vec<f32>, bool)> {
+        let cfg = ImageConfig {
+            num_clients: 2,
+            per_client: 60,
+            num_classes: 4,
+            img: 6,
+            seed,
+            ..Default::default()
+        };
+        let data = cifar_like(&cfg, None).flattened();
+        let dim = data.input_dim();
+        let mut rng = StdRng::seed_from_u64(seed ^ 77);
+        let mut out = Vec::new();
+        for i in 0..count {
+            let has_property = i % 2 == 0;
+            let mut model = logistic_regression(dim, 4, &mut rng);
+            // draw a biased or unbiased batch from client 0's pool
+            let pool = &data.clients[0].train;
+            let y = match &pool.y {
+                Target::Classes(c) => c.clone(),
+                _ => unreachable!(),
+            };
+            let idx: Vec<usize> = if has_property {
+                (0..pool.len()).filter(|&j| y[j] == 0).take(10).collect()
+            } else {
+                (0..pool.len()).filter(|&j| y[j] != 0).take(10).collect()
+            };
+            let mut idx = idx;
+            while idx.len() < 10 {
+                idx.push(rng.gen_range(0..pool.len()));
+            }
+            let batch = pool.batch(&idx);
+            let (_, grads) = model.loss_grad(&batch.x, &batch.y);
+            out.push((gradient_features(&grads, 64), has_property));
+        }
+        out
+    }
+
+    #[test]
+    fn attacker_learns_class_imbalance_property() {
+        let train = observations(1, 60);
+        let eval = observations(2, 30);
+        let mut attacker = PropertyAttacker::train(&train, 200, 5);
+        let acc = attacker.accuracy(&eval);
+        assert!(acc > 0.8, "property attack should succeed, accuracy {acc}");
+    }
+
+    #[test]
+    fn features_are_bounded_dim() {
+        let mut p = ParamMap::new();
+        p.insert("w", Tensor::ones(&[100, 10]));
+        let f = gradient_features(&p, 64);
+        assert_eq!(f.len(), 64);
+        let small = ParamMap::new();
+        assert!(gradient_features(&small, 64).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Population-based training (PBT).
+//!
+//! A population of configurations trains in parallel intervals; after each
+//! interval the bottom-quantile members *exploit* (copy the checkpoint and
+//! configuration of a top performer) and *explore* (perturb the copied
+//! configuration). FederatedScope implements PBT on its checkpoint mechanism
+//! (§4.3); so do we.
+
+use crate::objective::{Checkpoint, Objective, TrialResult};
+use crate::rs::{BestSeen, SearchOutcome};
+use crate::space::{Config, SearchSpace};
+use rand::Rng;
+
+/// PBT settings.
+#[derive(Clone, Copy, Debug)]
+pub struct PbtConfig {
+    /// Population size.
+    pub population: usize,
+    /// Training rounds per interval.
+    pub interval: u64,
+    /// Number of exploit/explore cycles.
+    pub cycles: usize,
+    /// Fraction of the population replaced each cycle.
+    pub replace_frac: f64,
+}
+
+impl Default for PbtConfig {
+    fn default() -> Self {
+        Self { population: 8, interval: 2, cycles: 4, replace_frac: 0.25 }
+    }
+}
+
+/// Runs PBT, returning the best member.
+pub fn pbt(
+    space: &SearchSpace,
+    objective: &mut dyn Objective,
+    cfg: PbtConfig,
+    rng: &mut impl Rng,
+) -> SearchOutcome {
+    assert!(cfg.population >= 2, "population must be >= 2");
+    let mut members: Vec<(Config, Option<Checkpoint>, TrialResult)> = (0..cfg.population)
+        .map(|_| {
+            (
+                space.sample(rng),
+                None,
+                TrialResult { val_loss: f64::INFINITY, test_accuracy: 0.0, cost: 0 },
+            )
+        })
+        .collect();
+    let mut trace = Vec::new();
+    let mut spent = 0u64;
+    let mut best_seen = f64::INFINITY;
+    for _ in 0..cfg.cycles {
+        for (c, ck, res) in &mut members {
+            let (r, new_ck) = objective.run(c, cfg.interval, ck.as_ref());
+            spent += r.cost;
+            best_seen = best_seen.min(r.val_loss);
+            *res = r;
+            *ck = Some(new_ck);
+            trace.push(BestSeen { cumulative_cost: spent, best_val_loss: best_seen });
+        }
+        // exploit + explore
+        let mut order: Vec<usize> = (0..members.len()).collect();
+        order.sort_by(|&a, &b| {
+            members[a].2.val_loss.partial_cmp(&members[b].2.val_loss).expect("finite")
+        });
+        let n_replace =
+            ((members.len() as f64) * cfg.replace_frac).round().max(1.0) as usize;
+        for i in 0..n_replace {
+            let loser = order[members.len() - 1 - i];
+            let winner = order[i % (members.len() - n_replace).max(1)];
+            let (w_cfg, w_ck) = (members[winner].0.clone(), members[winner].1.clone());
+            members[loser].0 = space.perturb(&w_cfg, rng);
+            members[loser].1 = w_ck;
+        }
+    }
+    let best = members
+        .into_iter()
+        .min_by(|a, b| a.2.val_loss.partial_cmp(&b.2.val_loss).expect("finite"))
+        .expect("non-empty population");
+    SearchOutcome { best_config: best.0, best_result: best.2, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::QuadraticObjective;
+    use crate::space::Param;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pbt_improves_over_cycles() {
+        let space = SearchSpace::new().with("lr", Param::Float { lo: 0.01, hi: 1.0, log: false });
+        let mut obj = QuadraticObjective;
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = pbt(
+            &space,
+            &mut obj,
+            PbtConfig { population: 8, interval: 2, cycles: 6, replace_frac: 0.25 },
+            &mut rng,
+        );
+        assert!((out.best_config["lr"] - 0.3).abs() < 0.3, "best {}", out.best_config["lr"]);
+        // checkpoints accumulate budget: final cost trace is long
+        assert_eq!(out.trace.len(), 8 * 6);
+        let first = out.trace.first().unwrap().best_val_loss;
+        let last = out.trace.last().unwrap().best_val_loss;
+        assert!(last <= first);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn tiny_population_rejected() {
+        let space = SearchSpace::new().with("lr", Param::Float { lo: 0.01, hi: 1.0, log: false });
+        let mut obj = QuadraticObjective;
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = pbt(
+            &space,
+            &mut obj,
+            PbtConfig { population: 1, ..Default::default() },
+            &mut rng,
+        );
+    }
+}

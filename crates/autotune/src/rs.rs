@@ -1,0 +1,87 @@
+//! Random search (Bergstra & Bengio) — the paper's RS baseline.
+
+use crate::objective::{Objective, TrialResult};
+use crate::space::{Config, SearchSpace};
+use rand::Rng;
+
+/// One point on the best-seen-so-far curve (Figure 14's y-axis).
+#[derive(Clone, Copy, Debug)]
+pub struct BestSeen {
+    /// Total rounds spent so far across all trials.
+    pub cumulative_cost: u64,
+    /// Best validation loss observed so far.
+    pub best_val_loss: f64,
+}
+
+/// Outcome of a search: the best configuration, its result, and the
+/// best-seen trace.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The best configuration found.
+    pub best_config: Config,
+    /// Its trial result.
+    pub best_result: TrialResult,
+    /// Best-seen validation loss after each trial.
+    pub trace: Vec<BestSeen>,
+}
+
+/// Runs random search: `n_trials` independent samples, each evaluated with
+/// `budget_per_trial` rounds.
+pub fn random_search(
+    space: &SearchSpace,
+    objective: &mut dyn Objective,
+    n_trials: usize,
+    budget_per_trial: u64,
+    rng: &mut impl Rng,
+) -> SearchOutcome {
+    assert!(n_trials > 0, "need at least one trial");
+    let mut best: Option<(Config, TrialResult)> = None;
+    let mut trace = Vec::with_capacity(n_trials);
+    let mut spent = 0u64;
+    for _ in 0..n_trials {
+        let cfg = space.sample(rng);
+        let (result, _ck) = objective.run(&cfg, budget_per_trial, None);
+        spent += result.cost;
+        let better = best.as_ref().is_none_or(|(_, b)| result.val_loss < b.val_loss);
+        if better {
+            best = Some((cfg, result.clone()));
+        }
+        trace.push(BestSeen {
+            cumulative_cost: spent,
+            best_val_loss: best.as_ref().expect("set above").1.val_loss,
+        });
+    }
+    let (best_config, best_result) = best.expect("n_trials > 0");
+    SearchOutcome { best_config, best_result, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::QuadraticObjective;
+    use crate::space::Param;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_near_optimal_lr() {
+        let space = SearchSpace::new().with("lr", Param::Float { lo: 0.01, hi: 1.0, log: false });
+        let mut obj = QuadraticObjective;
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = random_search(&space, &mut obj, 50, 10, &mut rng);
+        assert!((out.best_config["lr"] - 0.3).abs() < 0.1, "best lr {}", out.best_config["lr"]);
+    }
+
+    #[test]
+    fn trace_is_monotone_nonincreasing() {
+        let space = SearchSpace::new().with("lr", Param::Float { lo: 0.01, hi: 1.0, log: false });
+        let mut obj = QuadraticObjective;
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = random_search(&space, &mut obj, 20, 5, &mut rng);
+        assert_eq!(out.trace.len(), 20);
+        for w in out.trace.windows(2) {
+            assert!(w[1].best_val_loss <= w[0].best_val_loss);
+            assert!(w[1].cumulative_cost > w[0].cumulative_cost);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion: federated aggregation scaling in client count and model size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fs_core::aggregator::{Aggregator, CoordinateMedian, FedAvg, Krum, ReceivedUpdate};
+use fs_tensor::{ParamMap, Tensor};
+
+fn updates(n_clients: usize, numel: usize) -> (ParamMap, Vec<ReceivedUpdate>) {
+    let mut global = ParamMap::new();
+    global.insert("w", Tensor::zeros(&[numel]));
+    let ups = (0..n_clients)
+        .map(|i| {
+            let mut p = ParamMap::new();
+            p.insert("w", Tensor::full(&[numel], i as f32 * 0.01));
+            ReceivedUpdate {
+                client: i as u32 + 1,
+                params: p,
+                staleness: (i % 5) as u64,
+                n_samples: 10 + i as u64,
+                n_steps: 4,
+            }
+        })
+        .collect();
+    (global, ups)
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    for n in [10usize, 50, 200] {
+        let (global, ups) = updates(n, 10_000);
+        group.bench_with_input(BenchmarkId::new("fedavg", n), &ups, |b, ups| {
+            let mut agg = FedAvg::new(0.5);
+            b.iter(|| agg.aggregate(std::hint::black_box(&global), std::hint::black_box(ups)))
+        });
+    }
+    // Krum is O(n^2) in clients: bench on smaller n
+    for n in [10usize, 30] {
+        let (global, ups) = updates(n, 2_000);
+        group.bench_with_input(BenchmarkId::new("krum", n), &ups, |b, ups| {
+            let mut agg = Krum::new(2);
+            b.iter(|| agg.aggregate(std::hint::black_box(&global), std::hint::black_box(ups)))
+        });
+        group.bench_with_input(BenchmarkId::new("median", n), &ups, |b, ups| {
+            let mut agg = CoordinateMedian;
+            b.iter(|| agg.aggregate(std::hint::black_box(&global), std::hint::black_box(ups)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

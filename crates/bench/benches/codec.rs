@@ -1,0 +1,33 @@
+//! Criterion: message-translation (wire codec) throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fs_net::wire::{decode_params, encode_params};
+use fs_tensor::{ParamMap, Tensor};
+
+fn make_params(numel: usize) -> ParamMap {
+    let mut p = ParamMap::new();
+    p.insert("conv1.weight", Tensor::full(&[numel / 4], 0.5));
+    p.insert("conv1.bias", Tensor::full(&[numel / 4], -0.5));
+    p.insert("fc.weight", Tensor::full(&[numel / 4], 1.5));
+    p.insert("fc.bias", Tensor::full(&[numel / 4], 0.25));
+    p
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    for numel in [1_000usize, 10_000, 100_000] {
+        let params = make_params(numel);
+        let bytes = encode_params(&params);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", numel), &params, |b, p| {
+            b.iter(|| encode_params(std::hint::black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", numel), &bytes, |b, raw| {
+            b.iter(|| decode_params(std::hint::black_box(raw)).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

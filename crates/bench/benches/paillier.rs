@@ -1,0 +1,31 @@
+//! Criterion: Paillier keygen / encrypt / decrypt / homomorphic add.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fs_privacy::paillier::keygen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_paillier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier");
+    group.sample_size(10);
+    for bits in [128usize, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pk, sk) = keygen(bits, &mut rng);
+        let ct = pk.encrypt_u64(12345, &mut rng);
+        let ct2 = pk.encrypt_u64(67890, &mut rng);
+        group.bench_with_input(BenchmarkId::new("encrypt", bits), &pk, |b, pk| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| pk.encrypt_u64(std::hint::black_box(42), &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt", bits), &ct, |b, ct| {
+            b.iter(|| sk.decrypt_u64(std::hint::black_box(ct)))
+        });
+        group.bench_with_input(BenchmarkId::new("hom_add", bits), &(ct, ct2), |b, (a, bb)| {
+            b.iter(|| pk.add(std::hint::black_box(a), std::hint::black_box(bb)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paillier);
+criterion_main!(benches);

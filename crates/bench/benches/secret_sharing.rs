@@ -1,0 +1,27 @@
+//! Criterion: additive secret sharing round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fs_privacy::secret_sharing::{reconstruct, share};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secret_sharing");
+    for len in [1_000usize, 100_000] {
+        let values: Vec<f32> = (0..len).map(|i| i as f32 * 0.001).collect();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("share_n5", len), &values, |b, v| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| share(std::hint::black_box(v), 5, &mut rng))
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let shares = share(&values, 5, &mut rng);
+        group.bench_with_input(BenchmarkId::new("reconstruct_n5", len), &shares, |b, s| {
+            b.iter(|| reconstruct(std::hint::black_box(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

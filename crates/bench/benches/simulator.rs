@@ -1,0 +1,48 @@
+//! Criterion: full-course event throughput of the standalone runner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fs_core::config::FlConfig;
+use fs_core::course::CourseBuilder;
+use fs_data::synth::{twitter_like, TwitterConfig};
+use fs_tensor::model::logistic_regression;
+use fs_tensor::optim::SgdConfig;
+
+fn bench_course(c: &mut Criterion) {
+    let mut group = c.benchmark_group("standalone_runner");
+    group.sample_size(10);
+    for clients in [20usize, 60] {
+        let data = twitter_like(&TwitterConfig {
+            num_clients: clients,
+            per_client: 10,
+            ..Default::default()
+        });
+        let dim = data.input_dim();
+        group.bench_with_input(
+            BenchmarkId::new("sync_course_10_rounds", clients),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let cfg = FlConfig {
+                        total_rounds: 10,
+                        concurrency: clients / 2,
+                        local_steps: 2,
+                        batch_size: 4,
+                        sgd: SgdConfig::with_lr(0.3),
+                        ..Default::default()
+                    };
+                    let mut runner = CourseBuilder::new(
+                        data.clone(),
+                        Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+                        cfg,
+                    )
+                    .build();
+                    runner.run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_course);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! **Figure 17** (Appendix I) — the extended asynchronous strategy family on
+//! all three benchmark datasets: learning curves and time-to-target summary.
+//!
+//! Paper's shape: every asynchronous variant beats the synchronous baselines;
+//! no single sampler dominates ("no free lunch" — the effectiveness of
+//! sampling strategies is case-dependent).
+//!
+//! ```text
+//! cargo run -p fs-bench --release --bin exp_fig17
+//! ```
+
+use fs_bench::output::{render_table, write_json};
+use fs_bench::strategies::Strategy;
+use fs_bench::workloads::{cifar, femnist, twitter};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CurveSet {
+    dataset: String,
+    strategy: String,
+    points: Vec<(f64, f32)>,
+    hours_to_target: Option<f64>,
+}
+
+fn main() {
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for wl in [femnist(7), cifar(7), twitter(7)] {
+        for strat in Strategy::fig17() {
+            let mut cfg = strat.configure(&wl);
+            cfg.target_accuracy = Some(wl.target_accuracy);
+            let mut runner = wl.build(cfg);
+            let report = runner.run();
+            let secs = runner.time_to_accuracy(wl.target_accuracy);
+            let hours = secs.map(|s| s / 3600.0);
+            eprintln!("  {} / {}: {:?} h", wl.name, strat.label(), hours);
+            rows.push(vec![
+                wl.name.to_string(),
+                strat.label().to_string(),
+                hours.map_or("—".into(), |h| format!("{h:.4}")),
+            ]);
+            all.push(CurveSet {
+                dataset: wl.name.to_string(),
+                strategy: strat.label().to_string(),
+                points: report
+                    .history
+                    .iter()
+                    .map(|r| (r.time_secs, r.metrics.accuracy))
+                    .collect(),
+                hours_to_target: hours,
+            });
+        }
+    }
+    println!("\nFigure 17 — extended async strategy family, time to target (hours)\n");
+    println!("{}", render_table(&["dataset", "strategy", "hours"], &rows));
+    let path = write_json("fig17", &all).expect("write results");
+    println!("wrote {path}");
+}

@@ -1,0 +1,95 @@
+//! **Table 1** — synchronous vs asynchronous training strategies: virtual
+//! time (hours) to reach the target test accuracy on the three benchmark
+//! datasets, with the speedup factor over `Sync-vanilla`.
+//!
+//! Paper's shape: `Sync-OS` ≈ 2.1–2.5× faster than vanilla; asynchronous
+//! strategies ≈ 5–19× faster, with `Goal-Aggr-Group` the best on FEMNIST and
+//! `Time-Aggr-Unif` the best on Twitter.
+//!
+//! ```text
+//! cargo run -p fs-bench --release --bin exp_table1
+//! ```
+
+use fs_bench::output::{render_table, write_json};
+use fs_bench::strategies::Strategy;
+use fs_bench::workloads::{cifar, femnist, twitter, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    target_accuracy: f32,
+    strategy: String,
+    hours_to_target: Option<f64>,
+    speedup_vs_sync: Option<f64>,
+    rounds: u64,
+    dropped_updates: u64,
+}
+
+fn run_workload(wl: &Workload, rows: &mut Vec<Row>) {
+    let mut sync_hours: Option<f64> = None;
+    for strat in Strategy::table1() {
+        let mut cfg = strat.configure(wl);
+        cfg.target_accuracy = Some(wl.target_accuracy);
+        let mut runner = wl.build(cfg);
+        let report = runner.run();
+        let secs = runner.time_to_accuracy(wl.target_accuracy);
+        let hours = secs.map(|s| s / 3600.0);
+        if strat == Strategy::SyncVanilla {
+            sync_hours = hours;
+        }
+        let speedup = match (sync_hours, hours) {
+            (Some(s), Some(h)) if h > 0.0 => Some(s / h),
+            _ => None,
+        };
+        eprintln!(
+            "  {} / {}: {:?} h (rounds {})",
+            wl.name,
+            strat.label(),
+            hours,
+            report.rounds
+        );
+        rows.push(Row {
+            dataset: wl.name.to_string(),
+            target_accuracy: wl.target_accuracy,
+            strategy: strat.label().to_string(),
+            hours_to_target: hours,
+            speedup_vs_sync: speedup,
+            rounds: report.rounds,
+            dropped_updates: report.dropped_updates,
+        });
+    }
+}
+
+fn main() {
+    let seed = 7u64;
+    let mut rows = Vec::new();
+    for wl in [femnist(seed), cifar(seed), twitter(seed)] {
+        eprintln!("== {} (target {:.0}%)", wl.name, wl.target_accuracy * 100.0);
+        run_workload(&wl, &mut rows);
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                format!("{:.0}%", r.target_accuracy * 100.0),
+                r.strategy.clone(),
+                r.hours_to_target.map_or("—".into(), |h| format!("{h:.3}")),
+                r.speedup_vs_sync.map_or("—".into(), |s| format!("{s:.2}x")),
+                r.rounds.to_string(),
+                r.dropped_updates.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nTable 1 — virtual time (hours) to target accuracy\n");
+    println!(
+        "{}",
+        render_table(
+            &["dataset", "target", "strategy", "hours", "speedup", "rounds", "dropped"],
+            &table
+        )
+    );
+    let path = write_json("table1", &rows).expect("write results");
+    println!("wrote {path}");
+}

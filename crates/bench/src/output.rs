@@ -1,0 +1,105 @@
+//! Result emission: aligned text tables on stdout + JSON under `results/`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Writes `value` as pretty JSON to `results/<name>.json` (creating the
+/// directory when needed) and returns the path written.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    fs::write(&path, json)?;
+    Ok(path.display().to_string())
+}
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A sparse ASCII histogram for distribution figures (Figs. 10, 11).
+pub fn ascii_histogram(counts: &[(String, usize)], max_width: usize) -> String {
+    let max = counts.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    let label_w = counts.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
+    let mut out = String::new();
+    for (label, c) in counts {
+        let bar = "#".repeat((c * max_width).div_ceil(max).min(max_width));
+        out.push_str(&format!("{label:>label_w$} | {bar} {c}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        // the value column starts at the same offset in all rows
+        let col = lines[3].find('2').unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+    }
+
+    #[test]
+    fn histogram_scales_to_width() {
+        let h = ascii_histogram(
+            &[("0".into(), 10), ("1".into(), 5), ("2".into(), 0)],
+            20,
+        );
+        let lines: Vec<&str> = h.lines().collect();
+        assert!(lines[0].matches('#').count() == 20);
+        assert!(lines[1].matches('#').count() == 10);
+        assert!(lines[2].matches('#').count() == 0);
+    }
+
+    #[test]
+    fn write_json_roundtrips() {
+        #[derive(Serialize)]
+        struct S {
+            x: u32,
+        }
+        let path = write_json("unit_test_tmp", &S { x: 7 }).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"x\": 7"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,161 @@
+//! The named strategy grid of Table 1 and Figure 17.
+//!
+//! Strategies follow the paper's naming scheme
+//! `Async-<AdoptedEvent>-<BroadcastManner>-<SampleStrategy>` plus the two
+//! synchronous baselines.
+
+use crate::workloads::Workload;
+use fs_core::config::{BroadcastManner, FlConfig, SamplerKind};
+
+/// A named training strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Vanilla synchronous FedAvg (`all_received`).
+    SyncVanilla,
+    /// Synchronous with 30% over-selection (goal = concurrency, tolerance 0).
+    SyncOverSelection,
+    /// `goal_achieved` + after-aggregating + uniform sampling.
+    GoalAggrUnif,
+    /// `goal_achieved` + after-receiving + uniform sampling (FedBuff).
+    GoalReceUnif,
+    /// `time_up` + after-aggregating + uniform sampling.
+    TimeAggrUnif,
+    /// `goal_achieved` + after-aggregating + group sampling.
+    GoalAggrGroup,
+    /// `time_up` + after-receiving + uniform sampling.
+    TimeReceUnif,
+    /// `goal_achieved` + after-receiving + responsiveness sampling.
+    GoalReceResp,
+    /// `goal_achieved` + after-aggregating + responsiveness sampling.
+    GoalAggrResp,
+}
+
+impl Strategy {
+    /// The paper's column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::SyncVanilla => "Sync-vanilla",
+            Strategy::SyncOverSelection => "Sync-OS",
+            Strategy::GoalAggrUnif => "Goal-Aggr-Unif",
+            Strategy::GoalReceUnif => "Goal-Rece-Unif",
+            Strategy::TimeAggrUnif => "Time-Aggr-Unif",
+            Strategy::GoalAggrGroup => "Goal-Aggr-Group",
+            Strategy::TimeReceUnif => "Time-Rece-Unif",
+            Strategy::GoalReceResp => "Goal-Rece-Resp",
+            Strategy::GoalAggrResp => "Goal-Aggr-Resp",
+        }
+    }
+
+    /// The Table-1 strategy set.
+    pub fn table1() -> Vec<Strategy> {
+        vec![
+            Strategy::SyncVanilla,
+            Strategy::SyncOverSelection,
+            Strategy::GoalAggrUnif,
+            Strategy::GoalReceUnif,
+            Strategy::TimeAggrUnif,
+            Strategy::GoalAggrGroup,
+        ]
+    }
+
+    /// The extended Figure-17 strategy set.
+    pub fn fig17() -> Vec<Strategy> {
+        let mut v = Self::table1();
+        v.extend([Strategy::TimeReceUnif, Strategy::GoalReceResp, Strategy::GoalAggrResp]);
+        v
+    }
+
+    /// `true` for asynchronous strategies.
+    pub fn is_async(self) -> bool {
+        !matches!(self, Strategy::SyncVanilla | Strategy::SyncOverSelection)
+    }
+
+    /// Applies the strategy to a workload's base configuration.
+    ///
+    /// Asynchronous rounds aggregate fewer updates, so the round cap is
+    /// scaled up to keep total client work comparable.
+    pub fn configure(self, wl: &Workload) -> FlConfig {
+        let base = wl.base_cfg.clone();
+        let goal = wl.aggregation_goal;
+        let budget = wl.time_budget_secs;
+        let async_rounds = base.total_rounds * (base.concurrency as u64) / (goal as u64).max(1);
+        match self {
+            Strategy::SyncVanilla => base.sync_vanilla(),
+            Strategy::SyncOverSelection => base.sync_over_selection(0.3),
+            Strategy::GoalAggrUnif => {
+                let mut c = base.async_goal(goal, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+                c.total_rounds = async_rounds;
+                c
+            }
+            Strategy::GoalReceUnif => {
+                let mut c = base.async_goal(goal, BroadcastManner::AfterReceiving, SamplerKind::Uniform);
+                c.total_rounds = async_rounds;
+                c
+            }
+            Strategy::TimeAggrUnif => {
+                let mut c = base.async_time(budget, 1, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+                c.total_rounds = async_rounds;
+                c
+            }
+            Strategy::GoalAggrGroup => {
+                let mut c = base.async_goal(goal, BroadcastManner::AfterAggregating, SamplerKind::Group);
+                c.total_rounds = async_rounds;
+                c
+            }
+            Strategy::TimeReceUnif => {
+                let mut c = base.async_time(budget, 1, BroadcastManner::AfterReceiving, SamplerKind::Uniform);
+                c.total_rounds = async_rounds;
+                c
+            }
+            Strategy::GoalReceResp => {
+                let mut c = base.async_goal(goal, BroadcastManner::AfterReceiving, SamplerKind::Responsiveness);
+                c.total_rounds = async_rounds;
+                c
+            }
+            Strategy::GoalAggrResp => {
+                let mut c = base.async_goal(goal, BroadcastManner::AfterAggregating, SamplerKind::Responsiveness);
+                c.total_rounds = async_rounds;
+                c
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::twitter;
+    use fs_core::config::AggregationRule;
+
+    #[test]
+    fn labels_match_paper_columns() {
+        assert_eq!(Strategy::SyncVanilla.label(), "Sync-vanilla");
+        assert_eq!(Strategy::GoalReceUnif.label(), "Goal-Rece-Unif");
+        assert_eq!(Strategy::table1().len(), 6);
+        assert_eq!(Strategy::fig17().len(), 9);
+    }
+
+    #[test]
+    fn configure_sets_expected_rules() {
+        let wl = twitter(1);
+        let c = Strategy::SyncVanilla.configure(&wl);
+        assert_eq!(c.rule, AggregationRule::AllReceived);
+        let c = Strategy::SyncOverSelection.configure(&wl);
+        assert_eq!(c.staleness_tolerance, 0);
+        assert!(c.over_selection > 0.0);
+        let c = Strategy::GoalAggrGroup.configure(&wl);
+        assert_eq!(c.rule, AggregationRule::GoalAchieved { goal: wl.aggregation_goal });
+        assert_eq!(c.sampler, SamplerKind::Group);
+        let c = Strategy::TimeAggrUnif.configure(&wl);
+        assert!(matches!(c.rule, AggregationRule::TimeUp { .. }));
+        // async strategies get more (smaller) rounds
+        assert!(c.total_rounds > wl.base_cfg.total_rounds);
+    }
+
+    #[test]
+    fn async_detection() {
+        assert!(!Strategy::SyncVanilla.is_async());
+        assert!(!Strategy::SyncOverSelection.is_async());
+        assert!(Strategy::GoalAggrUnif.is_async());
+    }
+}

@@ -1,0 +1,189 @@
+//! Benchmark workloads: the three datasets + models of §5.2, at a scale that
+//! completes in minutes on a laptop.
+//!
+//! | paper | here | model |
+//! |---|---|---|
+//! | FEMNIST (3,597 writers) | `femnist` — 60 writer-style clients | ConvNet2 |
+//! | CIFAR-10 (Dirichlet, 1,000 clients) | `cifar` — 50 Dirichlet clients | ConvNet2 |
+//! | Twitter (6,602 users) | `twitter` — 120 tiny users | logistic regression |
+
+use fs_core::config::FlConfig;
+use fs_core::course::{CourseBuilder, ModelFactory};
+use fs_core::runner::StandaloneRunner;
+use fs_data::synth::{cifar_like, femnist_like, twitter_like, ImageConfig, TwitterConfig};
+use fs_data::FedDataset;
+use fs_sim::FleetConfig;
+use fs_tensor::model::{convnet2, logistic_regression};
+use fs_tensor::optim::SgdConfig;
+
+/// A ready-to-run benchmark workload.
+pub struct Workload {
+    /// Display name (matches the paper's dataset column).
+    pub name: &'static str,
+    /// The federated dataset.
+    pub dataset: FedDataset,
+    /// Builds the model for servers and clients.
+    pub model_factory_builder: fn(&FedDataset) -> ModelFactory,
+    /// Base course configuration (strategy fields overwritten per run).
+    pub base_cfg: FlConfig,
+    /// Fleet heterogeneity configuration.
+    pub fleet_cfg: FleetConfig,
+    /// The Table-1 target accuracy for time-to-accuracy runs.
+    pub target_accuracy: f32,
+    /// The aggregation goal used by `goal_achieved` strategies (App. F).
+    pub aggregation_goal: usize,
+    /// The per-round time budget used by `time_up` strategies (App. F).
+    pub time_budget_secs: f64,
+}
+
+fn image_model_factory(dataset: &FedDataset) -> ModelFactory {
+    let img = dataset.feature_shape[2];
+    let classes = dataset.num_classes;
+    Box::new(move |rng| Box::new(convnet2(1, img, 32, classes, 0.0, rng)))
+}
+
+fn linear_model_factory(dataset: &FedDataset) -> ModelFactory {
+    let dim = dataset.input_dim();
+    let classes = dataset.num_classes;
+    Box::new(move |rng| Box::new(logistic_regression(dim, classes, rng)))
+}
+
+/// FEMNIST-like: writer feature skew, CNN. Target accuracy mirrors the
+/// paper's 85%-of-achievable threshold at this scale.
+pub fn femnist(seed: u64) -> Workload {
+    let dataset = femnist_like(&ImageConfig {
+        num_clients: 60,
+        num_classes: 10,
+        img: 8,
+        per_client: 30,
+        noise: 0.35,
+        size_skew: 0.0,
+        seed,
+    });
+    Workload {
+        name: "FEMNIST-like",
+        dataset,
+        model_factory_builder: image_model_factory,
+        base_cfg: FlConfig {
+            total_rounds: 300,
+            concurrency: 20,
+            local_steps: 4,
+            batch_size: 20,
+            sgd: SgdConfig::with_lr(0.25),
+            eval_every: 1,
+            seed,
+            ..Default::default()
+        },
+        fleet_cfg: FleetConfig {
+            num_clients: 60,
+            speed_sigma: 1.5,
+            seed: seed ^ 0xf1ee,
+            ..Default::default()
+        },
+        target_accuracy: 0.90,
+        aggregation_goal: 8,
+        time_budget_secs: 1.5,
+    }
+}
+
+/// CIFAR-like: Dirichlet(0.5) label skew, CNN.
+pub fn cifar(seed: u64) -> Workload {
+    let dataset = cifar_like(
+        &ImageConfig {
+            num_clients: 50,
+            num_classes: 10,
+            img: 8,
+            per_client: 40,
+            noise: 0.35,
+            size_skew: 0.0,
+            seed,
+        },
+        Some(0.5),
+    );
+    Workload {
+        name: "CIFAR-like",
+        dataset,
+        model_factory_builder: image_model_factory,
+        base_cfg: FlConfig {
+            total_rounds: 300,
+            concurrency: 20,
+            local_steps: 4,
+            batch_size: 20,
+            sgd: SgdConfig::with_lr(0.25),
+            eval_every: 1,
+            seed,
+            ..Default::default()
+        },
+        fleet_cfg: FleetConfig {
+            num_clients: 50,
+            speed_sigma: 1.5,
+            seed: seed ^ 0xf1ee,
+            ..Default::default()
+        },
+        target_accuracy: 0.95,
+        aggregation_goal: 8,
+        time_budget_secs: 1.5,
+    }
+}
+
+/// Twitter-like: many tiny users, logistic regression on bag-of-words.
+pub fn twitter(seed: u64) -> Workload {
+    let dataset = twitter_like(&TwitterConfig {
+        num_clients: 120,
+        vocab: 60,
+        words_per_text: 12,
+        per_client: 10,
+        seed,
+    });
+    Workload {
+        name: "Twitter-like",
+        dataset,
+        model_factory_builder: linear_model_factory,
+        base_cfg: FlConfig {
+            total_rounds: 300,
+            concurrency: 40,
+            local_steps: 4,
+            batch_size: 2,
+            sgd: SgdConfig::with_lr(0.3),
+            eval_every: 1,
+            seed,
+            ..Default::default()
+        },
+        fleet_cfg: FleetConfig {
+            num_clients: 120,
+            speed_sigma: 1.5,
+            seed: seed ^ 0xf1ee,
+            ..Default::default()
+        },
+        target_accuracy: 0.70,
+        aggregation_goal: 16,
+        time_budget_secs: 0.15,
+    }
+}
+
+impl Workload {
+    /// Builds a runner for this workload under `cfg`.
+    pub fn build(&self, cfg: FlConfig) -> StandaloneRunner {
+        let factory = (self.model_factory_builder)(&self.dataset);
+        CourseBuilder::new(self.dataset.clone(), factory, cfg)
+            .fleet_config(self.fleet_cfg.clone())
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build_and_run_one_round() {
+        for wl in [femnist(1), cifar(1), twitter(1)] {
+            let mut cfg = wl.base_cfg.clone();
+            cfg.total_rounds = 1;
+            let mut runner = wl.build(cfg);
+            let report = runner.run();
+            assert_eq!(report.rounds, 1, "{}", wl.name);
+            assert!(!report.history.is_empty());
+        }
+    }
+}

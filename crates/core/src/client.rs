@@ -1,0 +1,328 @@
+//! The client worker.
+//!
+//! A client is a registry of `<event, handler>` pairs over a [`ClientState`];
+//! its training detail lives entirely in the [`Trainer`]. The default
+//! handlers implement the behaviour of Example 3.2: on `receiving_models`,
+//! train locally and return the update; on `receiving_eval_request` /
+//! `Finish`, evaluate and report. Clients also raise the `performance_drop`
+//! condition event when a received global model makes local validation worse
+//! (§3.2), which personalization plug-ins can hook.
+
+use crate::ctx::Ctx;
+use crate::event::{Condition, Event};
+use crate::registry::Registry;
+use crate::trainer::Trainer;
+use fs_net::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};
+use fs_tensor::model::Metrics;
+
+/// Mutable client state shared by all handlers.
+pub struct ClientState {
+    /// This client's id (assigned by the course builder; confirmed by the
+    /// server's `IdAssignment`).
+    pub id: ParticipantId,
+    /// The local trainer (personalization lives here).
+    pub trainer: Box<dyn Trainer>,
+    /// Rounds of local training performed.
+    pub rounds_trained: u64,
+    /// Last validation metrics observed before local training.
+    pub last_val: Option<Metrics>,
+    /// Times the `performance_drop` condition fired.
+    pub perf_drop_count: u64,
+    /// Whether to evaluate the incoming global model and raise
+    /// `performance_drop` (costs one validation pass per round).
+    pub detect_perf_drop: bool,
+    /// Set once `Finish` is handled.
+    pub done: bool,
+    /// Final test metrics reported at course end.
+    pub final_test: Option<Metrics>,
+}
+
+/// A client participant: state + handler registry.
+pub struct Client {
+    /// Handler-visible state.
+    pub state: ClientState,
+    registry: Registry<ClientState>,
+}
+
+impl Client {
+    /// Creates a client with the default FedAvg-style handlers.
+    pub fn new(id: ParticipantId, trainer: Box<dyn Trainer>) -> Self {
+        assert!(id != SERVER_ID, "client id 0 is reserved for the server");
+        let state = ClientState {
+            id,
+            trainer,
+            rounds_trained: 0,
+            last_val: None,
+            perf_drop_count: 0,
+            detect_perf_drop: false,
+            done: false,
+            final_test: None,
+        };
+        let mut c = Self { state, registry: Registry::new() };
+        c.install_default_handlers();
+        c
+    }
+
+    /// Access to the handler registry for customization (§3.6).
+    pub fn registry_mut(&mut self) -> &mut Registry<ClientState> {
+        &mut self.registry
+    }
+
+    /// The effective `<event, handler>` pairs.
+    pub fn effective_handlers(&self) -> Vec<(Event, &str)> {
+        self.registry.effective_handlers()
+    }
+
+    /// Message-flow edges for the completeness checker.
+    pub fn flow_edges(&self) -> Vec<(Event, Event)> {
+        self.registry.flow_edges()
+    }
+
+    /// Initial action: ask to join the FL course.
+    pub fn start(&mut self, ctx: &mut Ctx) {
+        ctx.send(Message::new(self.state.id, SERVER_ID, MessageKind::JoinIn, 0, Payload::Empty));
+    }
+
+    /// Dispatches a message event, then drains any raised condition events.
+    pub fn handle(&mut self, msg: &Message, ctx: &mut Ctx) {
+        self.registry.dispatch(&mut self.state, Event::Message(msg.kind), msg, ctx);
+        while let Some(cond) = ctx.raised.pop_front() {
+            self.registry.dispatch(&mut self.state, Event::Condition(cond), msg, ctx);
+        }
+        if self.state.done {
+            ctx.finished = true;
+        }
+    }
+
+    fn install_default_handlers(&mut self) {
+        // receiving_id_assignment: confirm identity.
+        self.registry.register(
+            Event::Message(MessageKind::IdAssignment),
+            "confirm_id",
+            vec![],
+            Box::new(|state, msg, _ctx| {
+                debug_assert_eq!(msg.receiver, state.id, "id assignment mismatch");
+            }),
+        );
+
+        // receiving_models: train on local data, return the update (§3.2).
+        self.registry.register(
+            Event::Message(MessageKind::ModelParams),
+            "local_training",
+            vec![
+                Event::Message(MessageKind::Updates),
+                Event::Condition(Condition::PerformanceDrop),
+            ],
+            Box::new(|state, msg, ctx| {
+                let (params, version) = match &msg.payload {
+                    Payload::Model { params, version } => (params, *version),
+                    other => {
+                        debug_assert!(false, "ModelParams carried {other:?}");
+                        return;
+                    }
+                };
+                if state.detect_perf_drop {
+                    state.trainer.incorporate(params);
+                    let val = state.trainer.evaluate_val();
+                    if let Some(prev) = state.last_val {
+                        if val.n > 0 && val.accuracy + 1e-6 < prev.accuracy {
+                            ctx.raise(Condition::PerformanceDrop);
+                        }
+                    }
+                    state.last_val = Some(val);
+                }
+                let update = state.trainer.local_train(params, msg.round);
+                state.rounds_trained += 1;
+                let reply = Message::new(
+                    state.id,
+                    SERVER_ID,
+                    MessageKind::Updates,
+                    msg.round,
+                    Payload::Update {
+                        params: update.params,
+                        start_version: version,
+                        n_samples: update.n_samples,
+                        n_steps: update.n_steps,
+                    },
+                );
+                ctx.send_after_compute(reply, update.examples_processed as f64);
+            }),
+        );
+
+        // performance_drop: default behaviour just counts; personalization
+        // plug-ins overwrite this handler.
+        self.registry.register(
+            Event::Condition(Condition::PerformanceDrop),
+            "count_performance_drop",
+            vec![],
+            Box::new(|state, _msg, _ctx| {
+                state.perf_drop_count += 1;
+            }),
+        );
+
+        // receiving_eval_request: evaluate the shipped model locally, report.
+        self.registry.register(
+            Event::Message(MessageKind::EvalRequest),
+            "evaluate_and_report",
+            vec![Event::Message(MessageKind::MetricsReport)],
+            Box::new(|state, msg, ctx| {
+                if let Payload::Model { params, .. } = &msg.payload {
+                    state.trainer.incorporate(params);
+                }
+                let metrics = state.trainer.evaluate_test();
+                ctx.send(Message::new(
+                    state.id,
+                    SERVER_ID,
+                    MessageKind::MetricsReport,
+                    msg.round,
+                    Payload::Report { metrics },
+                ));
+            }),
+        );
+
+        // receiving_finish: incorporate the final global model, report final
+        // test metrics, stop.
+        self.registry.register(
+            Event::Message(MessageKind::Finish),
+            "finalize",
+            vec![Event::Message(MessageKind::MetricsReport)],
+            Box::new(|state, msg, ctx| {
+                if let Payload::Model { params, .. } = &msg.payload {
+                    state.trainer.incorporate(params);
+                }
+                let metrics = state.trainer.evaluate_test();
+                state.final_test = Some(metrics);
+                ctx.send(Message::new(
+                    state.id,
+                    SERVER_ID,
+                    MessageKind::MetricsReport,
+                    msg.round,
+                    Payload::Report { metrics },
+                ));
+                state.done = true;
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{share_all, LocalTrainer, TrainConfig};
+    use fs_data::synth::{twitter_like, TwitterConfig};
+    use fs_sim::VirtualTime;
+    use fs_tensor::model::{logistic_regression, Model};
+    use fs_tensor::ParamMap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_client(id: ParticipantId) -> (Client, ParamMap) {
+        let d = twitter_like(&TwitterConfig { num_clients: 2, per_client: 20, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = logistic_regression(d.input_dim(), 2, &mut rng);
+        let global = model.get_params();
+        let trainer = LocalTrainer::new(
+            Box::new(model),
+            d.clients[(id - 1) as usize].clone(),
+            TrainConfig::default(),
+            share_all(),
+            id as u64,
+        );
+        (Client::new(id, Box::new(trainer)), global)
+    }
+
+    #[test]
+    fn start_sends_join_in() {
+        let (mut c, _) = make_client(1);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        c.start(&mut ctx);
+        assert_eq!(ctx.outbox.len(), 1);
+        assert_eq!(ctx.outbox[0].msg.kind, MessageKind::JoinIn);
+        assert_eq!(ctx.outbox[0].msg.receiver, SERVER_ID);
+    }
+
+    #[test]
+    fn model_params_triggers_training_and_update() {
+        let (mut c, global) = make_client(1);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        let msg = Message::new(
+            SERVER_ID,
+            1,
+            MessageKind::ModelParams,
+            0,
+            Payload::Model { params: global, version: 7 },
+        );
+        c.handle(&msg, &mut ctx);
+        assert_eq!(c.state.rounds_trained, 1);
+        assert_eq!(ctx.outbox.len(), 1);
+        let out = &ctx.outbox[0];
+        assert_eq!(out.msg.kind, MessageKind::Updates);
+        assert!(out.compute_work > 0.0, "training must report compute work");
+        match &out.msg.payload {
+            Payload::Update { start_version, n_samples, .. } => {
+                assert_eq!(*start_version, 7);
+                assert!(*n_samples > 0);
+            }
+            other => panic!("wrong payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finish_reports_final_metrics_and_stops() {
+        let (mut c, global) = make_client(1);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        let msg = Message::new(
+            SERVER_ID,
+            1,
+            MessageKind::Finish,
+            3,
+            Payload::Model { params: global, version: 3 },
+        );
+        c.handle(&msg, &mut ctx);
+        assert!(c.state.done);
+        assert!(ctx.finished);
+        assert!(c.state.final_test.is_some());
+        assert_eq!(ctx.outbox[0].msg.kind, MessageKind::MetricsReport);
+    }
+
+    #[test]
+    fn perf_drop_condition_counts_when_enabled() {
+        let (mut c, global) = make_client(1);
+        c.state.detect_perf_drop = true;
+        // seed a high last_val so any real model looks like a drop
+        c.state.last_val =
+            Some(Metrics { loss: 0.0, accuracy: 1.1, n: 1 });
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        let msg = Message::new(
+            SERVER_ID,
+            1,
+            MessageKind::ModelParams,
+            0,
+            Payload::Model { params: global, version: 0 },
+        );
+        c.handle(&msg, &mut ctx);
+        assert_eq!(c.state.perf_drop_count, 1);
+    }
+
+    #[test]
+    fn custom_handler_overrides_default() {
+        let (mut c, global) = make_client(1);
+        c.registry_mut().register(
+            Event::Message(MessageKind::ModelParams),
+            "noop",
+            vec![],
+            Box::new(|_, _, _| {}),
+        );
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        let msg = Message::new(
+            SERVER_ID,
+            1,
+            MessageKind::ModelParams,
+            0,
+            Payload::Model { params: global, version: 0 },
+        );
+        c.handle(&msg, &mut ctx);
+        assert!(ctx.outbox.is_empty(), "override should suppress the update");
+        assert_eq!(c.state.rounds_trained, 0);
+    }
+}

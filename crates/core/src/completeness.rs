@@ -1,0 +1,141 @@
+//! Completeness checking (§3.6, Appendix E).
+//!
+//! FederatedScope "generates a directed graph to verify the flow of message
+//! transmission in the constructed FL course": nodes are events, edges go
+//! from an event to the events its handler may emit (declared at
+//! registration). A complete course has at least one path from the *start*
+//! node (the client join-in) to the *termination* node (the finish message);
+//! nodes unreachable from start are redundant and produce warnings.
+
+use crate::client::Client;
+use crate::event::Event;
+use crate::server::Server;
+use fs_net::MessageKind;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The combined message-flow graph of a course.
+#[derive(Clone, Debug, Default)]
+pub struct FlowGraph {
+    edges: BTreeMap<Event, BTreeSet<Event>>,
+    nodes: BTreeSet<Event>,
+}
+
+impl FlowGraph {
+    /// Builds the graph from a server and its clients' registered handlers.
+    pub fn from_course(server: &Server, clients: &[&Client]) -> Self {
+        let mut g = FlowGraph::default();
+        for (from, to) in server.flow_edges() {
+            g.add_edge(from, to);
+        }
+        for c in clients {
+            for (from, to) in c.flow_edges() {
+                g.add_edge(from, to);
+            }
+        }
+        g
+    }
+
+    /// Adds an edge (and both nodes).
+    pub fn add_edge(&mut self, from: Event, to: Event) {
+        self.nodes.insert(from);
+        self.nodes.insert(to);
+        self.edges.entry(from).or_default().insert(to);
+    }
+
+    /// All nodes reachable from `start` (inclusive).
+    pub fn reachable_from(&self, start: Event) -> BTreeSet<Event> {
+        let mut seen = BTreeSet::new();
+        if !self.nodes.contains(&start) {
+            return seen;
+        }
+        let mut q = VecDeque::from([start]);
+        seen.insert(start);
+        while let Some(e) = q.pop_front() {
+            if let Some(nexts) = self.edges.get(&e) {
+                for &n in nexts {
+                    if seen.insert(n) {
+                        q.push_back(n);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Verifies the course: the start node is the clients' `join_in` message,
+    /// the termination node is the `Finish` message.
+    pub fn check(&self) -> CompletenessReport {
+        let start = Event::Message(MessageKind::JoinIn);
+        let terminal = Event::Message(MessageKind::Finish);
+        let reachable = self.reachable_from(start);
+        let complete = reachable.contains(&terminal);
+        let redundant: Vec<Event> =
+            self.nodes.iter().copied().filter(|n| !reachable.contains(n)).collect();
+        CompletenessReport { complete, redundant }
+    }
+
+    /// Node count (for tests and logs).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Result of a completeness check.
+#[derive(Clone, Debug)]
+pub struct CompletenessReport {
+    /// `true` when a start-to-termination path exists.
+    pub complete: bool,
+    /// Events unreachable from the start node (redundant handlers; the paper
+    /// raises warnings for these).
+    pub redundant: Vec<Event>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Condition;
+
+    #[test]
+    fn manual_complete_graph() {
+        let mut g = FlowGraph::default();
+        let join = Event::Message(MessageKind::JoinIn);
+        let model = Event::Message(MessageKind::ModelParams);
+        let updates = Event::Message(MessageKind::Updates);
+        let all = Event::Condition(Condition::AllReceived);
+        let stop = Event::Condition(Condition::EarlyStop);
+        let finish = Event::Message(MessageKind::Finish);
+        g.add_edge(join, model);
+        g.add_edge(model, updates);
+        g.add_edge(updates, all);
+        g.add_edge(all, model);
+        g.add_edge(all, stop);
+        g.add_edge(stop, finish);
+        let r = g.check();
+        assert!(r.complete);
+        assert!(r.redundant.is_empty());
+    }
+
+    #[test]
+    fn missing_termination_is_incomplete() {
+        let mut g = FlowGraph::default();
+        g.add_edge(Event::Message(MessageKind::JoinIn), Event::Message(MessageKind::ModelParams));
+        let r = g.check();
+        assert!(!r.complete);
+    }
+
+    #[test]
+    fn unreachable_nodes_reported_redundant() {
+        let mut g = FlowGraph::default();
+        let join = Event::Message(MessageKind::JoinIn);
+        let finish = Event::Message(MessageKind::Finish);
+        g.add_edge(join, finish);
+        // a disconnected custom exchange, like M3/M4 in the paper's figure
+        g.add_edge(
+            Event::Message(MessageKind::Custom(3)),
+            Event::Message(MessageKind::Custom(4)),
+        );
+        let r = g.check();
+        assert!(r.complete);
+        assert_eq!(r.redundant.len(), 2);
+    }
+}

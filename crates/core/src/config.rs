@@ -1,0 +1,191 @@
+//! FL course configuration.
+
+use fs_tensor::optim::SgdConfig;
+
+/// When the server performs federated aggregation — the condition-checking
+/// event family of §3.3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AggregationRule {
+    /// Wait for every sampled client (vanilla synchronous FL).
+    AllReceived,
+    /// Aggregate once `goal` usable updates are buffered
+    /// (`goal_achieved`; FedBuff-style, also Sync-OS when tolerance = 0).
+    GoalAchieved {
+        /// Number of usable updates that triggers aggregation.
+        goal: usize,
+    },
+    /// Aggregate when the round's time budget runs out (`time_up`).
+    TimeUp {
+        /// Per-round virtual-time budget, seconds.
+        budget_secs: f64,
+        /// Minimum usable updates required; fewer triggers a remedial
+        /// measure (the budget is extended, §3.3.2).
+        min_feedback: usize,
+    },
+}
+
+/// When the server broadcasts models in asynchronous FL (§3.3.1 (iii)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BroadcastManner {
+    /// Broadcast the new global model to freshly sampled clients after each
+    /// aggregation (also the synchronous behaviour).
+    AfterAggregating,
+    /// Send the current model to one sampled idle client as soon as any
+    /// feedback is received, keeping concurrency constant (FedBuff).
+    AfterReceiving,
+}
+
+/// Client sampling strategy (§3.3.1 (ii)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Uniform over idle clients.
+    Uniform,
+    /// Probability proportional to estimated response speed.
+    Responsiveness,
+    /// Sample within one responsiveness group per round, rotating groups.
+    Group,
+}
+
+/// Full configuration of an FL course.
+#[derive(Clone, Debug)]
+pub struct FlConfig {
+    /// Maximum number of aggregation rounds.
+    pub total_rounds: u64,
+    /// Target number of clients training concurrently.
+    pub concurrency: usize,
+    /// Aggregation trigger.
+    pub rule: AggregationRule,
+    /// Broadcast manner.
+    pub broadcast: BroadcastManner,
+    /// Sampling strategy.
+    pub sampler: SamplerKind,
+    /// Maximum tolerated staleness; staler updates are dropped (§3.3.1 (i)).
+    pub staleness_tolerance: u64,
+    /// Staleness discount exponent `a`: update weight is scaled by
+    /// `1/(1+tau)^a`. Zero disables discounting.
+    pub staleness_discount: f32,
+    /// Extra fraction of clients sampled beyond `concurrency`
+    /// (the over-selection mechanism; 0.3 in the paper's Sync-OS).
+    pub over_selection: f32,
+    /// Evaluate the global model every this many rounds.
+    pub eval_every: u64,
+    /// Stop as soon as global test accuracy reaches this value.
+    pub target_accuracy: Option<f32>,
+    /// Early-stop patience in evaluations without improvement.
+    pub patience: Option<u64>,
+    /// Local training steps per round (the paper's `Q`).
+    pub local_steps: usize,
+    /// Local minibatch size.
+    pub batch_size: usize,
+    /// Local optimizer configuration.
+    pub sgd: SgdConfig,
+    /// Course RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        Self {
+            total_rounds: 50,
+            concurrency: 10,
+            rule: AggregationRule::AllReceived,
+            broadcast: BroadcastManner::AfterAggregating,
+            sampler: SamplerKind::Uniform,
+            staleness_tolerance: 20,
+            staleness_discount: 0.5,
+            over_selection: 0.0,
+            eval_every: 1,
+            target_accuracy: None,
+            patience: None,
+            local_steps: 4,
+            batch_size: 20,
+            sgd: SgdConfig::with_lr(0.1),
+            seed: 42,
+        }
+    }
+}
+
+impl FlConfig {
+    /// Number of clients sampled when (re)filling the concurrency target,
+    /// including over-selection.
+    pub fn sample_target(&self) -> usize {
+        ((self.concurrency as f32) * (1.0 + self.over_selection)).round() as usize
+    }
+
+    /// Convenience: the paper's `Sync-vanilla` strategy.
+    pub fn sync_vanilla(mut self) -> Self {
+        self.rule = AggregationRule::AllReceived;
+        self.broadcast = BroadcastManner::AfterAggregating;
+        self.over_selection = 0.0;
+        self
+    }
+
+    /// Convenience: the paper's `Sync-OS` (over-selection) strategy —
+    /// `goal_achieved` with goal = concurrency and zero staleness tolerance.
+    pub fn sync_over_selection(mut self, extra: f32) -> Self {
+        self.rule = AggregationRule::GoalAchieved { goal: self.concurrency };
+        self.broadcast = BroadcastManner::AfterAggregating;
+        self.over_selection = extra;
+        self.staleness_tolerance = 0;
+        self
+    }
+
+    /// Convenience: `Async-Goal-<manner>-<sampler>` with the given goal.
+    pub fn async_goal(mut self, goal: usize, manner: BroadcastManner, sampler: SamplerKind) -> Self {
+        self.rule = AggregationRule::GoalAchieved { goal };
+        self.broadcast = manner;
+        self.sampler = sampler;
+        self
+    }
+
+    /// Convenience: `Async-Time-<manner>-<sampler>` with the given budget.
+    pub fn async_time(
+        mut self,
+        budget_secs: f64,
+        min_feedback: usize,
+        manner: BroadcastManner,
+        sampler: SamplerKind,
+    ) -> Self {
+        self.rule = AggregationRule::TimeUp { budget_secs, min_feedback };
+        self.broadcast = manner;
+        self.sampler = sampler;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_target_includes_over_selection() {
+        let cfg = FlConfig { concurrency: 100, over_selection: 0.3, ..Default::default() };
+        assert_eq!(cfg.sample_target(), 130);
+        let cfg = FlConfig { concurrency: 10, over_selection: 0.0, ..Default::default() };
+        assert_eq!(cfg.sample_target(), 10);
+    }
+
+    #[test]
+    fn sync_os_is_goal_with_zero_tolerance() {
+        let cfg = FlConfig { concurrency: 100, ..Default::default() }.sync_over_selection(0.3);
+        assert_eq!(cfg.rule, AggregationRule::GoalAchieved { goal: 100 });
+        assert_eq!(cfg.staleness_tolerance, 0);
+        assert_eq!(cfg.sample_target(), 130);
+    }
+
+    #[test]
+    fn builders_set_strategy_fields() {
+        let cfg = FlConfig::default().async_goal(40, BroadcastManner::AfterReceiving, SamplerKind::Group);
+        assert_eq!(cfg.rule, AggregationRule::GoalAchieved { goal: 40 });
+        assert_eq!(cfg.broadcast, BroadcastManner::AfterReceiving);
+        assert_eq!(cfg.sampler, SamplerKind::Group);
+        let cfg = FlConfig::default().async_time(60.0, 5, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+        match cfg.rule {
+            AggregationRule::TimeUp { budget_secs, min_feedback } => {
+                assert_eq!(budget_secs, 60.0);
+                assert_eq!(min_feedback, 5);
+            }
+            _ => panic!("wrong rule"),
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The course builder: datasets + models + configuration → a runnable course.
+//!
+//! This is the "simple configuring" interface of §3.6: pick a dataset, a
+//! model factory, and an [`FlConfig`]; the builder wires up the server, the
+//! clients, the fleet, the sampler, the aggregator, and the centralized
+//! evaluator, validating the configuration as it goes.
+
+use crate::aggregator::{Aggregator, FedAvg};
+use crate::client::Client;
+use crate::config::{AggregationRule, FlConfig, SamplerKind};
+use crate::eval::GlobalEvaluator;
+use crate::runner::StandaloneRunner;
+use crate::sampler::Sampler;
+use crate::server::Server;
+use crate::trainer::{pooled_test_set, share_all, LocalTrainer, ShareFilter, TrainConfig, Trainer};
+use fs_data::{ClientSplit, FedDataset};
+use fs_sim::{Fleet, FleetConfig};
+use fs_tensor::model::Model;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates a fresh model given the course RNG.
+pub type ModelFactory = Box<dyn Fn(&mut StdRng) -> Box<dyn Model>>;
+
+/// Creates a trainer for client `idx` (0-based) from its model and data.
+pub type TrainerFactory =
+    Box<dyn Fn(usize, Box<dyn Model>, ClientSplit, &FlConfig) -> Box<dyn Trainer>>;
+
+/// Assembles FL courses.
+pub struct CourseBuilder {
+    dataset: FedDataset,
+    cfg: FlConfig,
+    fleet: Option<Fleet>,
+    fleet_cfg: FleetConfig,
+    model_factory: ModelFactory,
+    share: ShareFilter,
+    aggregator: Option<Box<dyn Aggregator>>,
+    trainer_factory: Option<TrainerFactory>,
+    sampler_override: Option<Sampler>,
+    central_eval: bool,
+    eval_cap_per_client: usize,
+    detect_perf_drop: bool,
+}
+
+impl CourseBuilder {
+    /// Starts a builder from a dataset, a model factory, and a configuration.
+    pub fn new(dataset: FedDataset, model_factory: ModelFactory, cfg: FlConfig) -> Self {
+        let fleet_cfg = FleetConfig {
+            num_clients: dataset.num_clients(),
+            seed: cfg.seed ^ 0xf1ee,
+            ..Default::default()
+        };
+        Self {
+            dataset,
+            cfg,
+            fleet: None,
+            fleet_cfg,
+            model_factory,
+            share: share_all(),
+            aggregator: None,
+            trainer_factory: None,
+            sampler_override: None,
+            central_eval: true,
+            eval_cap_per_client: 20,
+            detect_perf_drop: false,
+        }
+    }
+
+    /// Uses an explicit fleet instead of generating one.
+    pub fn fleet(mut self, fleet: Fleet) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Adjusts the generated fleet's configuration.
+    pub fn fleet_config(mut self, cfg: FleetConfig) -> Self {
+        self.fleet_cfg = cfg;
+        self
+    }
+
+    /// Sets the parameter-sharing filter (personalization / multi-goal).
+    pub fn share_filter(mut self, share: ShareFilter) -> Self {
+        self.share = share;
+        self
+    }
+
+    /// Replaces the default FedAvg aggregator.
+    pub fn aggregator(mut self, agg: Box<dyn Aggregator>) -> Self {
+        self.aggregator = Some(agg);
+        self
+    }
+
+    /// Replaces the default [`LocalTrainer`] factory (personalization).
+    pub fn trainer_factory(mut self, f: TrainerFactory) -> Self {
+        self.trainer_factory = Some(f);
+        self
+    }
+
+    /// Replaces the sampler derived from `cfg.sampler` (e.g. an
+    /// inverse-responsiveness sampler compensating slow clients).
+    pub fn sampler(mut self, s: Sampler) -> Self {
+        self.sampler_override = Some(s);
+        self
+    }
+
+    /// Disables the centralized evaluator (e.g. pure-distributed eval runs).
+    pub fn no_central_eval(mut self) -> Self {
+        self.central_eval = false;
+        self
+    }
+
+    /// Enables client-side `performance_drop` detection.
+    pub fn detect_perf_drop(mut self) -> Self {
+        self.detect_perf_drop = true;
+        self
+    }
+
+    fn validate(&self) {
+        let n = self.dataset.num_clients();
+        assert!(n > 0, "dataset has no clients");
+        assert!(
+            self.cfg.sample_target() <= n,
+            "sample target {} exceeds client count {n}",
+            self.cfg.sample_target()
+        );
+        match self.cfg.rule {
+            AggregationRule::GoalAchieved { goal } => {
+                assert!(goal >= 1, "aggregation goal must be >= 1");
+                assert!(
+                    goal <= self.cfg.sample_target(),
+                    "goal {goal} can never be reached with sample target {}",
+                    self.cfg.sample_target()
+                );
+            }
+            AggregationRule::TimeUp { budget_secs, min_feedback } => {
+                assert!(budget_secs > 0.0, "time budget must be positive");
+                assert!(
+                    min_feedback <= self.cfg.sample_target(),
+                    "min_feedback {min_feedback} exceeds sample target {}",
+                    self.cfg.sample_target()
+                );
+            }
+            AggregationRule::AllReceived => {}
+        }
+    }
+
+    /// Builds the standalone runner.
+    pub fn build(self) -> StandaloneRunner {
+        self.validate();
+        let CourseBuilder {
+            dataset,
+            cfg,
+            fleet,
+            fleet_cfg,
+            model_factory,
+            share,
+            aggregator,
+            trainer_factory,
+            sampler_override,
+            central_eval,
+            eval_cap_per_client,
+            detect_perf_drop,
+        } = self;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let fleet = fleet.unwrap_or_else(|| Fleet::generate(&fleet_cfg));
+        // crashed broadcasts leave clients busy forever; only the time_up
+        // rule has a remedial measure for that, so reject the combination
+        // up front instead of silently deadlocking mid-course
+        if !matches!(cfg.rule, AggregationRule::TimeUp { .. }) {
+            assert!(
+                fleet.profiles().iter().all(|p| p.crash_prob == 0.0),
+                "client crashes require the time_up rule (its remedial measure \
+                 re-arms the round); all_received/goal_achieved would deadlock"
+            );
+        }
+        let n = dataset.num_clients();
+
+        // template model defines the initial global parameters
+        let template = model_factory(&mut rng);
+        let global = template.get_params().filter(|k| share(k));
+
+        // sampler
+        let avg_examples = cfg.local_steps * cfg.batch_size;
+        let payload = 4 * global.numel() + 64;
+        let sampler = if let Some(s) = sampler_override {
+            s
+        } else {
+            match cfg.sampler {
+                SamplerKind::Uniform => Sampler::Uniform,
+                SamplerKind::Responsiveness => {
+                    Sampler::Responsiveness { speeds: fleet.response_speeds(avg_examples, payload) }
+                }
+                SamplerKind::Group => {
+                    let groups =
+                        (0..fleet.num_groups()).map(|g| fleet.group_members(g)).collect();
+                    Sampler::group(groups)
+                }
+            }
+        };
+
+        // centralized evaluator on the pooled test set
+        let evaluator = if central_eval {
+            let (x, y) = pooled_test_set(&dataset, eval_cap_per_client);
+            if y.is_empty() {
+                None
+            } else {
+                Some(GlobalEvaluator::new(template.clone_model(), x, y))
+            }
+        } else {
+            None
+        };
+
+        let aggregator =
+            aggregator.unwrap_or_else(|| Box::new(FedAvg::new(cfg.staleness_discount)));
+        let server = Server::new(cfg.clone(), global, n, aggregator, sampler, evaluator);
+
+        // clients share the template initialization (FedAvg convention)
+        let mut clients = Vec::with_capacity(n);
+        for (i, split) in dataset.clients.iter().enumerate() {
+            let model = template.clone_model();
+            let trainer: Box<dyn Trainer> = match &trainer_factory {
+                Some(f) => f(i, model, split.clone(), &cfg),
+                None => Box::new(LocalTrainer::new(
+                    model,
+                    split.clone(),
+                    TrainConfig {
+                        local_steps: cfg.local_steps,
+                        batch_size: cfg.batch_size,
+                        sgd: cfg.sgd,
+                    },
+                    share.clone(),
+                    cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15),
+                )),
+            };
+            let mut client = Client::new((i + 1) as u32, trainer);
+            client.state.detect_perf_drop = detect_perf_drop;
+            clients.push(client);
+        }
+        StandaloneRunner::new(server, clients, fleet, cfg.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_data::synth::{twitter_like, TwitterConfig};
+    use fs_tensor::model::logistic_regression;
+    use fs_tensor::optim::SgdConfig;
+
+    fn tiny_course(cfg: FlConfig) -> StandaloneRunner {
+        let data = twitter_like(&TwitterConfig {
+            num_clients: 8,
+            per_client: 12,
+            ..Default::default()
+        });
+        let dim = data.input_dim();
+        CourseBuilder::new(
+            data,
+            Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+            cfg,
+        )
+        .build()
+    }
+
+    #[test]
+    fn sync_course_runs_to_round_limit() {
+        let cfg = FlConfig {
+            total_rounds: 5,
+            concurrency: 4,
+            sgd: SgdConfig::with_lr(0.5),
+            ..Default::default()
+        };
+        let mut runner = tiny_course(cfg);
+        let report = runner.run();
+        assert_eq!(report.rounds, 5);
+        assert!(report.finish_reason.contains("round limit"));
+        assert_eq!(report.history.len(), 5);
+        assert!(report.final_time_secs > 0.0);
+        // all 8 clients reported final metrics
+        assert_eq!(runner.server.state.client_reports.len(), 8);
+    }
+
+    #[test]
+    fn async_goal_course_completes() {
+        let cfg = FlConfig {
+            total_rounds: 6,
+            concurrency: 4,
+            sgd: SgdConfig::with_lr(0.5),
+            ..Default::default()
+        }
+        .async_goal(2, crate::config::BroadcastManner::AfterReceiving, SamplerKind::Uniform);
+        let mut runner = tiny_course(cfg);
+        let report = runner.run();
+        assert_eq!(report.rounds, 6);
+        assert!(report.total_updates >= 12, "goal 2 x 6 rounds needs >= 12 updates");
+    }
+
+    #[test]
+    fn time_up_course_completes() {
+        let cfg = FlConfig {
+            total_rounds: 3,
+            concurrency: 4,
+            sgd: SgdConfig::with_lr(0.5),
+            ..Default::default()
+        }
+        .async_time(120.0, 1, crate::config::BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+        let mut runner = tiny_course(cfg);
+        let report = runner.run();
+        assert_eq!(report.rounds, 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = FlConfig {
+            total_rounds: 3,
+            concurrency: 4,
+            seed: 77,
+            ..Default::default()
+        };
+        let r1 = tiny_course(cfg.clone()).run();
+        let r2 = tiny_course(cfg).run();
+        assert_eq!(r1.final_time_secs, r2.final_time_secs);
+        assert_eq!(r1.history.len(), r2.history.len());
+        for (a, b) in r1.history.iter().zip(&r2.history) {
+            assert_eq!(a.metrics.accuracy, b.metrics.accuracy);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "goal")]
+    fn invalid_goal_rejected() {
+        let cfg = FlConfig {
+            concurrency: 4,
+            rule: AggregationRule::GoalAchieved { goal: 100 },
+            ..Default::default()
+        };
+        let _ = tiny_course(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample target")]
+    fn oversized_concurrency_rejected() {
+        let cfg = FlConfig { concurrency: 1000, ..Default::default() };
+        let _ = tiny_course(cfg);
+    }
+
+    #[test]
+    fn group_sampler_course_runs() {
+        let cfg = FlConfig {
+            total_rounds: 4,
+            concurrency: 2,
+            sampler: SamplerKind::Group,
+            sgd: SgdConfig::with_lr(0.5),
+            ..Default::default()
+        }
+        .async_goal(2, crate::config::BroadcastManner::AfterAggregating, SamplerKind::Group);
+        let mut runner = tiny_course(cfg);
+        let report = runner.run();
+        assert_eq!(report.rounds, 4);
+    }
+
+    #[test]
+    fn learning_actually_happens() {
+        let data = twitter_like(&TwitterConfig {
+            num_clients: 30,
+            per_client: 24,
+            ..Default::default()
+        });
+        let dim = data.input_dim();
+        let cfg = FlConfig {
+            total_rounds: 30,
+            concurrency: 10,
+            local_steps: 8,
+            batch_size: 4,
+            sgd: SgdConfig::with_lr(0.5),
+            ..Default::default()
+        };
+        let mut runner = CourseBuilder::new(
+            data,
+            Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+            cfg,
+        )
+        .build();
+        let report = runner.run();
+        let best = report
+            .history
+            .iter()
+            .map(|r| r.metrics.accuracy)
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(best > 0.7, "no learning: best accuracy {best}");
+    }
+}

@@ -1,0 +1,104 @@
+//! The handler execution context.
+//!
+//! A handler cannot touch the network or the clock directly; it records
+//! intents in the [`Ctx`] — messages to send (with an attached local compute
+//! delay), timers to arm, condition events to raise — and the runner realizes
+//! them. This keeps worker code identical between the virtual-time standalone
+//! runner and the threaded distributed runner.
+
+use crate::event::Condition;
+use fs_net::Message;
+use fs_sim::VirtualTime;
+use std::collections::VecDeque;
+
+/// An outgoing message plus the local compute *work* spent producing it.
+///
+/// Work is measured in training examples processed; the standalone runner
+/// converts it to seconds through the sender's device profile and stamps the
+/// arrival timestamp as `now + compute + communication` per the paper's
+/// virtual-time protocol. The distributed runner ignores it.
+#[derive(Clone, Debug)]
+pub struct Outgoing {
+    /// The message to deliver.
+    pub msg: Message,
+    /// Local compute work (training examples processed) preceding the send.
+    /// Zero for instantaneous replies; the server's work is always zero (the
+    /// paper assumes server time is negligible).
+    pub compute_work: f64,
+}
+
+/// A timer to be delivered back to the arming participant as a condition
+/// event after `delay_secs` of virtual time.
+#[derive(Clone, Copy, Debug)]
+pub struct Timer {
+    /// Delay from now, in virtual seconds.
+    pub delay_secs: f64,
+    /// The condition event the timer raises.
+    pub condition: Condition,
+    /// The round the timer belongs to; stale timers are ignored by handlers.
+    pub round: u64,
+}
+
+/// Mutable per-dispatch context handed to every handler.
+pub struct Ctx {
+    /// Current virtual time (arrival time of the triggering message).
+    pub now: VirtualTime,
+    /// Messages queued for sending.
+    pub outbox: Vec<Outgoing>,
+    /// Timers armed during this dispatch.
+    pub timers: Vec<Timer>,
+    /// Condition events raised during this dispatch, processed FIFO
+    /// immediately after the current handler returns.
+    pub raised: VecDeque<Condition>,
+    /// Set when the participant considers the course finished.
+    pub finished: bool,
+}
+
+impl Ctx {
+    /// Creates a context at the given virtual time.
+    pub fn at(now: VirtualTime) -> Self {
+        Self { now, outbox: Vec::new(), timers: Vec::new(), raised: VecDeque::new(), finished: false }
+    }
+
+    /// Queues a message with zero local compute work.
+    pub fn send(&mut self, msg: Message) {
+        self.outbox.push(Outgoing { msg, compute_work: 0.0 });
+    }
+
+    /// Queues a message preceded by `compute_work` examples of local
+    /// computation (e.g. local training).
+    pub fn send_after_compute(&mut self, msg: Message, compute_work: f64) {
+        self.outbox.push(Outgoing { msg, compute_work });
+    }
+
+    /// Raises a condition event, to be handled right after the current
+    /// handler returns.
+    pub fn raise(&mut self, condition: Condition) {
+        self.raised.push_back(condition);
+    }
+
+    /// Arms a timer that will raise `condition` after `delay_secs`.
+    pub fn arm_timer(&mut self, delay_secs: f64, condition: Condition, round: u64) {
+        self.timers.push(Timer { delay_secs, condition, round });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_net::{MessageKind, Payload};
+
+    #[test]
+    fn intents_accumulate() {
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        ctx.send(Message::new(0, 1, MessageKind::Finish, 3, Payload::Empty));
+        ctx.send_after_compute(Message::new(1, 0, MessageKind::Updates, 3, Payload::Empty), 2.5);
+        ctx.raise(Condition::GoalAchieved);
+        ctx.arm_timer(10.0, Condition::TimeUp, 3);
+        assert_eq!(ctx.outbox.len(), 2);
+        assert_eq!(ctx.outbox[1].compute_work, 2.5);
+        assert_eq!(ctx.raised.len(), 1);
+        assert_eq!(ctx.timers.len(), 1);
+        assert!(!ctx.finished);
+    }
+}

@@ -1,0 +1,221 @@
+//! The distributed runner: the same workers on real threads.
+//!
+//! Each participant runs on its own thread with a mailbox on the
+//! [`fs_net::bus::Bus`]; every message crosses the bus as wire bytes, so the
+//! whole message-translation path (§3.5) is exercised. Virtual time does not
+//! apply here — `time_up` courses must use the standalone runner — but the
+//! `all_received` and `goal_achieved` strategies run unchanged, demonstrating
+//! that worker behaviour is transport-independent.
+
+use crate::client::Client;
+use crate::config::AggregationRule;
+use crate::ctx::Ctx;
+use crate::server::Server;
+use fs_net::bus::{Bus, BusError};
+use fs_net::SERVER_ID;
+use fs_sim::VirtualTime;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors from a distributed run.
+#[derive(Debug)]
+pub enum DistributedError {
+    /// The configured rule needs virtual time (e.g. `time_up`).
+    UnsupportedRule(&'static str),
+    /// A bus operation failed.
+    Bus(BusError),
+    /// The course did not finish within the wall-clock budget.
+    Timeout,
+}
+
+impl fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributedError::UnsupportedRule(r) => {
+                write!(f, "rule {r} requires the standalone (virtual-time) runner")
+            }
+            DistributedError::Bus(e) => write!(f, "bus error: {e}"),
+            DistributedError::Timeout => write!(f, "distributed course timed out"),
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {}
+
+impl From<BusError> for DistributedError {
+    fn from(e: BusError) -> Self {
+        DistributedError::Bus(e)
+    }
+}
+
+fn drain_ctx(bus: &Bus, ctx: Ctx) -> Result<bool, BusError> {
+    for out in ctx.outbox {
+        bus.send(&out.msg)?;
+    }
+    // timers are unsupported here; the config check rejects time_up courses
+    debug_assert!(ctx.timers.is_empty(), "timers require the standalone runner");
+    Ok(ctx.finished)
+}
+
+/// Runs a course over threads and the in-process bus, returning the server
+/// (with its histories and client reports) once the course finishes.
+pub fn run_distributed(
+    mut server: Server,
+    clients: Vec<Client>,
+    wall_budget: Duration,
+) -> Result<Server, DistributedError> {
+    if matches!(server.state.cfg.rule, AggregationRule::TimeUp { .. }) {
+        return Err(DistributedError::UnsupportedRule("time_up"));
+    }
+    let mut bus = Bus::new();
+    let server_mb = bus.register(SERVER_ID);
+    let mut handles = Vec::new();
+    for mut client in clients {
+        let mb = bus.register(client.state.id);
+        let cbus = bus.clone();
+        handles.push(std::thread::spawn(move || -> Result<Client, BusError> {
+            let mut ctx = Ctx::at(VirtualTime::ZERO);
+            client.start(&mut ctx);
+            drain_ctx(&cbus, ctx)?;
+            loop {
+                let msg = mb.recv()?;
+                let mut ctx = Ctx::at(VirtualTime::ZERO);
+                client.handle(&msg, &mut ctx);
+                if drain_ctx(&cbus, ctx)? {
+                    return Ok(client);
+                }
+            }
+        }));
+    }
+    // server loop on this thread
+    let n_clients = handles.len();
+    let deadline = std::time::Instant::now() + wall_budget;
+    let mut finished = false;
+    loop {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return Err(DistributedError::Timeout);
+        }
+        let msg = match server_mb_recv(&server_mb, remaining.min(Duration::from_millis(200))) {
+            Some(Ok(m)) => m,
+            Some(Err(e)) => return Err(e.into()),
+            None => {
+                if finished && server.state.client_reports.len() >= n_clients {
+                    break;
+                }
+                continue;
+            }
+        };
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        server.handle(&msg, &mut ctx);
+        finished = drain_ctx(&bus, ctx)? || finished;
+        if finished && server.state.client_reports.len() >= n_clients {
+            break;
+        }
+    }
+    for h in handles {
+        match h.join() {
+            Ok(Ok(_client)) => {}
+            Ok(Err(e)) => return Err(e.into()),
+            Err(_) => return Err(DistributedError::Timeout),
+        }
+    }
+    Ok(server)
+}
+
+/// Runs a course over real TCP sockets on localhost: the server binds an
+/// ephemeral port, every client runs on its own thread with its own
+/// connection, and all traffic crosses the kernel as length-prefixed wire
+/// frames. Functionally equivalent to [`run_distributed`], but exercising the
+/// `fs_net::tcp` transport end to end.
+pub fn run_distributed_tcp(
+    mut server: Server,
+    clients: Vec<Client>,
+    wall_budget: Duration,
+) -> Result<Server, DistributedError> {
+    use fs_net::tcp::{TcpHub, TcpPeer};
+    if matches!(server.state.cfg.rule, AggregationRule::TimeUp { .. }) {
+        return Err(DistributedError::UnsupportedRule("time_up"));
+    }
+    let pending = TcpHub::bind("127.0.0.1:0").map_err(|_| DistributedError::Timeout)?;
+    let addr = pending.local_addr().map_err(|_| DistributedError::Timeout)?;
+    let n_clients = clients.len();
+    let mut handles = Vec::new();
+    for mut client in clients {
+        handles.push(std::thread::spawn(move || -> Result<(), fs_net::tcp::TcpError> {
+            let mut peer = TcpPeer::connect(addr)?;
+            let mut ctx = Ctx::at(VirtualTime::ZERO);
+            client.start(&mut ctx);
+            for out in std::mem::take(&mut ctx.outbox) {
+                peer.send(&out.msg)?;
+            }
+            loop {
+                let msg = peer.recv()?;
+                let mut ctx = Ctx::at(VirtualTime::ZERO);
+                client.handle(&msg, &mut ctx);
+                for out in ctx.outbox {
+                    peer.send(&out.msg)?;
+                }
+                if ctx.finished {
+                    return Ok(());
+                }
+            }
+        }));
+    }
+    let hub = pending.accept(n_clients).map_err(|_| DistributedError::Timeout)?;
+    let deadline = std::time::Instant::now() + wall_budget;
+    let mut finished = false;
+    loop {
+        if std::time::Instant::now() >= deadline {
+            return Err(DistributedError::Timeout);
+        }
+        let msg = match hub.try_recv() {
+            Ok(Some(m)) => m,
+            Ok(None) => {
+                if finished && server.state.client_reports.len() >= n_clients {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            Err(_) => return Err(DistributedError::Timeout),
+        };
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        server.handle(&msg, &mut ctx);
+        debug_assert!(ctx.timers.is_empty(), "timers require the standalone runner");
+        for out in ctx.outbox {
+            hub.send(&out.msg).map_err(|_| DistributedError::Timeout)?;
+        }
+        finished = ctx.finished || finished;
+        if finished && server.state.client_reports.len() >= n_clients {
+            break;
+        }
+    }
+    for h in handles {
+        match h.join() {
+            Ok(Ok(())) => {}
+            _ => return Err(DistributedError::Timeout),
+        }
+    }
+    Ok(server)
+}
+
+fn server_mb_recv(
+    mb: &fs_net::bus::Mailbox,
+    timeout: Duration,
+) -> Option<Result<fs_net::Message, BusError>> {
+    // poll with short sleeps to honour the wall budget without a dedicated API
+    let start = std::time::Instant::now();
+    loop {
+        match mb.try_recv() {
+            Ok(Some(m)) => return Some(Ok(m)),
+            Ok(None) => {
+                if start.elapsed() >= timeout {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) => return Some(Err(e)),
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The `<event, handler>` registry with the paper's conflict semantics.
+//!
+//! §3.2: *"each event is only permitted to be linked with one handler directly
+//! during the execution process. If an event is linked with more than one
+//! handler … a warning would be raised … and the latest linked handler would
+//! overwrite the older ones. Finally, the handlers that take effect in an FL
+//! course would be printed out and recorded in the experimental logs."*
+//!
+//! Registration also declares which events the handler may *emit*; the
+//! completeness checker (Appendix E) builds the message-flow graph from these
+//! declarations.
+
+use crate::ctx::Ctx;
+use crate::event::Event;
+use fs_net::Message;
+use std::collections::BTreeMap;
+
+/// A handler: mutates worker state `S`, reads the triggering message, and
+/// records intents in the [`Ctx`].
+pub type Handler<S> = Box<dyn FnMut(&mut S, &Message, &mut Ctx) + Send>;
+
+struct Entry<S> {
+    name: String,
+    emits: Vec<Event>,
+    handler: Handler<S>,
+}
+
+/// Maps events to handlers for one participant.
+pub struct Registry<S> {
+    entries: BTreeMap<Event, Entry<S>>,
+    warnings: Vec<String>,
+}
+
+impl<S> Default for Registry<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Registry<S> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self { entries: BTreeMap::new(), warnings: Vec::new() }
+    }
+
+    /// Links `handler` (named `name`, declaring the events it may emit) to
+    /// `event`. Re-linking an event overwrites the previous handler and
+    /// records a warning, per the paper's "overwriting" principle.
+    pub fn register(
+        &mut self,
+        event: Event,
+        name: impl Into<String>,
+        emits: Vec<Event>,
+        handler: Handler<S>,
+    ) {
+        let name = name.into();
+        if let Some(old) = self.entries.get(&event) {
+            self.warnings.push(format!(
+                "event {event} was linked to handler {:?}; overwritten by {:?}",
+                old.name, name
+            ));
+        }
+        self.entries.insert(event, Entry { name, emits, handler });
+    }
+
+    /// Removes the handler for `event`, if any (the paper: "users can remove
+    /// some handlers … to make sure the intended handlers take effect").
+    pub fn unregister(&mut self, event: Event) -> bool {
+        self.entries.remove(&event).is_some()
+    }
+
+    /// Invokes the handler linked to `event`, if any. Returns `true` when a
+    /// handler ran.
+    pub fn dispatch(&mut self, state: &mut S, event: Event, msg: &Message, ctx: &mut Ctx) -> bool {
+        if let Some(e) = self.entries.get_mut(&event) {
+            (e.handler)(state, msg, ctx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` when a handler is linked to `event`.
+    pub fn has(&self, event: Event) -> bool {
+        self.entries.contains_key(&event)
+    }
+
+    /// Warnings accumulated from conflicting registrations.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// The effective `<event, handler-name>` pairs — what the paper prints
+    /// into the experimental logs.
+    pub fn effective_handlers(&self) -> Vec<(Event, &str)> {
+        self.entries.iter().map(|(e, en)| (*e, en.name.as_str())).collect()
+    }
+
+    /// The declared message-flow edges `(event, emitted-event)`, consumed by
+    /// the completeness checker.
+    pub fn flow_edges(&self) -> Vec<(Event, Event)> {
+        self.entries
+            .iter()
+            .flat_map(|(e, en)| en.emits.iter().map(move |t| (*e, *t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Condition;
+    use fs_net::{MessageKind, Payload};
+    use fs_sim::VirtualTime;
+
+    fn msg() -> Message {
+        Message::new(1, 0, MessageKind::JoinIn, 0, Payload::Empty)
+    }
+
+    #[test]
+    fn dispatch_runs_linked_handler() {
+        let mut reg: Registry<u32> = Registry::new();
+        reg.register(
+            Event::Message(MessageKind::JoinIn),
+            "count",
+            vec![],
+            Box::new(|s, _, _| *s += 1),
+        );
+        let mut state = 0u32;
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        assert!(reg.dispatch(&mut state, Event::Message(MessageKind::JoinIn), &msg(), &mut ctx));
+        assert_eq!(state, 1);
+        assert!(!reg.dispatch(&mut state, Event::Condition(Condition::TimeUp), &msg(), &mut ctx));
+    }
+
+    #[test]
+    fn overwrite_warns_and_latest_wins() {
+        let mut reg: Registry<u32> = Registry::new();
+        let ev = Event::Message(MessageKind::JoinIn);
+        reg.register(ev, "first", vec![], Box::new(|s, _, _| *s = 1));
+        reg.register(ev, "second", vec![], Box::new(|s, _, _| *s = 2));
+        assert_eq!(reg.warnings().len(), 1);
+        assert!(reg.warnings()[0].contains("first"));
+        let mut state = 0u32;
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        reg.dispatch(&mut state, ev, &msg(), &mut ctx);
+        assert_eq!(state, 2);
+        let eff = reg.effective_handlers();
+        assert_eq!(eff, vec![(ev, "second")]);
+    }
+
+    #[test]
+    fn unregister_removes_handler() {
+        let mut reg: Registry<u32> = Registry::new();
+        let ev = Event::Condition(Condition::GoalAchieved);
+        reg.register(ev, "h", vec![], Box::new(|_, _, _| {}));
+        assert!(reg.has(ev));
+        assert!(reg.unregister(ev));
+        assert!(!reg.has(ev));
+        assert!(!reg.unregister(ev));
+    }
+
+    #[test]
+    fn flow_edges_reflect_declarations() {
+        let mut reg: Registry<u32> = Registry::new();
+        let a = Event::Message(MessageKind::Updates);
+        let b = Event::Condition(Condition::AllReceived);
+        reg.register(a, "save", vec![b], Box::new(|_, _, _| {}));
+        assert_eq!(reg.flow_edges(), vec![(a, b)]);
+    }
+}

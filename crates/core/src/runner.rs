@@ -1,0 +1,206 @@
+//! The standalone runner: a deterministic virtual-time simulation.
+//!
+//! Implements the paper's evaluation protocol (§5.3.1) exactly: the server
+//! broadcasts at timestamp 0; a client's reply is stamped
+//! `received + compute + communication` (compute from its device profile);
+//! the server handles messages in timestamp order and its own time is
+//! negligible, so everything it emits inherits the triggering timestamp.
+//! Crashed deliveries (device failures) silently drop the round's broadcast,
+//! which is what the `time_up` remedial machinery exists to absorb.
+
+use crate::client::Client;
+use crate::ctx::Ctx;
+use crate::event::Condition;
+use crate::eval::EvalRecord;
+use crate::server::Server;
+use fs_net::{Message, MessageKind, ParticipantId, SERVER_ID};
+use fs_sim::{EventQueue, Fleet, VirtualTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// An entry in the simulation's event queue.
+enum SimEvent {
+    /// Deliver a message to its receiver.
+    Deliver(Message),
+    /// Fire a timer-armed condition on a participant.
+    Timer {
+        /// The participant the timer belongs to (currently always the server).
+        to: ParticipantId,
+        /// The condition to raise.
+        condition: Condition,
+        /// The round the timer was armed in.
+        round: u64,
+    },
+}
+
+/// Outcome summary of a finished course.
+#[derive(Clone, Debug)]
+pub struct CourseReport {
+    /// Final virtual time.
+    pub final_time_secs: f64,
+    /// Aggregation rounds completed.
+    pub rounds: u64,
+    /// The global learning curve.
+    pub history: Vec<EvalRecord>,
+    /// Why the course ended.
+    pub finish_reason: String,
+    /// Updates dropped for staleness.
+    pub dropped_updates: u64,
+    /// Total updates received.
+    pub total_updates: u64,
+    /// Broadcast deliveries lost to device crashes.
+    pub crashed_deliveries: u64,
+    /// Remedial-measure activations.
+    pub remedial_count: u64,
+}
+
+/// Runs an FL course under virtual time.
+pub struct StandaloneRunner {
+    /// The server participant.
+    pub server: Server,
+    /// The client participants, keyed by id.
+    pub clients: BTreeMap<ParticipantId, Client>,
+    /// Device profiles.
+    pub fleet: Fleet,
+    /// Current virtual time.
+    pub now: VirtualTime,
+    /// Broadcast deliveries dropped by simulated device crashes.
+    pub crashed_deliveries: u64,
+    queue: EventQueue<SimEvent>,
+    crash_rng: StdRng,
+    max_events: u64,
+}
+
+impl StandaloneRunner {
+    /// Assembles a runner; the course starts when [`StandaloneRunner::run`]
+    /// is called.
+    pub fn new(server: Server, clients: Vec<Client>, fleet: Fleet, seed: u64) -> Self {
+        let clients: BTreeMap<ParticipantId, Client> =
+            clients.into_iter().map(|c| (c.state.id, c)).collect();
+        assert_eq!(
+            fleet.len(),
+            clients.len(),
+            "fleet size must match client count"
+        );
+        Self {
+            server,
+            clients,
+            fleet,
+            now: VirtualTime::ZERO,
+            crashed_deliveries: 0,
+            queue: EventQueue::new(),
+            crash_rng: StdRng::seed_from_u64(seed ^ 0xc4a5),
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Caps the number of processed events (safety valve for tests).
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    fn enqueue_intents(&mut self, from: ParticipantId, ctx: Ctx) {
+        let now = ctx.now;
+        for out in ctx.outbox {
+            let mut msg = out.msg;
+            let delay = if from == SERVER_ID {
+                // server time is negligible; the receiver pays the download
+                let p = self.fleet.profile(msg.receiver);
+                p.comm_secs(msg.payload_bytes())
+            } else {
+                let p = self.fleet.profile(from);
+                p.compute_secs(out.compute_work.round() as usize)
+                    + p.comm_secs(msg.payload_bytes())
+            };
+            msg.timestamp = (now + delay).as_secs();
+            self.queue.push(now + delay, SimEvent::Deliver(msg));
+        }
+        for t in ctx.timers {
+            self.queue.push(
+                now + t.delay_secs,
+                SimEvent::Timer { to: from, condition: t.condition, round: t.round },
+            );
+        }
+    }
+
+    /// Runs the course to completion (queue drained or event cap reached) and
+    /// returns the report.
+    pub fn run(&mut self) -> CourseReport {
+        // kick off: every client asks to join at t = 0
+        let ids: Vec<ParticipantId> = self.clients.keys().copied().collect();
+        for id in ids {
+            let mut ctx = Ctx::at(VirtualTime::ZERO);
+            self.clients.get_mut(&id).expect("client exists").start(&mut ctx);
+            self.enqueue_intents(id, ctx);
+        }
+        let mut events = 0u64;
+        while let Some((at, ev)) = self.queue.pop() {
+            events += 1;
+            if events > self.max_events {
+                self.server.state.finish_reason =
+                    Some(format!("event cap {} reached", self.max_events));
+                break;
+            }
+            self.now = at;
+            match ev {
+                SimEvent::Deliver(msg) => {
+                    if msg.receiver == SERVER_ID {
+                        let mut ctx = Ctx::at(at);
+                        self.server.handle(&msg, &mut ctx);
+                        self.enqueue_intents(SERVER_ID, ctx);
+                    } else {
+                        // device crash: the broadcast never reaches the client
+                        if msg.kind == MessageKind::ModelParams
+                            && self.fleet.crashes(msg.receiver, &mut self.crash_rng)
+                        {
+                            self.crashed_deliveries += 1;
+                            continue;
+                        }
+                        let id = msg.receiver;
+                        if let Some(client) = self.clients.get_mut(&id) {
+                            let mut ctx = Ctx::at(at);
+                            client.handle(&msg, &mut ctx);
+                            self.enqueue_intents(id, ctx);
+                        }
+                    }
+                }
+                SimEvent::Timer { to, condition, round } => {
+                    if to == SERVER_ID {
+                        let mut ctx = Ctx::at(at);
+                        self.server.handle_timer(condition, round, &mut ctx);
+                        self.enqueue_intents(SERVER_ID, ctx);
+                    }
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Builds the course report from the current state.
+    pub fn report(&self) -> CourseReport {
+        let s = &self.server.state;
+        CourseReport {
+            final_time_secs: self.now.as_secs(),
+            rounds: s.round,
+            history: s.history.clone(),
+            finish_reason: s.finish_reason.clone().unwrap_or_else(|| "queue drained".to_string()),
+            dropped_updates: s.dropped_updates,
+            total_updates: s.total_updates,
+            crashed_deliveries: self.crashed_deliveries,
+            remedial_count: s.remedial_count,
+        }
+    }
+
+    /// First virtual time (seconds) at which global test accuracy reached
+    /// `target`, if it ever did.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.server
+            .state
+            .history
+            .iter()
+            .find(|r| r.metrics.accuracy >= target)
+            .map(|r| r.time_secs)
+    }
+}

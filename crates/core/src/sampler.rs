@@ -1,0 +1,177 @@
+//! Client samplers (§3.3.1 (ii)).
+//!
+//! Uniform sampling biases asynchronous FL against slow clients (their
+//! updates arrive stale and get discounted/dropped), so the paper also
+//! provides a responsiveness-weighted sampler and a group sampler.
+
+use fs_net::ParticipantId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A client sampling strategy.
+#[derive(Clone, Debug)]
+pub enum Sampler {
+    /// Uniform over the candidate set.
+    Uniform,
+    /// Probability proportional to the client's estimated response speed
+    /// (`speeds[id - 1]`).
+    Responsiveness {
+        /// Per-client response speed estimates, indexed by client id - 1.
+        speeds: Vec<f64>,
+    },
+    /// Sample entirely within one responsiveness group per call, rotating
+    /// through groups so every group gets rounds at its own pace.
+    Group {
+        /// Client ids per group.
+        groups: Vec<Vec<ParticipantId>>,
+        /// Next group to draw from.
+        cursor: usize,
+    },
+}
+
+impl Sampler {
+    /// Creates a group sampler from group membership lists.
+    pub fn group(groups: Vec<Vec<ParticipantId>>) -> Self {
+        Sampler::Group { groups, cursor: 0 }
+    }
+
+    /// Samples up to `k` distinct clients from `candidates` (idle clients).
+    ///
+    /// Returns fewer than `k` when the relevant candidate pool is smaller.
+    pub fn sample(
+        &mut self,
+        candidates: &[ParticipantId],
+        k: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<ParticipantId> {
+        if candidates.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        match self {
+            Sampler::Uniform => {
+                let mut pool = candidates.to_vec();
+                pool.shuffle(rng);
+                pool.truncate(k);
+                pool
+            }
+            Sampler::Responsiveness { speeds } => {
+                // weighted sampling without replacement (successive draws)
+                let mut pool: Vec<ParticipantId> = candidates.to_vec();
+                let mut out = Vec::with_capacity(k.min(pool.len()));
+                while out.len() < k && !pool.is_empty() {
+                    let total: f64 = pool
+                        .iter()
+                        .map(|&c| speeds.get((c - 1) as usize).copied().unwrap_or(1.0).max(1e-12))
+                        .sum();
+                    let mut u: f64 = rng.gen::<f64>() * total;
+                    let mut pick = pool.len() - 1;
+                    for (i, &c) in pool.iter().enumerate() {
+                        let w = speeds.get((c - 1) as usize).copied().unwrap_or(1.0).max(1e-12);
+                        if u < w {
+                            pick = i;
+                            break;
+                        }
+                        u -= w;
+                    }
+                    out.push(pool.swap_remove(pick));
+                }
+                out
+            }
+            Sampler::Group { groups, cursor } => {
+                if groups.is_empty() {
+                    return Vec::new();
+                }
+                // find the next group with available candidates
+                for _ in 0..groups.len() {
+                    let g = &groups[*cursor % groups.len()];
+                    *cursor = (*cursor + 1) % groups.len();
+                    let mut pool: Vec<ParticipantId> =
+                        g.iter().copied().filter(|c| candidates.contains(c)).collect();
+                    if pool.is_empty() {
+                        continue;
+                    }
+                    pool.shuffle(rng);
+                    pool.truncate(k);
+                    return pool;
+                }
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_returns_distinct_subset() {
+        let mut s = Sampler::Uniform;
+        let mut rng = StdRng::seed_from_u64(1);
+        let cands: Vec<u32> = (1..=20).collect();
+        let picked = s.sample(&cands, 5, &mut rng);
+        assert_eq!(picked.len(), 5);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        assert!(picked.iter().all(|c| cands.contains(c)));
+    }
+
+    #[test]
+    fn uniform_caps_at_pool_size() {
+        let mut s = Sampler::Uniform;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.sample(&[1, 2], 10, &mut rng).len(), 2);
+        assert!(s.sample(&[], 3, &mut rng).is_empty());
+        assert!(s.sample(&[1, 2], 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn responsiveness_prefers_fast_clients() {
+        // client 1 is 50x faster than client 2
+        let mut s = Sampler::Responsiveness { speeds: vec![50.0, 1.0] };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut count1 = 0;
+        for _ in 0..200 {
+            let picked = s.sample(&[1, 2], 1, &mut rng);
+            if picked == vec![1] {
+                count1 += 1;
+            }
+        }
+        assert!(count1 > 170, "fast client picked only {count1}/200 times");
+    }
+
+    #[test]
+    fn responsiveness_without_replacement() {
+        let mut s = Sampler::Responsiveness { speeds: vec![1.0, 1.0, 1.0] };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut picked = s.sample(&[1, 2, 3], 3, &mut rng);
+        picked.sort_unstable();
+        assert_eq!(picked, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn group_rotates_between_groups() {
+        let mut s = Sampler::group(vec![vec![1, 2], vec![3, 4]]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let all: Vec<u32> = vec![1, 2, 3, 4];
+        let a = s.sample(&all, 2, &mut rng);
+        let b = s.sample(&all, 2, &mut rng);
+        let ga: Vec<bool> = a.iter().map(|&c| c <= 2).collect();
+        let gb: Vec<bool> = b.iter().map(|&c| c <= 2).collect();
+        assert!(ga.iter().all(|&x| x), "first draw crossed groups: {a:?}");
+        assert!(gb.iter().all(|&x| !x), "second draw crossed groups: {b:?}");
+    }
+
+    #[test]
+    fn group_skips_empty_groups() {
+        let mut s = Sampler::group(vec![vec![1], vec![2]]);
+        let mut rng = StdRng::seed_from_u64(5);
+        // only client 2 is idle; the group sampler should skip group 0
+        let picked = s.sample(&[2], 1, &mut rng);
+        assert_eq!(picked, vec![2]);
+    }
+}

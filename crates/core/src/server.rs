@@ -1,0 +1,782 @@
+//! The server worker.
+//!
+//! The server holds the global model, the aggregator, the sampler, and the
+//! aggregation-trigger conditions. Its default handlers implement every
+//! strategy of §3.3 — `all_received` (vanilla sync), `goal_achieved`
+//! (FedBuff-style async and Sync-OS), and `time_up` (budgeted async with
+//! remedial measures) — combined with the *after-aggregating* /
+//! *after-receiving* broadcast manners and the uniform / responsiveness /
+//! group samplers.
+
+use crate::aggregator::{Aggregator, ReceivedUpdate};
+use crate::config::{AggregationRule, BroadcastManner, FlConfig};
+use crate::ctx::Ctx;
+use crate::event::{Condition, Event};
+use crate::eval::{EvalRecord, GlobalEvaluator};
+use crate::registry::Registry;
+use crate::sampler::Sampler;
+use fs_net::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};
+use fs_tensor::model::Metrics;
+use fs_tensor::ParamMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Mutable server state shared by all handlers.
+pub struct ServerState {
+    /// Course configuration.
+    pub cfg: FlConfig,
+    /// The global model (shared-key subset in personalized/multi-goal runs).
+    pub global: ParamMap,
+    /// Global model version: bumps on every aggregation.
+    pub version: u64,
+    /// Completed aggregation rounds (equal to `version`).
+    pub round: u64,
+    /// Clients that have joined.
+    pub roster: Vec<ParticipantId>,
+    /// Clients the course waits for before starting.
+    pub expected_clients: usize,
+    /// Clients currently training (sampled, not yet replied).
+    pub busy: BTreeSet<ParticipantId>,
+    /// Buffered usable updates for the next aggregation.
+    pub buffer: Vec<ReceivedUpdate>,
+    /// Clients sampled for the current synchronous round.
+    pub outstanding: BTreeSet<ParticipantId>,
+    /// Updates received in the current synchronous round (incl. dropped).
+    pub received_this_round: usize,
+    /// The aggregation rule's executor.
+    pub aggregator: Box<dyn Aggregator>,
+    /// Client sampler.
+    pub sampler: Sampler,
+    /// Course RNG.
+    pub rng: StdRng,
+    /// Optional centralized evaluator.
+    pub evaluator: Option<GlobalEvaluator>,
+    /// Global learning curve.
+    pub history: Vec<EvalRecord>,
+    /// Per-client effective aggregation count (Fig. 10).
+    pub agg_count: BTreeMap<ParticipantId, u64>,
+    /// Staleness of every aggregated update (Fig. 11).
+    pub staleness_log: Vec<u64>,
+    /// Updates dropped for exceeding the staleness tolerance.
+    pub dropped_updates: u64,
+    /// Total updates received.
+    pub total_updates: u64,
+    /// Model broadcasts sent.
+    pub models_sent: u64,
+    /// Remedial-measure activations (time_up with insufficient feedback).
+    pub remedial_count: u64,
+    /// Best observed eval accuracy (early stopping).
+    pub best_accuracy: f32,
+    /// Evaluations since the best accuracy improved.
+    pub evals_since_best: u64,
+    /// Why the course ended, once it has.
+    pub finish_reason: Option<String>,
+    /// Per-client final metrics reported at Finish.
+    pub client_reports: BTreeMap<ParticipantId, Metrics>,
+    /// Whether the course has been terminated by the server.
+    pub done: bool,
+}
+
+impl ServerState {
+    fn idle_clients(&self) -> Vec<ParticipantId> {
+        self.roster.iter().copied().filter(|c| !self.busy.contains(c)).collect()
+    }
+
+    /// Broadcasts the current global model to `targets`, marking them busy.
+    fn broadcast_to(&mut self, targets: &[ParticipantId], ctx: &mut Ctx) {
+        for &c in targets {
+            self.busy.insert(c);
+            self.outstanding.insert(c);
+            ctx.send(Message::new(
+                SERVER_ID,
+                c,
+                MessageKind::ModelParams,
+                self.round,
+                Payload::Model { params: self.global.clone(), version: self.version },
+            ));
+            self.models_sent += 1;
+        }
+    }
+
+    /// Samples up to `k` idle clients and broadcasts the model to them.
+    fn sample_and_broadcast(&mut self, k: usize, ctx: &mut Ctx) {
+        if k == 0 {
+            return;
+        }
+        let idle = self.idle_clients();
+        let picked = self.sampler.sample(&idle, k, &mut self.rng);
+        self.broadcast_to(&picked, ctx);
+    }
+
+    /// Refills concurrency to the configured target and re-arms the round
+    /// timer when the rule is `time_up`.
+    fn start_round(&mut self, ctx: &mut Ctx) {
+        self.outstanding.clear();
+        self.received_this_round = 0;
+        let target = self.cfg.sample_target();
+        let need = target.saturating_sub(self.busy.len());
+        self.sample_and_broadcast(need, ctx);
+        if let AggregationRule::TimeUp { budget_secs, .. } = self.cfg.rule {
+            ctx.arm_timer(budget_secs, Condition::TimeUp, self.round);
+        }
+    }
+
+    /// Performs federated aggregation on the buffer and advances the course.
+    fn aggregate_and_continue(&mut self, ctx: &mut Ctx) {
+        if self.done {
+            return;
+        }
+        for u in &self.buffer {
+            *self.agg_count.entry(u.client).or_insert(0) += 1;
+            self.staleness_log.push(u.staleness);
+        }
+        let buffer = std::mem::take(&mut self.buffer);
+        self.global = self.aggregator.aggregate(&self.global, &buffer);
+        self.version += 1;
+        self.round += 1;
+        self.received_this_round = 0;
+        self.outstanding.clear();
+
+        // centralized evaluation + stop checks
+        if self.round.is_multiple_of(self.cfg.eval_every) {
+            if let Some(ev) = self.evaluator.as_mut() {
+                let metrics = ev.eval(&self.global);
+                self.history.push(EvalRecord {
+                    round: self.round,
+                    time_secs: ctx.now.as_secs(),
+                    metrics,
+                });
+                if let Some(target) = self.cfg.target_accuracy {
+                    if metrics.accuracy >= target {
+                        self.finish_reason =
+                            Some(format!("target accuracy {target} reached at round {}", self.round));
+                        ctx.raise(Condition::EarlyStop);
+                        return;
+                    }
+                }
+                if metrics.accuracy > self.best_accuracy + 1e-4 {
+                    self.best_accuracy = metrics.accuracy;
+                    self.evals_since_best = 0;
+                } else {
+                    self.evals_since_best += 1;
+                    if let Some(patience) = self.cfg.patience {
+                        if self.evals_since_best >= patience {
+                            self.finish_reason =
+                                Some(format!("early stop: no improvement for {patience} evals"));
+                            ctx.raise(Condition::EarlyStop);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        if self.round >= self.cfg.total_rounds {
+            self.finish_reason = Some(format!("round limit {} reached", self.cfg.total_rounds));
+            ctx.raise(Condition::EarlyStop);
+            return;
+        }
+        match self.cfg.broadcast {
+            BroadcastManner::AfterAggregating => self.start_round(ctx),
+            BroadcastManner::AfterReceiving => {
+                // concurrency is maintained per-receive; only top up shortfall
+                let target = self.cfg.sample_target();
+                let need = target.saturating_sub(self.busy.len());
+                self.sample_and_broadcast(need, ctx);
+                if let AggregationRule::TimeUp { budget_secs, .. } = self.cfg.rule {
+                    ctx.arm_timer(budget_secs, Condition::TimeUp, self.round);
+                }
+            }
+        }
+    }
+}
+
+/// A server participant: state + handler registry.
+pub struct Server {
+    /// Handler-visible state.
+    pub state: ServerState,
+    registry: Registry<ServerState>,
+}
+
+impl Server {
+    /// Creates a server with default handlers for the configured strategy.
+    pub fn new(
+        cfg: FlConfig,
+        global: ParamMap,
+        expected_clients: usize,
+        aggregator: Box<dyn Aggregator>,
+        sampler: Sampler,
+        evaluator: Option<GlobalEvaluator>,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+        let state = ServerState {
+            cfg,
+            global,
+            version: 0,
+            round: 0,
+            roster: Vec::new(),
+            expected_clients,
+            busy: BTreeSet::new(),
+            buffer: Vec::new(),
+            outstanding: BTreeSet::new(),
+            received_this_round: 0,
+            aggregator,
+            sampler,
+            rng,
+            evaluator,
+            history: Vec::new(),
+            agg_count: BTreeMap::new(),
+            staleness_log: Vec::new(),
+            dropped_updates: 0,
+            total_updates: 0,
+            models_sent: 0,
+            remedial_count: 0,
+            best_accuracy: f32::NEG_INFINITY,
+            evals_since_best: 0,
+            finish_reason: None,
+            client_reports: BTreeMap::new(),
+            done: false,
+        };
+        let mut s = Self { state, registry: Registry::new() };
+        s.install_default_handlers();
+        s
+    }
+
+    /// Access to the handler registry for customization.
+    pub fn registry_mut(&mut self) -> &mut Registry<ServerState> {
+        &mut self.registry
+    }
+
+    /// The effective `<event, handler>` pairs (recorded in course logs).
+    pub fn effective_handlers(&self) -> Vec<(Event, &str)> {
+        self.registry.effective_handlers()
+    }
+
+    /// Registration-conflict warnings.
+    pub fn warnings(&self) -> &[String] {
+        self.registry.warnings()
+    }
+
+    /// Message-flow edges for the completeness checker.
+    pub fn flow_edges(&self) -> Vec<(Event, Event)> {
+        self.registry.flow_edges()
+    }
+
+    /// Dispatches a message event, then drains raised condition events.
+    pub fn handle(&mut self, msg: &Message, ctx: &mut Ctx) {
+        self.registry.dispatch(&mut self.state, Event::Message(msg.kind), msg, ctx);
+        self.drain_conditions(msg, ctx);
+    }
+
+    /// Delivers a timer-raised condition event (e.g. `time_up`).
+    pub fn handle_timer(&mut self, condition: Condition, round: u64, ctx: &mut Ctx) {
+        let synthetic = Message::new(SERVER_ID, SERVER_ID, MessageKind::Custom(0xFFF), round, Payload::Empty);
+        self.registry.dispatch(&mut self.state, Event::Condition(condition), &synthetic, ctx);
+        self.drain_conditions(&synthetic, ctx);
+    }
+
+    fn drain_conditions(&mut self, msg: &Message, ctx: &mut Ctx) {
+        while let Some(cond) = ctx.raised.pop_front() {
+            self.registry.dispatch(&mut self.state, Event::Condition(cond), msg, ctx);
+        }
+        if self.state.done {
+            ctx.finished = true;
+        }
+    }
+
+    fn install_default_handlers(&mut self) {
+        let rule = self.state.cfg.rule;
+        // receiving_join_in: register the client, assign its id, start when
+        // everyone has joined.
+        self.registry.register(
+            Event::Message(MessageKind::JoinIn),
+            "register_client",
+            vec![
+                Event::Message(MessageKind::IdAssignment),
+                Event::Condition(Condition::AllJoinedIn),
+            ],
+            Box::new(|state, msg, ctx| {
+                if !state.roster.contains(&msg.sender) {
+                    state.roster.push(msg.sender);
+                }
+                ctx.send(Message::new(
+                    SERVER_ID,
+                    msg.sender,
+                    MessageKind::IdAssignment,
+                    0,
+                    Payload::Empty,
+                ));
+                // a duplicate join-in after the course has started must not
+                // re-raise all_joined_in (which would restart the round)
+                if state.roster.len() >= state.expected_clients && state.models_sent == 0 {
+                    ctx.raise(Condition::AllJoinedIn);
+                }
+            }),
+        );
+
+        // all_joined_in: kick off the first round.
+        let mut start_emits = vec![Event::Message(MessageKind::ModelParams)];
+        if matches!(rule, AggregationRule::TimeUp { .. }) {
+            start_emits.push(Event::Condition(Condition::TimeUp));
+        }
+        self.registry.register(
+            Event::Condition(Condition::AllJoinedIn),
+            "start_training",
+            start_emits,
+            Box::new(|state, _msg, ctx| {
+                state.start_round(ctx);
+            }),
+        );
+
+        // receiving_updates: save the update, check the aggregation condition
+        // (§3.2 Example 3.2), and in after-receiving manner immediately hand
+        // the current model to a sampled idle client (§3.3.1 (iii)).
+        let mut update_emits = vec![Event::Message(MessageKind::ModelParams)];
+        match rule {
+            AggregationRule::AllReceived => {
+                update_emits.push(Event::Condition(Condition::AllReceived));
+            }
+            AggregationRule::GoalAchieved { .. } => {
+                update_emits.push(Event::Condition(Condition::GoalAchieved));
+            }
+            AggregationRule::TimeUp { .. } => {}
+        }
+        self.registry.register(
+            Event::Message(MessageKind::Updates),
+            "save_update_check_condition",
+            update_emits,
+            Box::new(|state, msg, ctx| {
+                let (params, start_version, n_samples, n_steps) = match &msg.payload {
+                    Payload::Update { params, start_version, n_samples, n_steps } => {
+                        (params.clone(), *start_version, *n_samples, *n_steps)
+                    }
+                    other => {
+                        debug_assert!(false, "Updates carried {other:?}");
+                        return;
+                    }
+                };
+                state.busy.remove(&msg.sender);
+                if state.done {
+                    return; // late update after termination
+                }
+                state.total_updates += 1;
+                // remove (not just test) so a duplicated or replayed reply
+                // from the same client cannot be counted twice
+                if state.outstanding.remove(&msg.sender) {
+                    state.received_this_round += 1;
+                }
+                let staleness = state.version.saturating_sub(start_version);
+                if staleness > state.cfg.staleness_tolerance {
+                    state.dropped_updates += 1;
+                } else {
+                    state.buffer.push(ReceivedUpdate {
+                        client: msg.sender,
+                        params,
+                        staleness,
+                        n_samples,
+                        n_steps,
+                    });
+                }
+                let mut aggregating = false;
+                match state.cfg.rule {
+                    AggregationRule::AllReceived => {
+                        if state.received_this_round > 0 && state.outstanding.is_empty() {
+                            ctx.raise(Condition::AllReceived);
+                            aggregating = true;
+                        }
+                    }
+                    AggregationRule::GoalAchieved { goal } => {
+                        if state.buffer.len() >= goal {
+                            ctx.raise(Condition::GoalAchieved);
+                            aggregating = true;
+                        }
+                    }
+                    AggregationRule::TimeUp { .. } => {}
+                }
+                // after-receiving: hand the current model to one idle client —
+                // unless this very update completes an aggregation, in which
+                // case aggregate_and_continue tops concurrency up with the
+                // *new* model instead of a guaranteed-stale copy of the old one
+                if !state.done
+                    && !aggregating
+                    && state.cfg.broadcast == BroadcastManner::AfterReceiving
+                {
+                    state.sample_and_broadcast(1, ctx);
+                }
+            }),
+        );
+
+        // all_received / goal_achieved: perform federated aggregation and
+        // push the course forward. Only the condition matching the configured
+        // rule is linked, so the effective-handler log and the completeness
+        // graph describe the actual course.
+        let mut agg_emits = vec![
+            Event::Message(MessageKind::ModelParams),
+            Event::Condition(Condition::EarlyStop),
+        ];
+        if matches!(rule, AggregationRule::TimeUp { .. }) {
+            agg_emits.push(Event::Condition(Condition::TimeUp));
+        }
+        match rule {
+            AggregationRule::AllReceived | AggregationRule::GoalAchieved { .. } => {
+                let cond = if matches!(rule, AggregationRule::AllReceived) {
+                    Condition::AllReceived
+                } else {
+                    Condition::GoalAchieved
+                };
+                self.registry.register(
+                    Event::Condition(cond),
+                    "federated_aggregation",
+                    agg_emits.clone(),
+                    Box::new(move |state, _msg, ctx| {
+                        state.aggregate_and_continue(ctx);
+                    }),
+                );
+            }
+            AggregationRule::TimeUp { .. } => {}
+        }
+
+        // time_up: aggregate if enough feedback arrived, otherwise take the
+        // remedial measure of extending the budget (§3.3.2).
+        if matches!(rule, AggregationRule::TimeUp { .. }) {
+            self.registry.register(
+                Event::Condition(Condition::TimeUp),
+                "time_up_aggregation",
+                agg_emits,
+                Box::new(|state, msg, ctx| {
+                    if msg.round != state.round {
+                        return; // stale timer from a finished round
+                    }
+                    if let AggregationRule::TimeUp { budget_secs, min_feedback } = state.cfg.rule {
+                        if state.buffer.len() >= min_feedback.max(1) {
+                            state.aggregate_and_continue(ctx);
+                        } else {
+                            state.remedial_count += 1;
+                            if state.remedial_count > 10_000 {
+                                state.finish_reason =
+                                    Some("remedial limit exceeded (no client feedback)".to_string());
+                                ctx.raise(Condition::EarlyStop);
+                            } else {
+                                // remedial measures (§3.3.2): sample additional
+                                // clients (crashed ones never leave `busy`) and
+                                // extend the time budget
+                                let target = state.cfg.sample_target();
+                                let need =
+                                    target.saturating_sub(state.busy.len()).max(1);
+                                state.sample_and_broadcast(need, ctx);
+                                ctx.arm_timer(budget_secs, Condition::TimeUp, state.round);
+                            }
+                        }
+                    }
+                }),
+            );
+        }
+
+        // early_stop: terminate the course, shipping the final global model.
+        self.registry.register(
+            Event::Condition(Condition::EarlyStop),
+            "terminate",
+            vec![Event::Message(MessageKind::Finish)],
+            Box::new(|state, _msg, ctx| {
+                if state.done {
+                    return;
+                }
+                state.done = true;
+                if state.finish_reason.is_none() {
+                    state.finish_reason = Some("early stop".to_string());
+                }
+                for &c in &state.roster {
+                    ctx.send(Message::new(
+                        SERVER_ID,
+                        c,
+                        MessageKind::Finish,
+                        state.round,
+                        Payload::Model { params: state.global.clone(), version: state.version },
+                    ));
+                }
+            }),
+        );
+
+        // receiving_metrics: record per-client reports.
+        self.registry.register(
+            Event::Message(MessageKind::MetricsReport),
+            "record_metrics",
+            vec![],
+            Box::new(|state, msg, _ctx| {
+                if let Payload::Report { metrics } = &msg.payload {
+                    state.client_reports.insert(msg.sender, *metrics);
+                }
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::FedAvg;
+    use fs_sim::VirtualTime;
+    use fs_tensor::Tensor;
+
+    fn global() -> ParamMap {
+        let mut p = ParamMap::new();
+        p.insert("w", Tensor::zeros(&[2]));
+        p
+    }
+
+    fn make_server(cfg: FlConfig, n: usize) -> Server {
+        Server::new(cfg, global(), n, Box::new(FedAvg::new(0.0)), Sampler::Uniform, None)
+    }
+
+    fn join_all(s: &mut Server, n: u32, ctx: &mut Ctx) {
+        for id in 1..=n {
+            let m = Message::new(id, SERVER_ID, MessageKind::JoinIn, 0, Payload::Empty);
+            s.handle(&m, ctx);
+        }
+    }
+
+    fn update_msg(id: u32, v: &[f32], start_version: u64) -> Message {
+        let mut p = ParamMap::new();
+        p.insert("w", Tensor::from_vec(vec![v.len()], v.to_vec()));
+        Message::new(id, SERVER_ID, MessageKind::Updates, 0, Payload::Update {
+            params: p,
+            start_version,
+            n_samples: 10,
+            n_steps: 4,
+        })
+    }
+
+    #[test]
+    fn join_in_assigns_and_starts_when_full() {
+        let cfg = FlConfig { concurrency: 2, total_rounds: 5, ..Default::default() };
+        let mut s = make_server(cfg, 3);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 3, &mut ctx);
+        // 3 id assignments + 2 model broadcasts (concurrency 2)
+        let kinds: Vec<MessageKind> = ctx.outbox.iter().map(|o| o.msg.kind).collect();
+        assert_eq!(kinds.iter().filter(|&&k| k == MessageKind::IdAssignment).count(), 3);
+        assert_eq!(kinds.iter().filter(|&&k| k == MessageKind::ModelParams).count(), 2);
+        assert_eq!(s.state.busy.len(), 2);
+    }
+
+    #[test]
+    fn all_received_aggregates_and_rebroadcasts() {
+        let cfg = FlConfig { concurrency: 2, total_rounds: 5, ..Default::default() };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        ctx.outbox.clear();
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
+        assert_eq!(s.state.version, 0, "must wait for all");
+        s.handle(&update_msg(2, &[3.0, 3.0], 0), &mut ctx);
+        assert_eq!(s.state.version, 1);
+        assert_eq!(s.state.global.get("w").unwrap().data(), &[2.0, 2.0]);
+        // next round broadcast happened
+        let models = ctx.outbox.iter().filter(|o| o.msg.kind == MessageKind::ModelParams).count();
+        assert_eq!(models, 2);
+    }
+
+    #[test]
+    fn goal_achieved_aggregates_early() {
+        let cfg = FlConfig {
+            concurrency: 3,
+            total_rounds: 5,
+            rule: AggregationRule::GoalAchieved { goal: 2 },
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 3);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 3, &mut ctx);
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
+        assert_eq!(s.state.version, 0);
+        s.handle(&update_msg(2, &[3.0, 3.0], 0), &mut ctx);
+        assert_eq!(s.state.version, 1, "goal of 2 reached");
+    }
+
+    #[test]
+    fn stale_updates_are_dropped_beyond_tolerance() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 100,
+            rule: AggregationRule::GoalAchieved { goal: 1 },
+            staleness_tolerance: 0,
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx); // agg -> version 1
+        assert_eq!(s.state.version, 1);
+        // straggler started from version 0: staleness 1 > tolerance 0
+        s.handle(&update_msg(2, &[9.0, 9.0], 0), &mut ctx);
+        assert_eq!(s.state.dropped_updates, 1);
+        assert!(s.state.buffer.is_empty());
+    }
+
+    #[test]
+    fn stale_updates_kept_within_tolerance() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 100,
+            rule: AggregationRule::GoalAchieved { goal: 2 },
+            staleness_tolerance: 5,
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        s.state.version = 3; // pretend three aggregations happened
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx); // staleness 3
+        assert_eq!(s.state.buffer.len(), 1);
+        assert_eq!(s.state.buffer[0].staleness, 3);
+    }
+
+    #[test]
+    fn time_up_with_feedback_aggregates() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            rule: AggregationRule::TimeUp { budget_secs: 60.0, min_feedback: 1 },
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        assert_eq!(ctx.timers.len(), 1, "round start arms the budget timer");
+        s.handle(&update_msg(1, &[2.0, 2.0], 0), &mut ctx);
+        assert_eq!(s.state.version, 0, "time_up not yet fired");
+        let mut ctx2 = Ctx::at(VirtualTime::from_secs(60.0));
+        s.handle_timer(Condition::TimeUp, 0, &mut ctx2);
+        assert_eq!(s.state.version, 1);
+    }
+
+    #[test]
+    fn time_up_without_feedback_takes_remedial_measure() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            rule: AggregationRule::TimeUp { budget_secs: 60.0, min_feedback: 1 },
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        let mut ctx2 = Ctx::at(VirtualTime::from_secs(60.0));
+        s.handle_timer(Condition::TimeUp, 0, &mut ctx2);
+        assert_eq!(s.state.version, 0);
+        assert_eq!(s.state.remedial_count, 1);
+        assert_eq!(ctx2.timers.len(), 1, "budget extended");
+    }
+
+    #[test]
+    fn stale_timer_is_ignored() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            rule: AggregationRule::TimeUp { budget_secs: 60.0, min_feedback: 1 },
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        s.state.round = 3; // round moved on
+        let mut ctx2 = Ctx::at(VirtualTime::from_secs(60.0));
+        s.handle_timer(Condition::TimeUp, 0, &mut ctx2);
+        assert_eq!(s.state.remedial_count, 0);
+        assert_eq!(s.state.version, 0);
+    }
+
+    #[test]
+    fn after_receiving_hands_model_to_idle_client() {
+        let cfg = FlConfig {
+            concurrency: 1,
+            total_rounds: 100,
+            rule: AggregationRule::GoalAchieved { goal: 5 },
+            broadcast: BroadcastManner::AfterReceiving,
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 3);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 3, &mut ctx);
+        ctx.outbox.clear();
+        // reply must come from the client actually sampled
+        let sampled = *s.state.busy.iter().next().expect("one client sampled");
+        s.handle(&update_msg(sampled, &[1.0, 1.0], 0), &mut ctx);
+        // no aggregation (goal 5), but exactly one new model handed out
+        assert_eq!(s.state.version, 0);
+        let models = ctx.outbox.iter().filter(|o| o.msg.kind == MessageKind::ModelParams).count();
+        assert_eq!(models, 1);
+        assert_eq!(s.state.busy.len(), 1, "concurrency maintained");
+    }
+
+    #[test]
+    fn round_limit_terminates_with_finish() {
+        let cfg = FlConfig { concurrency: 1, total_rounds: 1, ..Default::default() };
+        let mut s = make_server(cfg, 1);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 1, &mut ctx);
+        ctx.outbox.clear();
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
+        assert!(s.state.done);
+        assert!(ctx.finished);
+        let finishes = ctx.outbox.iter().filter(|o| o.msg.kind == MessageKind::Finish).count();
+        assert_eq!(finishes, 1);
+        assert!(s.state.finish_reason.as_deref().unwrap().contains("round limit"));
+    }
+
+    #[test]
+    fn duplicate_join_in_does_not_restart_course() {
+        let cfg = FlConfig { concurrency: 2, total_rounds: 5, ..Default::default() };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        let outstanding_before = s.state.outstanding.clone();
+        // a replayed join-in must not clear the round state
+        let m = Message::new(1, SERVER_ID, MessageKind::JoinIn, 0, Payload::Empty);
+        s.handle(&m, &mut ctx);
+        assert_eq!(s.state.outstanding, outstanding_before);
+        assert_eq!(s.state.roster.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_update_not_double_counted() {
+        let cfg = FlConfig { concurrency: 2, total_rounds: 5, ..Default::default() };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        // the same client replying twice must not satisfy all_received
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
+        assert_eq!(s.state.version, 0, "duplicate reply must not trigger aggregation");
+        s.handle(&update_msg(2, &[3.0, 3.0], 0), &mut ctx);
+        assert_eq!(s.state.version, 1);
+    }
+
+    #[test]
+    fn metrics_reports_recorded() {
+        let cfg = FlConfig { concurrency: 1, total_rounds: 1, ..Default::default() };
+        let mut s = make_server(cfg, 1);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        let m = Message::new(1, SERVER_ID, MessageKind::MetricsReport, 0, Payload::Report {
+            metrics: Metrics { loss: 0.3, accuracy: 0.8, n: 10 },
+        });
+        s.handle(&m, &mut ctx);
+        assert_eq!(s.state.client_reports.len(), 1);
+        assert!((s.state.client_reports[&1].accuracy - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn over_selection_samples_extra_clients() {
+        let cfg = FlConfig { concurrency: 2, total_rounds: 5, ..Default::default() }
+            .sync_over_selection(0.5);
+        let mut s = make_server(cfg, 4);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 4, &mut ctx);
+        // 2 * 1.5 = 3 clients sampled
+        assert_eq!(s.state.busy.len(), 3);
+        // goal is concurrency = 2: two fast replies aggregate
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
+        s.handle(&update_msg(2, &[1.0, 1.0], 0), &mut ctx);
+        assert_eq!(s.state.version, 1);
+    }
+}

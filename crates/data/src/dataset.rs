@@ -1,0 +1,240 @@
+//! Federated dataset containers: per-client train/val/test splits.
+
+use fs_tensor::loss::Target;
+use fs_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One split of one client's local data.
+///
+/// `x` stacks examples along the first dimension; `y` is either class indices
+/// or real values (multi-goal regression tasks).
+#[derive(Clone, Debug)]
+pub struct ClientData {
+    /// Features, `[N, ...]`.
+    pub x: Tensor,
+    /// Targets, one per example.
+    pub y: Target,
+}
+
+impl ClientData {
+    /// Empty dataset with the given per-example feature shape.
+    pub fn empty(feature_shape: &[usize]) -> Self {
+        let mut shape = vec![0usize];
+        shape.extend_from_slice(feature_shape);
+        Self { x: Tensor::zeros(&shape), y: Target::Classes(Vec::new()) }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.shape()[0]
+    }
+
+    /// `true` when the split holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-example feature element count (product of non-batch dims).
+    pub fn example_numel(&self) -> usize {
+        self.x.shape()[1..].iter().product()
+    }
+
+    /// Gathers the examples at `idx` into a new batch.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn batch(&self, idx: &[usize]) -> ClientData {
+        let stride = self.example_numel();
+        let n = self.len();
+        let mut data = Vec::with_capacity(idx.len() * stride);
+        for &i in idx {
+            assert!(i < n, "batch index {i} out of range {n}");
+            data.extend_from_slice(&self.x.data()[i * stride..(i + 1) * stride]);
+        }
+        let mut shape = vec![idx.len()];
+        shape.extend_from_slice(&self.x.shape()[1..]);
+        let y = match &self.y {
+            Target::Classes(c) => Target::Classes(idx.iter().map(|&i| c[i]).collect()),
+            Target::Values(v) => Target::Values(idx.iter().map(|&i| v[i]).collect()),
+        };
+        ClientData { x: Tensor::from_vec(shape, data), y }
+    }
+
+    /// Samples a random minibatch of up to `size` examples.
+    pub fn sample_batch(&self, size: usize, rng: &mut impl Rng) -> ClientData {
+        let n = self.len();
+        let take = size.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(rng);
+        idx.truncate(take);
+        self.batch(&idx)
+    }
+
+    /// Histogram of class labels over `num_classes` bins (empty for
+    /// regression targets).
+    pub fn label_histogram(&self, num_classes: usize) -> Vec<usize> {
+        let mut h = vec![0usize; num_classes];
+        if let Target::Classes(c) = &self.y {
+            for &y in c {
+                if y < num_classes {
+                    h[y] += 1;
+                }
+            }
+        }
+        h
+    }
+}
+
+/// One client's local data: train / validation / test splits.
+#[derive(Clone, Debug)]
+pub struct ClientSplit {
+    /// Training split.
+    pub train: ClientData,
+    /// Validation split (used by early stopping and HPO).
+    pub val: ClientData,
+    /// Held-out test split.
+    pub test: ClientData,
+}
+
+impl ClientSplit {
+    /// Splits `all` into train/val/test with the given fractions
+    /// (test gets the remainder). Examples are taken in order; shuffle first
+    /// if the source ordering is meaningful.
+    pub fn from_fractions(all: &ClientData, train_frac: f32, val_frac: f32) -> Self {
+        assert!(train_frac + val_frac <= 1.0, "fractions exceed 1");
+        let n = all.len();
+        let n_train = ((n as f32) * train_frac).round() as usize;
+        let n_val = ((n as f32) * val_frac).round() as usize;
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        let train_idx: Vec<usize> = (0..n_train).collect();
+        let val_idx: Vec<usize> = (n_train..n_train + n_val).collect();
+        let test_idx: Vec<usize> = (n_train + n_val..n).collect();
+        Self {
+            train: all.batch(&train_idx),
+            val: all.batch(&val_idx),
+            test: all.batch(&test_idx),
+        }
+    }
+
+    /// Total number of examples across splits.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// `true` when all splits are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A federated dataset: one [`ClientSplit`] per client plus shared metadata.
+#[derive(Clone, Debug)]
+pub struct FedDataset {
+    /// Per-client data, indexed by client id - 1 (client ids start at 1, the
+    /// server is participant 0).
+    pub clients: Vec<ClientSplit>,
+    /// Per-example feature shape (e.g. `[1, 12, 12]` for images).
+    pub feature_shape: Vec<usize>,
+    /// Number of classes (0 for regression).
+    pub num_classes: usize,
+    /// Human-readable name used in logs and experiment output.
+    pub name: String,
+}
+
+impl FedDataset {
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Total training examples across clients (the paper's `n`).
+    pub fn total_train(&self) -> usize {
+        self.clients.iter().map(|c| c.train.len()).sum()
+    }
+
+    /// Per-example feature element count.
+    pub fn input_dim(&self) -> usize {
+        self.feature_shape.iter().product()
+    }
+
+    /// Returns a copy with every split's features flattened to `[N, D]`
+    /// (for dense models consuming image-shaped datasets).
+    pub fn flattened(&self) -> FedDataset {
+        let d = self.input_dim();
+        let mut out = self.clone();
+        out.feature_shape = vec![d];
+        for c in &mut out.clients {
+            for part in [&mut c.train, &mut c.val, &mut c.test] {
+                let n = part.x.shape()[0];
+                part.x = part.x.reshape(&[n, d]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ClientData {
+        let x = Tensor::from_vec(vec![4, 2], vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1, 3.0, 3.1]);
+        ClientData { x, y: Target::Classes(vec![0, 1, 0, 1]) }
+    }
+
+    #[test]
+    fn batch_gathers_rows_and_labels() {
+        let d = toy();
+        let b = d.batch(&[2, 0]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.x.data(), &[2.0, 2.1, 0.0, 0.1]);
+        match b.y {
+            Target::Classes(c) => assert_eq!(c, vec![0, 0]),
+            _ => panic!("wrong target kind"),
+        }
+    }
+
+    #[test]
+    fn sample_batch_caps_at_len() {
+        let d = toy();
+        let mut rng = rand::thread_rng();
+        let b = d.sample_batch(10, &mut rng);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn label_histogram_counts() {
+        let d = toy();
+        assert_eq!(d.label_histogram(3), vec![2, 2, 0]);
+    }
+
+    #[test]
+    fn from_fractions_partitions_everything() {
+        let d = toy();
+        let s = ClientSplit::from_fractions(&d, 0.5, 0.25);
+        assert_eq!(s.train.len(), 2);
+        assert_eq!(s.val.len(), 1);
+        assert_eq!(s.test.len(), 1);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn values_targets_batch() {
+        let x = Tensor::from_vec(vec![3, 1], vec![1.0, 2.0, 3.0]);
+        let d = ClientData { x, y: Target::Values(vec![10.0, 20.0, 30.0]) };
+        let b = d.batch(&[1]);
+        match b.y {
+            Target::Values(v) => assert_eq!(v, vec![20.0]),
+            _ => panic!("wrong target kind"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_oob_panics() {
+        let d = toy();
+        let _ = d.batch(&[7]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Synthetic graph tasks for multi-goal FL (§3.4.2).
+//!
+//! The paper's multi-goal scenarios federate institutes that share a graph
+//! encoder while optimizing *different* goals (classification of enzyme type,
+//! regression of solubility, …). Here each client owns fixed-size synthetic
+//! graphs drawn from two structural families (triangle-rich "cliquey" graphs
+//! vs star-like "hubby" graphs); classification clients predict the family,
+//! regression clients predict edge density. Both tasks depend on structure, so
+//! a shared graph encoder genuinely transfers between goals.
+
+use crate::dataset::{ClientData, ClientSplit, FedDataset};
+use fs_tensor::loss::Target;
+use fs_tensor::model::Gcn;
+use fs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The learning goal a client optimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphTask {
+    /// Binary structural-family classification.
+    Classification,
+    /// Edge-density regression.
+    Regression,
+}
+
+/// Configuration for the multi-goal graph generator.
+#[derive(Clone, Debug)]
+pub struct GraphConfig {
+    /// Nodes per graph (all graphs are padded/truncated to this size).
+    pub nodes: usize,
+    /// Input features per node.
+    pub feats: usize,
+    /// Graphs per client.
+    pub per_client: usize,
+    /// Task per client (also determines the number of clients).
+    pub tasks: Vec<GraphTask>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 8,
+            feats: 4,
+            per_client: 30,
+            tasks: vec![
+                GraphTask::Classification,
+                GraphTask::Classification,
+                GraphTask::Regression,
+            ],
+            seed: 13,
+        }
+    }
+}
+
+/// Generates one synthetic graph of `family` 0 (clique-like) or 1 (star-like),
+/// returning `(adjacency, features, edge_density)`.
+fn gen_graph(n: usize, f: usize, family: usize, rng: &mut StdRng) -> (Tensor, Tensor, f32) {
+    let mut adj = Tensor::zeros(&[n, n]);
+    let mut edges = 0usize;
+    match family {
+        0 => {
+            // two dense cliques joined by one bridge
+            let half = n / 2;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let same = (i < half) == (j < half);
+                    let p = if same { 0.92 } else { 0.02 };
+                    if rng.gen::<f32>() < p {
+                        *adj.at_mut(i, j) = 1.0;
+                        *adj.at_mut(j, i) = 1.0;
+                        edges += 1;
+                    }
+                }
+            }
+        }
+        _ => {
+            // star: node 0 is a hub; leaves sparsely connected
+            for j in 1..n {
+                if rng.gen::<f32>() < 0.95 {
+                    *adj.at_mut(0, j) = 1.0;
+                    *adj.at_mut(j, 0) = 1.0;
+                    edges += 1;
+                }
+            }
+            for i in 1..n {
+                for j in (i + 1)..n {
+                    if rng.gen::<f32>() < 0.02 {
+                        *adj.at_mut(i, j) = 1.0;
+                        *adj.at_mut(j, i) = 1.0;
+                        edges += 1;
+                    }
+                }
+            }
+        }
+    }
+    // features: normalized degree, max neighbour degree (hub detector),
+    // then noise dims — everything a 2-layer GCN needs to separate the
+    // families, plus distractors.
+    let degs: Vec<f32> = (0..n).map(|i| adj.row(i).iter().sum::<f32>()).collect();
+    let mut feats = Tensor::zeros(&[n, f]);
+    for i in 0..n {
+        *feats.at_mut(i, 0) = degs[i] / n as f32;
+        if f > 1 {
+            let max_nb = (0..n)
+                .filter(|&j| adj.at(i, j) > 0.0)
+                .map(|j| degs[j])
+                .fold(0.0f32, f32::max);
+            *feats.at_mut(i, 1) = max_nb / n as f32;
+        }
+        for k in 2..f {
+            *feats.at_mut(i, k) = rng.gen::<f32>() - 0.5;
+        }
+    }
+    let density = 2.0 * edges as f32 / (n * (n - 1)) as f32;
+    (adj, feats, density)
+}
+
+/// Builds the multi-goal federated graph dataset, one client per task entry.
+pub fn graph_multitask(cfg: &GraphConfig) -> FedDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let width = cfg.nodes * cfg.nodes + cfg.nodes * cfg.feats;
+    let mut clients = Vec::with_capacity(cfg.tasks.len());
+    for &task in &cfg.tasks {
+        let n = cfg.per_client;
+        let mut data = Vec::with_capacity(n * width);
+        let mut classes = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..n {
+            let family = rng.gen_range(0..2usize);
+            let (adj, feats, density) = gen_graph(cfg.nodes, cfg.feats, family, &mut rng);
+            data.extend(Gcn::pack(&adj, &feats));
+            classes.push(family);
+            values.push(density);
+        }
+        let x = Tensor::from_vec(vec![n, width], data);
+        let y = match task {
+            GraphTask::Classification => Target::Classes(classes),
+            GraphTask::Regression => Target::Values(values),
+        };
+        let all = ClientData { x, y };
+        clients.push(ClientSplit::from_fractions(&all, 0.7, 0.15));
+    }
+    FedDataset {
+        clients,
+        feature_shape: vec![width],
+        num_classes: 2,
+        name: "graph-multitask".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_have_distinct_density() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d0 = 0.0;
+        let mut d1 = 0.0;
+        for _ in 0..30 {
+            d0 += gen_graph(8, 4, 0, &mut rng).2;
+            d1 += gen_graph(8, 4, 1, &mut rng).2;
+        }
+        assert!(d0 / 30.0 > d1 / 30.0 + 0.1, "clique {d0} vs star {d1}");
+    }
+
+    #[test]
+    fn multitask_mixes_target_kinds() {
+        let cfg = GraphConfig::default();
+        let d = graph_multitask(&cfg);
+        assert_eq!(d.num_clients(), 3);
+        assert!(matches!(d.clients[0].train.y, Target::Classes(_)));
+        assert!(matches!(d.clients[2].train.y, Target::Values(_)));
+        assert_eq!(d.clients[0].train.x.cols(), 8 * 8 + 8 * 4);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_binary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (adj, _, _) = gen_graph(6, 3, 0, &mut rng);
+        for i in 0..6 {
+            for j in 0..6 {
+                let v = adj.at(i, j);
+                assert!(v == 0.0 || v == 1.0);
+                assert_eq!(v, adj.at(j, i));
+            }
+            assert_eq!(adj.at(i, i), 0.0);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Label partitioners used by the synthetic generators.
+//!
+//! These mirror the splits the paper evaluates on: IID (uniform labels per
+//! client) and the Dirichlet label-skew split of Hsu et al. used for CIFAR-10
+//! (§5.2, Appendix G), plus the Appendix-I "bias" assignment where chosen rare
+//! labels exist only on a designated slow-client subset.
+
+use rand::Rng;
+use rand_distr::{Distribution, Gamma};
+
+/// Samples a probability vector from `Dirichlet(alpha * 1)` of length `k`.
+///
+/// Implemented via normalized Gamma draws (the standard construction), so we
+/// only need `rand_distr`'s Gamma.
+pub fn dirichlet(alpha: f64, k: usize, rng: &mut impl Rng) -> Vec<f64> {
+    assert!(alpha > 0.0, "Dirichlet alpha must be positive");
+    assert!(k > 0, "Dirichlet dimension must be positive");
+    let gamma = Gamma::new(alpha, 1.0).expect("valid gamma");
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma.sample(rng).max(1e-12)).collect();
+    let sum: f64 = draws.iter().sum();
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+/// Per-client label distributions.
+#[derive(Clone, Debug)]
+pub struct LabelPartition {
+    /// `dist[c][y]` = probability client `c` draws label `y`.
+    pub dist: Vec<Vec<f64>>,
+}
+
+impl LabelPartition {
+    /// IID: every client draws labels uniformly.
+    pub fn iid(num_clients: usize, num_classes: usize) -> Self {
+        let row = vec![1.0 / num_classes as f64; num_classes];
+        Self { dist: vec![row; num_clients] }
+    }
+
+    /// Dirichlet(α) label skew: each client's label distribution is an
+    /// independent Dirichlet draw. Smaller α means more skew.
+    pub fn dirichlet(num_clients: usize, num_classes: usize, alpha: f64, rng: &mut impl Rng) -> Self {
+        let dist = (0..num_clients).map(|_| dirichlet(alpha, num_classes, rng)).collect();
+        Self { dist }
+    }
+
+    /// The Appendix-I bias split: labels in `rare_labels` are owned *only* by
+    /// clients with index `>= slow_start` (the slow group); fast clients
+    /// redistribute that mass uniformly over the remaining labels. Slow
+    /// clients are skewed toward the rare labels by `rare_boost`.
+    pub fn biased(
+        num_clients: usize,
+        num_classes: usize,
+        rare_labels: &[usize],
+        slow_start: usize,
+        rare_boost: f64,
+    ) -> Self {
+        assert!(slow_start <= num_clients, "slow_start out of range");
+        assert!(
+            rare_labels.iter().all(|&y| y < num_classes),
+            "rare label out of range"
+        );
+        let is_rare = |y: usize| rare_labels.contains(&y);
+        let n_rare = rare_labels.len();
+        let n_common = num_classes - n_rare;
+        let mut dist = Vec::with_capacity(num_clients);
+        for c in 0..num_clients {
+            let slow = c >= slow_start;
+            let mut row = vec![0.0f64; num_classes];
+            for (y, p) in row.iter_mut().enumerate() {
+                *p = if is_rare(y) {
+                    if slow {
+                        rare_boost / n_rare.max(1) as f64
+                    } else {
+                        0.0
+                    }
+                } else if slow {
+                    (1.0 - rare_boost) / n_common.max(1) as f64
+                } else {
+                    1.0 / n_common.max(1) as f64
+                };
+            }
+            dist.push(row);
+        }
+        Self { dist }
+    }
+
+    /// Samples one label for client `c`.
+    pub fn sample_label(&self, c: usize, rng: &mut impl Rng) -> usize {
+        let row = &self.dist[c];
+        let mut u: f64 = rng.gen();
+        for (y, &p) in row.iter().enumerate() {
+            if u < p {
+                return y;
+            }
+            u -= p;
+        }
+        row.len() - 1
+    }
+
+    /// Number of clients in the partition.
+    pub fn num_clients(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for alpha in [0.1, 1.0, 10.0] {
+            let d = dirichlet(alpha, 10, &mut rng);
+            let sum: f64 = d.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(d.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn small_alpha_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let max_small: f64 = (0..50)
+            .map(|_| dirichlet(0.1, 10, &mut rng).into_iter().fold(0.0, f64::max))
+            .sum::<f64>()
+            / 50.0;
+        let max_large: f64 = (0..50)
+            .map(|_| dirichlet(10.0, 10, &mut rng).into_iter().fold(0.0, f64::max))
+            .sum::<f64>()
+            / 50.0;
+        assert!(
+            max_small > max_large + 0.2,
+            "expected alpha=0.1 ({max_small}) more peaked than alpha=10 ({max_large})"
+        );
+    }
+
+    #[test]
+    fn iid_partition_uniform() {
+        let p = LabelPartition::iid(3, 4);
+        assert_eq!(p.num_clients(), 3);
+        assert!(p.dist.iter().all(|r| r.iter().all(|&v| (v - 0.25).abs() < 1e-12)));
+    }
+
+    #[test]
+    fn biased_partition_keeps_rare_off_fast_clients() {
+        let p = LabelPartition::biased(10, 5, &[4], 7, 0.5);
+        for c in 0..7 {
+            assert_eq!(p.dist[c][4], 0.0, "fast client {c} owns rare label");
+        }
+        for c in 7..10 {
+            assert!(p.dist[c][4] > 0.4);
+        }
+        for row in &p.dist {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sample_label_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = LabelPartition::iid(1, 3);
+        p.dist[0] = vec![0.0, 1.0, 0.0];
+        for _ in 0..20 {
+            assert_eq!(p.sample_label(0, &mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Synthetic dataset generators with controllable heterogeneity.
+//!
+//! Each generator builds a full [`FedDataset`]: shared class *prototypes*
+//! define the learning problem; per-client transforms and label distributions
+//! inject exactly the kind of heterogeneity the corresponding real dataset
+//! exhibits (writer styles for FEMNIST, Dirichlet label skew for CIFAR-10,
+//! tiny skewed users for Twitter).
+
+use crate::dataset::{ClientData, ClientSplit, FedDataset};
+use crate::partition::LabelPartition;
+use fs_tensor::loss::Target;
+use fs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Configuration shared by the image-like generators.
+#[derive(Clone, Debug)]
+pub struct ImageConfig {
+    /// Number of clients.
+    pub num_clients: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Square image side length.
+    pub img: usize,
+    /// Training examples per client.
+    pub per_client: usize,
+    /// Observation noise standard deviation.
+    pub noise: f32,
+    /// Log-normal sigma of per-client dataset sizes (0 = every client owns
+    /// exactly `per_client` examples; larger values make sizes heterogeneous,
+    /// as in real federated populations).
+    pub size_skew: f64,
+    /// RNG seed (the whole dataset is a pure function of the config).
+    pub seed: u64,
+}
+
+impl Default for ImageConfig {
+    fn default() -> Self {
+        Self {
+            num_clients: 50,
+            num_classes: 10,
+            img: 8,
+            per_client: 30,
+            noise: 0.35,
+            size_skew: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Smooth random class prototypes: each class is a random mixture of a few
+/// Gaussian bumps on the image plane.
+fn prototypes(num_classes: usize, img: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    let mut protos = Vec::with_capacity(num_classes);
+    for _ in 0..num_classes {
+        let mut p = vec![0.0f32; img * img];
+        let bumps = 3;
+        for _ in 0..bumps {
+            let cx: f32 = rng.gen::<f32>() * img as f32;
+            let cy: f32 = rng.gen::<f32>() * img as f32;
+            let amp: f32 = 0.5 + rng.gen::<f32>();
+            let sig: f32 = 0.8 + rng.gen::<f32>() * 1.5;
+            for y in 0..img {
+                for x in 0..img {
+                    let d2 = (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2);
+                    p[y * img + x] += amp * (-d2 / (2.0 * sig * sig)).exp();
+                }
+            }
+        }
+        protos.push(p);
+    }
+    protos
+}
+
+fn build_image_dataset(
+    cfg: &ImageConfig,
+    partition: &LabelPartition,
+    writer_style: bool,
+    name: &str,
+) -> FedDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let protos = prototypes(cfg.num_classes, cfg.img, &mut rng);
+    let noise = Normal::new(0.0, cfg.noise as f64).expect("valid noise");
+    let d = cfg.img * cfg.img;
+    let mut clients = Vec::with_capacity(cfg.num_clients);
+    for c in 0..cfg.num_clients {
+        // writer style: per-client contrast/brightness plus a fixed offset
+        // pattern, giving FEMNIST-like feature skew.
+        let (contrast, brightness, offset): (f32, f32, Vec<f32>) = if writer_style {
+            let contrast = 0.6 + rng.gen::<f32>() * 0.8;
+            let brightness = (rng.gen::<f32>() - 0.5) * 0.6;
+            let offset: Vec<f32> =
+                (0..d).map(|_| (rng.gen::<f32>() - 0.5) * 0.5).collect();
+            (contrast, brightness, offset)
+        } else {
+            (1.0, 0.0, vec![0.0; d])
+        };
+        let n = if cfg.size_skew > 0.0 {
+            let ln = rand_distr::LogNormal::new(0.0, cfg.size_skew).expect("valid skew");
+            ((cfg.per_client as f64) * ln.sample(&mut rng)).round().max(6.0) as usize
+        } else {
+            cfg.per_client
+        };
+        let mut data = Vec::with_capacity(n * d);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = partition.sample_label(c, &mut rng);
+            labels.push(y);
+            let proto = &protos[y];
+            for i in 0..d {
+                let v = proto[i] * contrast
+                    + brightness
+                    + offset[i]
+                    + noise.sample(&mut rng) as f32;
+                data.push(v);
+            }
+        }
+        let x = Tensor::from_vec(vec![n, 1, cfg.img, cfg.img], data);
+        let all = ClientData { x, y: Target::Classes(labels) };
+        clients.push(ClientSplit::from_fractions(&all, 0.7, 0.15));
+    }
+    FedDataset {
+        clients,
+        feature_shape: vec![1, cfg.img, cfg.img],
+        num_classes: cfg.num_classes,
+        name: name.to_string(),
+    }
+}
+
+/// FEMNIST-like: IID labels, strong per-writer feature skew.
+pub fn femnist_like(cfg: &ImageConfig) -> FedDataset {
+    let partition = LabelPartition::iid(cfg.num_clients, cfg.num_classes);
+    build_image_dataset(cfg, &partition, true, "femnist-like")
+}
+
+/// CIFAR-like: identical feature distribution, Dirichlet(α) label skew.
+/// `alpha = None` produces the IID split of Appendix G.
+pub fn cifar_like(cfg: &ImageConfig, alpha: Option<f64>) -> FedDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(31).wrapping_add(1));
+    let partition = match alpha {
+        Some(a) => LabelPartition::dirichlet(cfg.num_clients, cfg.num_classes, a, &mut rng),
+        None => LabelPartition::iid(cfg.num_clients, cfg.num_classes),
+    };
+    let name = match alpha {
+        Some(a) => format!("cifar-like(alpha={a})"),
+        None => "cifar-like(iid)".to_string(),
+    };
+    build_image_dataset(cfg, &partition, false, &name)
+}
+
+/// Appendix-I "bias-CIFAR": `rare_labels` exist only on clients with index
+/// `>= slow_start` (the slow-responding group built by `fs-sim`).
+pub fn cifar_like_biased(
+    cfg: &ImageConfig,
+    rare_labels: &[usize],
+    slow_start: usize,
+) -> FedDataset {
+    let partition =
+        LabelPartition::biased(cfg.num_clients, cfg.num_classes, rare_labels, slow_start, 0.6);
+    build_image_dataset(cfg, &partition, false, "bias-cifar-like")
+}
+
+/// Configuration for the Twitter-like generator.
+#[derive(Clone, Debug)]
+pub struct TwitterConfig {
+    /// Number of clients ("users").
+    pub num_clients: usize,
+    /// Vocabulary size (bag-of-words dimension).
+    pub vocab: usize,
+    /// Words per text.
+    pub words_per_text: usize,
+    /// Texts per user (paper: ~2.4 texts/user; we default to a handful so
+    /// every user has train+val+test examples).
+    pub per_client: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        Self { num_clients: 200, vocab: 60, words_per_text: 12, per_client: 10, seed: 11 }
+    }
+}
+
+/// Twitter-like sentiment: two topic word distributions (positive/negative);
+/// every user mixes them with a private skew and label prior, producing many
+/// tiny non-IID clients, each a bag-of-words binary-classification problem.
+pub fn twitter_like(cfg: &TwitterConfig) -> FedDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // topic word-preference logits
+    let pos_pref: Vec<f32> = (0..cfg.vocab).map(|_| rng.gen::<f32>()).collect();
+    let neg_pref: Vec<f32> = (0..cfg.vocab).map(|_| rng.gen::<f32>()).collect();
+    let to_dist = |pref: &[f32]| -> Vec<f32> {
+        let sum: f32 = pref.iter().map(|v| v.exp()).sum();
+        pref.iter().map(|v| v.exp() / sum).collect()
+    };
+    let pos = to_dist(&pos_pref);
+    let neg = to_dist(&neg_pref);
+    let sample_word = |dist: &[f32], rng: &mut StdRng| -> usize {
+        let mut u: f32 = rng.gen();
+        for (w, &p) in dist.iter().enumerate() {
+            if u < p {
+                return w;
+            }
+            u -= p;
+        }
+        dist.len() - 1
+    };
+    let mut clients = Vec::with_capacity(cfg.num_clients);
+    for _ in 0..cfg.num_clients {
+        let label_prior: f32 = 0.2 + rng.gen::<f32>() * 0.6; // per-user skew
+        let slang_mix: f32 = rng.gen::<f32>() * 0.3; // per-user noise words
+        let n = cfg.per_client;
+        let mut data = vec![0.0f32; n * cfg.vocab];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let y = usize::from(rng.gen::<f32>() < label_prior);
+            labels.push(y);
+            let dist = if y == 1 { &pos } else { &neg };
+            for _ in 0..cfg.words_per_text {
+                let w = if rng.gen::<f32>() < slang_mix {
+                    rng.gen_range(0..cfg.vocab)
+                } else {
+                    sample_word(dist, &mut rng)
+                };
+                data[i * cfg.vocab + w] = 1.0;
+            }
+        }
+        let x = Tensor::from_vec(vec![n, cfg.vocab], data);
+        let all = ClientData { x, y: Target::Classes(labels) };
+        clients.push(ClientSplit::from_fractions(&all, 0.6, 0.2));
+    }
+    FedDataset {
+        clients,
+        feature_shape: vec![cfg.vocab],
+        num_classes: 2,
+        name: "twitter-like".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn femnist_shapes_and_determinism() {
+        let cfg = ImageConfig { num_clients: 4, per_client: 10, ..Default::default() };
+        let a = femnist_like(&cfg);
+        let b = femnist_like(&cfg);
+        assert_eq!(a.num_clients(), 4);
+        assert_eq!(a.feature_shape, vec![1, 8, 8]);
+        assert_eq!(a.clients[0].train.x.data(), b.clients[0].train.x.data());
+        assert_eq!(a.clients[2].train.len(), 7);
+        assert_eq!(a.clients[2].val.len() + a.clients[2].test.len(), 3);
+    }
+
+    #[test]
+    fn cifar_dirichlet_skews_labels() {
+        let cfg = ImageConfig { num_clients: 8, per_client: 60, seed: 3, ..Default::default() };
+        let iid = cifar_like(&cfg, None);
+        let skew = cifar_like(&cfg, Some(0.1));
+        let peak = |d: &FedDataset| -> f32 {
+            let mut acc = 0.0;
+            for c in &d.clients {
+                let h = c.train.label_histogram(d.num_classes);
+                let n: usize = h.iter().sum();
+                let m = *h.iter().max().unwrap();
+                acc += m as f32 / n.max(1) as f32;
+            }
+            acc / d.clients.len() as f32
+        };
+        assert!(
+            peak(&skew) > peak(&iid) + 0.15,
+            "skewed peak {} vs iid peak {}",
+            peak(&skew),
+            peak(&iid)
+        );
+    }
+
+    #[test]
+    fn biased_split_rare_labels_only_on_slow() {
+        let cfg = ImageConfig { num_clients: 10, per_client: 40, ..Default::default() };
+        let d = cifar_like_biased(&cfg, &[8, 9], 7);
+        for c in 0..7 {
+            let h = d.clients[c].train.label_histogram(10);
+            assert_eq!(h[8] + h[9], 0, "fast client {c} has rare labels");
+        }
+        let slow_rare: usize = (7..10)
+            .map(|c| {
+                let h = d.clients[c].train.label_histogram(10);
+                h[8] + h[9]
+            })
+            .sum();
+        assert!(slow_rare > 0, "slow clients never drew rare labels");
+    }
+
+    #[test]
+    fn twitter_binary_sparse() {
+        let cfg = TwitterConfig { num_clients: 6, ..Default::default() };
+        let d = twitter_like(&cfg);
+        assert_eq!(d.num_classes, 2);
+        assert_eq!(d.num_clients(), 6);
+        let x = &d.clients[0].train.x;
+        // bag-of-words entries are 0/1 and sparse
+        assert!(x.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        let density = x.sum() / x.numel() as f32;
+        assert!(density < 0.5, "unexpectedly dense: {density}");
+    }
+
+    #[test]
+    fn learnable_by_linear_model() {
+        // sanity: a centralized logistic regression should beat chance easily
+        use fs_tensor::model::{logistic_regression, Model};
+        use fs_tensor::optim::{Sgd, SgdConfig};
+        let cfg = TwitterConfig { num_clients: 20, per_client: 20, seed: 5, ..Default::default() };
+        let d = twitter_like(&cfg);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = logistic_regression(d.input_dim(), 2, &mut rng);
+        let mut opt = Sgd::new(SgdConfig::with_lr(0.5));
+        for _ in 0..40 {
+            for c in &d.clients {
+                if c.train.is_empty() {
+                    continue;
+                }
+                let (_, g) = m.loss_grad(&c.train.x.reshape(&[c.train.len(), d.input_dim()]), &c.train.y);
+                let mut p = m.get_params();
+                opt.step(&mut p, &g, None);
+                m.set_params(&p);
+            }
+        }
+        let mut accs = Vec::new();
+        for c in &d.clients {
+            if c.test.is_empty() {
+                continue;
+            }
+            let met = m.evaluate(&c.test.x.reshape(&[c.test.len(), d.input_dim()]), &c.test.y);
+            accs.push((met.accuracy, met.n));
+        }
+        let total: usize = accs.iter().map(|(_, n)| n).sum();
+        let acc: f32 = accs.iter().map(|(a, n)| a * *n as f32).sum::<f32>() / total as f32;
+        assert!(acc > 0.6, "centralized accuracy too low: {acc}");
+    }
+}

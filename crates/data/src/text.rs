@@ -1,0 +1,189 @@
+//! Shakespeare-like next-character prediction (LEAF's other text benchmark).
+//!
+//! LEAF partitions Shakespeare by speaking role; each client learns
+//! next-character prediction over its role's lines. We synthesize the same
+//! structure: a global character-level bigram-ish language ("the play"),
+//! per-client *style* variation (each role prefers certain characters, like
+//! a character's idiosyncratic vocabulary), and sliding-window examples
+//! `(context of `CONTEXT` chars, next char)` one-hot encoded for a dense
+//! model.
+
+use crate::dataset::{ClientData, ClientSplit, FedDataset};
+use fs_tensor::loss::Target;
+use fs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Context window length (characters of history per example).
+pub const CONTEXT: usize = 4;
+
+/// Configuration for the Shakespeare-like generator.
+#[derive(Clone, Debug)]
+pub struct ShakespeareConfig {
+    /// Number of clients ("speaking roles").
+    pub num_clients: usize,
+    /// Alphabet size (distinct characters).
+    pub alphabet: usize,
+    /// Length of each role's text (characters).
+    pub text_len: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ShakespeareConfig {
+    fn default() -> Self {
+        Self { num_clients: 20, alphabet: 12, text_len: 120, seed: 29 }
+    }
+}
+
+/// Generates the dataset: one client per role, each with sliding-window
+/// next-character examples over its own text.
+pub fn shakespeare_like(cfg: &ShakespeareConfig) -> FedDataset {
+    assert!(cfg.alphabet >= 2 && cfg.text_len > CONTEXT + 2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let a = cfg.alphabet;
+    // the shared "play": a global transition matrix with strong structure
+    // (each character has a couple of likely successors)
+    let mut global_next = vec![vec![0.0f64; a]; a];
+    for (row, dist) in global_next.iter_mut().enumerate() {
+        let succ1 = (row + 1) % a;
+        let succ2 = (row * 3 + 1) % a;
+        for (j, p) in dist.iter_mut().enumerate() {
+            *p = if j == succ1 {
+                0.45
+            } else if j == succ2 {
+                0.3
+            } else {
+                0.25 / (a - 2) as f64
+            };
+        }
+    }
+    let sample_from = |dist: &[f64], rng: &mut StdRng| -> usize {
+        let mut u: f64 = rng.gen();
+        for (i, &p) in dist.iter().enumerate() {
+            if u < p {
+                return i;
+            }
+            u -= p;
+        }
+        dist.len() - 1
+    };
+    let dim = CONTEXT * a;
+    let mut clients = Vec::with_capacity(cfg.num_clients);
+    for _ in 0..cfg.num_clients {
+        // role style: a preferred character that gets extra probability mass
+        let favourite = rng.gen_range(0..a);
+        let style = 0.1 + rng.gen::<f64>() * 0.2;
+        // generate the role's text
+        let mut text = Vec::with_capacity(cfg.text_len);
+        let mut cur = rng.gen_range(0..a);
+        text.push(cur);
+        for _ in 1..cfg.text_len {
+            let next = if rng.gen::<f64>() < style {
+                favourite
+            } else {
+                sample_from(&global_next[cur], &mut rng)
+            };
+            text.push(next);
+            cur = next;
+        }
+        // sliding windows -> one-hot examples
+        let n = cfg.text_len - CONTEXT;
+        let mut xs = vec![0.0f32; n * dim];
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            for (k, &ch) in text[i..i + CONTEXT].iter().enumerate() {
+                xs[i * dim + k * a + ch] = 1.0;
+            }
+            ys.push(text[i + CONTEXT]);
+        }
+        let all = ClientData {
+            x: Tensor::from_vec(vec![n, dim], xs),
+            y: Target::Classes(ys),
+        };
+        clients.push(ClientSplit::from_fractions(&all, 0.7, 0.15));
+    }
+    FedDataset {
+        clients,
+        feature_shape: vec![dim],
+        num_classes: a,
+        name: "shakespeare-like".to_string(),
+    }
+}
+
+/// CelebA-like: binary attribute classification with person-specific style
+/// (LEAF partitions CelebA by celebrity). Structurally: the femnist-like
+/// writer mechanism with two classes and a stronger per-client style.
+pub fn celeba_like(num_clients: usize, per_client: usize, img: usize, seed: u64) -> FedDataset {
+    let mut d = crate::synth::femnist_like(&crate::synth::ImageConfig {
+        num_clients,
+        num_classes: 2,
+        img,
+        per_client,
+        noise: 0.5,
+        size_skew: 0.3,
+        seed,
+    });
+    d.name = "celeba-like".to_string();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let cfg = ShakespeareConfig::default();
+        let a = shakespeare_like(&cfg);
+        let b = shakespeare_like(&cfg);
+        assert_eq!(a.num_clients(), 20);
+        assert_eq!(a.num_classes, 12);
+        assert_eq!(a.input_dim(), CONTEXT * 12);
+        assert_eq!(a.clients[3].train.x.data(), b.clients[3].train.x.data());
+        // one-hot rows: exactly CONTEXT ones per example
+        let x = &a.clients[0].train.x;
+        for r in 0..x.rows() {
+            let s: f32 = x.row(r).iter().sum();
+            assert_eq!(s, CONTEXT as f32);
+        }
+    }
+
+    #[test]
+    fn next_char_is_learnable() {
+        use fs_tensor::model::{logistic_regression, Model};
+        let cfg = ShakespeareConfig { num_clients: 8, text_len: 400, ..Default::default() };
+        let d = shakespeare_like(&cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = logistic_regression(d.input_dim(), d.num_classes, &mut rng);
+        // centralized training over all clients
+        for _ in 0..60 {
+            for c in &d.clients {
+                let (_, g) = m.loss_grad(&c.train.x, &c.train.y);
+                let mut p = m.get_params();
+                p.add_scaled(-0.5, &g);
+                m.set_params(&p);
+            }
+        }
+        let mut accs = Vec::new();
+        for c in &d.clients {
+            if !c.test.is_empty() {
+                accs.push(m.evaluate(&c.test.x, &c.test.y).accuracy);
+            }
+        }
+        let acc = accs.iter().sum::<f32>() / accs.len() as f32;
+        // chance is 1/12 ≈ 0.083; structured transitions must be learnable
+        assert!(acc > 0.3, "next-char accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn celeba_like_is_binary_with_size_skew() {
+        let d = celeba_like(12, 30, 8, 5);
+        assert_eq!(d.num_classes, 2);
+        assert_eq!(d.num_clients(), 12);
+        let sizes: Vec<usize> = d.clients.iter().map(|c| c.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > min, "size skew must produce heterogeneous sizes: {sizes:?}");
+    }
+}

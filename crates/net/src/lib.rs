@@ -1,0 +1,28 @@
+//! `fs-net` — messages, the neutral wire format, backends, and the bus.
+//!
+//! FederatedScope abstracts all exchanged information as *messages* and makes
+//! cross-backend FL possible through *message translation* (§3.5): every
+//! participant encodes backend-native tensors into a pre-agreed
+//! backend-independent format before sharing, and decodes received messages
+//! into its own representation. This crate provides:
+//!
+//! * [`message`] — the typed [`message::Message`] envelope (sender, receiver,
+//!   kind, round, virtual timestamp, payload);
+//! * [`wire`] — the neutral binary codec for parameters and whole messages
+//!   (the *encoding*/*decoding* procedures of §3.5), built on `bytes`;
+//! * [`backend`] — the [`backend::Backend`] trait plus two concrete parameter
+//!   stores with different native layouts (row-major `f32`, "torch-like", and
+//!   column-major `f64`, "tf-like") that interoperate only through the wire
+//!   format, exercising the paper's cross-backend path for real;
+//! * [`bus`] — an in-process transport (crossbeam channels) used by the
+//!   distributed runner, where the same worker code runs on real threads;
+//! * [`tcp`] — the same wire frames over real sockets (`std::net`), so
+//!   participants can run as separate processes.
+
+pub mod backend;
+pub mod bus;
+pub mod message;
+pub mod tcp;
+pub mod wire;
+
+pub use message::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};

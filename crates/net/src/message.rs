@@ -1,0 +1,193 @@
+//! The message envelope exchanged by FL participants.
+
+use fs_tensor::model::Metrics;
+use fs_tensor::ParamMap;
+
+/// Identifies a participant. The server is always [`SERVER_ID`] (0); clients
+/// are numbered from 1.
+pub type ParticipantId = u32;
+
+/// The server's participant id.
+pub const SERVER_ID: ParticipantId = 0;
+
+/// The type of a message — receiving a message of some kind *is* the
+/// message-passing event that triggers a handler (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MessageKind {
+    /// A client asks to join the FL course.
+    JoinIn,
+    /// The server assigns an id to a joined client.
+    IdAssignment,
+    /// The server broadcasts (a part of) the global model.
+    ModelParams,
+    /// A client returns its model update.
+    Updates,
+    /// Raw gradients (some algorithms exchange gradients instead of weights).
+    Gradients,
+    /// The server asks clients to evaluate the current model.
+    EvalRequest,
+    /// A client reports evaluation metrics.
+    MetricsReport,
+    /// The server announces course termination.
+    Finish,
+    /// A user-defined message type (heterogeneous information exchange:
+    /// embeddings, public keys, generators, HPO feedback, ...).
+    Custom(u16),
+}
+
+impl MessageKind {
+    /// Largest user-definable custom tag (the wire reserves `256 + c`).
+    pub const MAX_CUSTOM: u16 = u16::MAX - 256;
+
+    /// Stable numeric tag used by the wire codec.
+    ///
+    /// # Panics
+    /// Panics when a `Custom` tag exceeds [`MessageKind::MAX_CUSTOM`].
+    pub fn tag(self) -> u16 {
+        match self {
+            MessageKind::JoinIn => 0,
+            MessageKind::IdAssignment => 1,
+            MessageKind::ModelParams => 2,
+            MessageKind::Updates => 3,
+            MessageKind::Gradients => 4,
+            MessageKind::EvalRequest => 5,
+            MessageKind::MetricsReport => 6,
+            MessageKind::Finish => 7,
+            MessageKind::Custom(c) => {
+                assert!(c <= Self::MAX_CUSTOM, "custom message tag {c} exceeds {}", Self::MAX_CUSTOM);
+                256 + c
+            }
+        }
+    }
+
+    /// Inverse of [`MessageKind::tag`].
+    pub fn from_tag(tag: u16) -> Option<Self> {
+        Some(match tag {
+            0 => MessageKind::JoinIn,
+            1 => MessageKind::IdAssignment,
+            2 => MessageKind::ModelParams,
+            3 => MessageKind::Updates,
+            4 => MessageKind::Gradients,
+            5 => MessageKind::EvalRequest,
+            6 => MessageKind::MetricsReport,
+            7 => MessageKind::Finish,
+            t if t >= 256 => MessageKind::Custom(t - 256),
+            _ => return None,
+        })
+    }
+}
+
+/// The content of a message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// No content (join-in, finish, eval requests, ...).
+    Empty,
+    /// Model parameters stamped with the global model version they represent.
+    Model {
+        /// Named parameters.
+        params: ParamMap,
+        /// Global model version (server round counter at broadcast time).
+        version: u64,
+    },
+    /// A client's update after local training.
+    Update {
+        /// Updated named parameters (or deltas, depending on the consensus).
+        params: ParamMap,
+        /// The global model version the client *started from* — the server
+        /// derives staleness from this (§3.3.1).
+        start_version: u64,
+        /// Number of local training examples (FedAvg weighting).
+        n_samples: u64,
+        /// Number of local SGD steps actually taken (FedNova weighting).
+        n_steps: u64,
+    },
+    /// Evaluation metrics from a client.
+    Report {
+        /// Metrics on the client's held-out split.
+        metrics: Metrics,
+    },
+    /// Opaque bytes for custom protocols (encrypted frames, HPO feedback, ...).
+    Bytes(Vec<u8>),
+}
+
+/// A message in flight between participants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    /// Sending participant.
+    pub sender: ParticipantId,
+    /// Receiving participant.
+    pub receiver: ParticipantId,
+    /// Message type (the event it raises on receipt).
+    pub kind: MessageKind,
+    /// Training round the message belongs to.
+    pub round: u64,
+    /// Virtual timestamp (seconds) at which the message arrives.
+    pub timestamp: f64,
+    /// Content.
+    pub payload: Payload,
+}
+
+impl Message {
+    /// Creates a message with timestamp 0 (the runner restamps on send).
+    pub fn new(
+        sender: ParticipantId,
+        receiver: ParticipantId,
+        kind: MessageKind,
+        round: u64,
+        payload: Payload,
+    ) -> Self {
+        Self { sender, receiver, kind, round, timestamp: 0.0, payload }
+    }
+
+    /// Approximate payload size in bytes, used by the device latency model.
+    pub fn payload_bytes(&self) -> usize {
+        match &self.payload {
+            Payload::Empty => 16,
+            Payload::Model { params, .. } => 4 * params.numel() + 64,
+            Payload::Update { params, .. } => 4 * params.numel() + 64,
+            Payload::Report { .. } => 32,
+            Payload::Bytes(b) => b.len() + 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_tensor::Tensor;
+
+    #[test]
+    fn kind_tag_roundtrip() {
+        let kinds = [
+            MessageKind::JoinIn,
+            MessageKind::IdAssignment,
+            MessageKind::ModelParams,
+            MessageKind::Updates,
+            MessageKind::Gradients,
+            MessageKind::EvalRequest,
+            MessageKind::MetricsReport,
+            MessageKind::Finish,
+            MessageKind::Custom(0),
+            MessageKind::Custom(999),
+        ];
+        for k in kinds {
+            assert_eq!(MessageKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(MessageKind::from_tag(100), None);
+    }
+
+    #[test]
+    fn payload_bytes_scales_with_params() {
+        let mut p = ParamMap::new();
+        p.insert("w", Tensor::zeros(&[100]));
+        let m = Message::new(1, 0, MessageKind::Updates, 0, Payload::Update {
+            params: p,
+            start_version: 0,
+            n_samples: 10,
+            n_steps: 4,
+        });
+        assert!(m.payload_bytes() >= 400);
+        let e = Message::new(1, 0, MessageKind::JoinIn, 0, Payload::Empty);
+        assert!(e.payload_bytes() < 64);
+    }
+}

@@ -1,0 +1,297 @@
+//! TCP transport: the same wire format over real sockets.
+//!
+//! The paper's distributed mode runs participants as separate processes
+//! connected by gRPC; this module provides the equivalent substrate on
+//! `std::net`: length-prefixed wire frames, a server-side [`TcpHub`] that
+//! accepts one connection per client and funnels decoded messages into a
+//! single queue, and a client-side [`TcpPeer`]. The framing is trivial by
+//! design — `u32` little-endian length followed by the
+//! [`crate::wire`]-encoded message — so any process speaking the neutral
+//! format can join a course.
+
+use crate::message::{Message, ParticipantId};
+use crate::wire::{decode_message, encode_message, CodecError};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// Errors from the TCP transport.
+#[derive(Debug)]
+pub enum TcpError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer sent bytes the wire codec rejects.
+    Codec(CodecError),
+    /// A frame exceeded the sanity limit.
+    FrameTooLarge(u32),
+    /// No connection is registered for the receiver.
+    UnknownReceiver(ParticipantId),
+    /// The incoming queue has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for TcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpError::Io(e) => write!(f, "io error: {e}"),
+            TcpError::Codec(e) => write!(f, "codec error: {e}"),
+            TcpError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            TcpError::UnknownReceiver(id) => write!(f, "no connection for participant {id}"),
+            TcpError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for TcpError {}
+
+impl From<io::Error> for TcpError {
+    fn from(e: io::Error) -> Self {
+        TcpError::Io(e)
+    }
+}
+
+impl From<CodecError> for TcpError {
+    fn from(e: CodecError) -> Self {
+        TcpError::Codec(e)
+    }
+}
+
+/// Upper bound on a single frame (a model of ~16M f32 parameters).
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Writes one length-prefixed wire frame.
+pub fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), TcpError> {
+    let bytes = encode_message(msg);
+    let len = bytes.len() as u32;
+    if len > MAX_FRAME_BYTES {
+        return Err(TcpError::FrameTooLarge(len));
+    }
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(&bytes)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed wire frame (blocking).
+pub fn read_frame(stream: &mut TcpStream) -> Result<Message, TcpError> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(TcpError::FrameTooLarge(len));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    Ok(decode_message(&buf)?)
+}
+
+/// Server side: accepts `expected_clients` connections, spawns one reader
+/// thread per connection (feeding a single incoming queue), and keeps write
+/// halves addressable by the sender id of the first message each connection
+/// delivers (normally `join_in`).
+pub struct TcpHub {
+    streams: Arc<Mutex<HashMap<ParticipantId, TcpStream>>>,
+    incoming: Receiver<Message>,
+    local_addr: SocketAddr,
+}
+
+/// A bound-but-not-yet-accepting hub: lets callers learn the ephemeral port
+/// before clients connect.
+pub struct PendingHub {
+    listener: TcpListener,
+}
+
+impl PendingHub {
+    /// The bound address.
+    pub fn local_addr(&self) -> Result<SocketAddr, TcpError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accepts exactly `expected_clients` connections and starts the hub.
+    pub fn accept(self, expected_clients: usize) -> Result<TcpHub, TcpError> {
+        TcpHub::from_listener(self.listener, expected_clients)
+    }
+}
+
+impl TcpHub {
+    /// Binds `addr` without accepting yet (use with port 0 to learn the
+    /// ephemeral port before clients connect).
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<PendingHub, TcpError> {
+        Ok(PendingHub { listener: TcpListener::bind(addr)? })
+    }
+
+    /// Binds `addr` and accepts exactly `expected_clients` connections.
+    /// Returns once all are connected and their reader threads run.
+    pub fn listen(addr: impl ToSocketAddrs, expected_clients: usize) -> Result<TcpHub, TcpError> {
+        Self::from_listener(TcpListener::bind(addr)?, expected_clients)
+    }
+
+    fn from_listener(listener: TcpListener, expected_clients: usize) -> Result<TcpHub, TcpError> {
+        let local_addr = listener.local_addr()?;
+        let streams: Arc<Mutex<HashMap<ParticipantId, TcpStream>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let (tx, incoming): (Sender<Message>, Receiver<Message>) = channel();
+        for _ in 0..expected_clients {
+            let (stream, _peer) = listener.accept()?;
+            let tx = tx.clone();
+            let streams = streams.clone();
+            let mut reader = stream.try_clone()?;
+            std::thread::spawn(move || {
+                let mut registered = false;
+                loop {
+                    match read_frame(&mut reader) {
+                        Ok(msg) => {
+                            if !registered {
+                                if let Ok(s) = reader.try_clone() {
+                                    streams.lock().expect("streams lock").insert(msg.sender, s);
+                                }
+                                registered = true;
+                            }
+                            if tx.send(msg).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => return, // connection closed
+                    }
+                }
+            });
+        }
+        Ok(TcpHub { streams, incoming, local_addr })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks for the next decoded incoming message.
+    pub fn recv(&self) -> Result<Message, TcpError> {
+        self.incoming.recv().map_err(|_| TcpError::Closed)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Option<Message>, TcpError> {
+        match self.incoming.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(TcpError::Closed),
+        }
+    }
+
+    /// Sends a message to its receiver's connection.
+    pub fn send(&self, msg: &Message) -> Result<(), TcpError> {
+        let mut streams = self.streams.lock().expect("streams lock");
+        let stream =
+            streams.get_mut(&msg.receiver).ok_or(TcpError::UnknownReceiver(msg.receiver))?;
+        write_frame(stream, msg)
+    }
+
+    /// Ids of currently registered client connections.
+    pub fn connected(&self) -> Vec<ParticipantId> {
+        self.streams.lock().expect("streams lock").keys().copied().collect()
+    }
+}
+
+/// Client side: one connection to the hub.
+pub struct TcpPeer {
+    stream: TcpStream,
+}
+
+impl TcpPeer {
+    /// Connects to a hub.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpPeer, TcpError> {
+        Ok(TcpPeer { stream: TcpStream::connect(addr)? })
+    }
+
+    /// Sends one message.
+    pub fn send(&mut self, msg: &Message) -> Result<(), TcpError> {
+        write_frame(&mut self.stream, msg)
+    }
+
+    /// Blocks for the next message from the hub.
+    pub fn recv(&mut self) -> Result<Message, TcpError> {
+        read_frame(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MessageKind, Payload, SERVER_ID};
+    use fs_tensor::{ParamMap, Tensor};
+
+    fn join_msg(id: ParticipantId) -> Message {
+        Message::new(id, SERVER_ID, MessageKind::JoinIn, 0, Payload::Empty)
+    }
+
+    #[test]
+    fn frame_roundtrip_over_localhost() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_frame(&mut s).unwrap()
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut p = ParamMap::new();
+        p.insert("w", Tensor::from_vec(vec![3], vec![1.0, -2.0, 3.0]));
+        let msg = Message::new(4, SERVER_ID, MessageKind::Updates, 7, Payload::Update {
+            params: p,
+            start_version: 6,
+            n_samples: 11,
+            n_steps: 2,
+        });
+        write_frame(&mut client, &msg).unwrap();
+        let got = h.join().unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn hub_routes_by_first_sender() {
+        let pending = TcpHub::bind("127.0.0.1:0").unwrap();
+        let addr = pending.local_addr().unwrap();
+        let mut handles = Vec::new();
+        for id in [1u32, 2] {
+            handles.push(std::thread::spawn(move || {
+                let mut peer = TcpPeer::connect(addr).unwrap();
+                peer.send(&join_msg(id)).unwrap();
+                let reply = peer.recv().unwrap();
+                assert_eq!(reply.kind, MessageKind::IdAssignment);
+                assert_eq!(reply.receiver, id);
+            }));
+        }
+        let hub = pending.accept(2).unwrap();
+        let a = hub.recv().unwrap();
+        let b = hub.recv().unwrap();
+        let mut ids = vec![a.sender, b.sender];
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        for id in [1u32, 2] {
+            hub.send(&Message::new(SERVER_ID, id, MessageKind::IdAssignment, 0, Payload::Empty))
+                .unwrap();
+        }
+        assert_eq!(hub.connected().len(), 2);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // write a bogus huge length prefix
+            s.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        h.join().unwrap();
+        match read_frame(&mut client) {
+            Err(TcpError::FrameTooLarge(_)) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The neutral wire format — the paper's *message translation* (§3.5).
+//!
+//! Participants agree only on this byte format ("an array of pairs of
+//! parameters and values"), never on computation graphs. Encoding turns
+//! backend-native parameters into the neutral format; decoding parses it into
+//! the receiver's own representation. The format follows the principle of
+//! information minimization: it carries names, shapes, and values — nothing
+//! about architecture, training algorithm, or personalization operators.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! params  := u32 count, entry*
+//! entry   := u16 name_len, name bytes (UTF-8), u8 ndim, u32 dim*, f32 value*
+//! message := u32 sender, u32 receiver, u16 kind_tag, u64 round, f64 timestamp,
+//!            u8 payload_tag, payload_body
+//! ```
+
+use crate::message::{Message, MessageKind, Payload};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fs_tensor::model::Metrics;
+use fs_tensor::{ParamMap, Tensor};
+use std::fmt;
+
+/// Errors raised while decoding wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A parameter name was not valid UTF-8.
+    BadName,
+    /// An unknown message-kind or payload tag was encountered.
+    BadTag(u16),
+    /// A declared shape does not match the number of values present.
+    BadShape,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "wire data truncated"),
+            CodecError::BadName => write!(f, "parameter name is not valid UTF-8"),
+            CodecError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            CodecError::BadShape => write!(f, "shape/value-count mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Encodes a [`ParamMap`] into the neutral format.
+pub fn encode_params(params: &ParamMap) -> Bytes {
+    let mut buf = BytesMut::with_capacity(params.numel() * 4 + params.len() * 32 + 4);
+    put_params(&mut buf, params);
+    buf.freeze()
+}
+
+fn put_params(buf: &mut BytesMut, params: &ParamMap) {
+    buf.put_u32_le(params.len() as u32);
+    for (name, t) in params.iter() {
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+        buf.put_u8(t.shape().len() as u8);
+        for &d in t.shape() {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in t.data() {
+            buf.put_f32_le(v);
+        }
+    }
+}
+
+/// Decodes a [`ParamMap`] from the neutral format.
+pub fn decode_params(mut buf: &[u8]) -> Result<ParamMap, CodecError> {
+    take_params(&mut buf)
+}
+
+fn take_params(buf: &mut &[u8]) -> Result<ParamMap, CodecError> {
+    need(buf, 4)?;
+    let count = buf.get_u32_le() as usize;
+    let mut out = ParamMap::new();
+    for _ in 0..count {
+        need(buf, 2)?;
+        let name_len = buf.get_u16_le() as usize;
+        need(buf, name_len)?;
+        let name = std::str::from_utf8(&buf[..name_len])
+            .map_err(|_| CodecError::BadName)?
+            .to_string();
+        buf.advance(name_len);
+        need(buf, 1)?;
+        let ndim = buf.get_u8() as usize;
+        need(buf, 4 * ndim)?;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(buf.get_u32_le() as usize);
+        }
+        // checked product: a crafted frame must yield a decode error, not an
+        // overflow panic or huge allocation
+        let numel = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or(CodecError::BadShape)?;
+        let bytes = numel.checked_mul(4).ok_or(CodecError::BadShape)?;
+        need(buf, bytes)?;
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le());
+        }
+        out.insert(name, Tensor::from_vec(shape, data));
+    }
+    Ok(out)
+}
+
+/// Encodes a whole [`Message`] (header + payload) for transport.
+pub fn encode_message(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(msg.payload_bytes() + 64);
+    buf.put_u32_le(msg.sender);
+    buf.put_u32_le(msg.receiver);
+    buf.put_u16_le(msg.kind.tag());
+    buf.put_u64_le(msg.round);
+    buf.put_f64_le(msg.timestamp);
+    match &msg.payload {
+        Payload::Empty => buf.put_u8(0),
+        Payload::Model { params, version } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*version);
+            put_params(&mut buf, params);
+        }
+        Payload::Update { params, start_version, n_samples, n_steps } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*start_version);
+            buf.put_u64_le(*n_samples);
+            buf.put_u64_le(*n_steps);
+            put_params(&mut buf, params);
+        }
+        Payload::Report { metrics } => {
+            buf.put_u8(3);
+            buf.put_f32_le(metrics.loss);
+            buf.put_f32_le(metrics.accuracy);
+            buf.put_u64_le(metrics.n as u64);
+        }
+        Payload::Bytes(b) => {
+            buf.put_u8(4);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a whole [`Message`] from transport bytes.
+pub fn decode_message(mut buf: &[u8]) -> Result<Message, CodecError> {
+    need(&buf, 4 + 4 + 2 + 8 + 8 + 1)?;
+    let sender = buf.get_u32_le();
+    let receiver = buf.get_u32_le();
+    let kind_tag = buf.get_u16_le();
+    let kind = MessageKind::from_tag(kind_tag).ok_or(CodecError::BadTag(kind_tag))?;
+    let round = buf.get_u64_le();
+    let timestamp = buf.get_f64_le();
+    let payload_tag = buf.get_u8();
+    let payload = match payload_tag {
+        0 => Payload::Empty,
+        1 => {
+            need(&buf, 8)?;
+            let version = buf.get_u64_le();
+            let params = take_params(&mut buf)?;
+            Payload::Model { params, version }
+        }
+        2 => {
+            need(&buf, 24)?;
+            let start_version = buf.get_u64_le();
+            let n_samples = buf.get_u64_le();
+            let n_steps = buf.get_u64_le();
+            let params = take_params(&mut buf)?;
+            Payload::Update { params, start_version, n_samples, n_steps }
+        }
+        3 => {
+            need(&buf, 16)?;
+            let loss = buf.get_f32_le();
+            let accuracy = buf.get_f32_le();
+            let n = buf.get_u64_le() as usize;
+            Payload::Report { metrics: Metrics { loss, accuracy, n } }
+        }
+        4 => {
+            need(&buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(&buf, len)?;
+            let b = buf[..len].to_vec();
+            buf.advance(len);
+            Payload::Bytes(b)
+        }
+        t => return Err(CodecError::BadTag(t as u16)),
+    };
+    Ok(Message { sender, receiver, kind, round, timestamp, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_params() -> ParamMap {
+        let mut p = ParamMap::new();
+        p.insert("fc.weight", Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 3.5, 0.0, 4.25, -1.5]));
+        p.insert("fc.bias", Tensor::from_vec(vec![3], vec![0.1, 0.2, 0.3]));
+        p
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let p = sample_params();
+        let bytes = encode_params(&p);
+        let q = decode_params(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn empty_params_roundtrip() {
+        let p = ParamMap::new();
+        assert_eq!(decode_params(&encode_params(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_params_rejected() {
+        let bytes = encode_params(&sample_params());
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            let r = decode_params(&bytes[..cut]);
+            assert_eq!(r, Err(CodecError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn message_roundtrip_all_payloads() {
+        let payloads = vec![
+            Payload::Empty,
+            Payload::Model { params: sample_params(), version: 9 },
+            Payload::Update {
+                params: sample_params(),
+                start_version: 7,
+                n_samples: 123,
+                n_steps: 4,
+            },
+            Payload::Report { metrics: Metrics { loss: 0.5, accuracy: 0.9, n: 42 } },
+            Payload::Bytes(vec![1, 2, 3, 4, 5]),
+        ];
+        for payload in payloads {
+            let mut m = Message::new(3, 0, MessageKind::Updates, 5, payload);
+            m.timestamp = 123.456;
+            let bytes = encode_message(&m);
+            let d = decode_message(&bytes).unwrap();
+            assert_eq!(m, d);
+        }
+    }
+
+    #[test]
+    fn bad_kind_tag_rejected() {
+        let mut m = Message::new(1, 0, MessageKind::JoinIn, 0, Payload::Empty);
+        m.timestamp = 1.0;
+        let bytes = encode_message(&m);
+        let mut raw = bytes.to_vec();
+        raw[8] = 0xFF; // corrupt kind tag (low byte)
+        raw[9] = 0x00;
+        assert!(matches!(decode_message(&raw), Err(CodecError::BadTag(_))));
+    }
+
+    #[test]
+    fn format_carries_no_architecture_information() {
+        // information minimization: the wire bytes contain names, shapes and
+        // values only — identical architectures with different internals
+        // produce byte-identical encodings.
+        let p = sample_params();
+        let a = encode_params(&p);
+        let b = encode_params(&p.clone());
+        assert_eq!(a, b);
+    }
+}

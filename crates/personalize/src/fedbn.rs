@@ -1,0 +1,66 @@
+//! FedBN: personalize by *not sharing* batch-norm parameters.
+//!
+//! FedBN needs no new trainer — it is exactly the standard
+//! [`fs_core::trainer::LocalTrainer`] with a share filter that keeps every
+//! `bn*` key local, so each client's normalization statistics adapt to its
+//! own feature distribution while the rest of the network is federated.
+//! (The paper highlights this as the "fewer communication costs, same
+//! computation" personalization, §5.3.2.)
+
+use fs_core::trainer::{share_except_prefix, ShareFilter};
+
+/// The FedBN share filter: share everything except `bn*.*` keys.
+pub fn fedbn_share_filter() -> ShareFilter {
+    share_except_prefix("bn")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_core::config::FlConfig;
+    use fs_core::course::CourseBuilder;
+    use fs_data::synth::{femnist_like, ImageConfig};
+    use fs_tensor::model::mlp_bn;
+    use fs_tensor::optim::SgdConfig;
+
+    #[test]
+    fn filter_keeps_bn_local() {
+        let f = fedbn_share_filter();
+        assert!(f("fc1.weight"));
+        assert!(f("conv2.bias"));
+        assert!(!f("bn1.gamma"));
+        assert!(!f("bn1.running_mean"));
+    }
+
+    #[test]
+    fn fedbn_course_shares_no_bn_keys() {
+        let data = femnist_like(&ImageConfig {
+            num_clients: 6,
+            per_client: 20,
+            img: 6,
+            num_classes: 4,
+            ..Default::default()
+        })
+        .flattened();
+        let dim = data.input_dim();
+        let cfg = FlConfig {
+            total_rounds: 3,
+            concurrency: 4,
+            sgd: SgdConfig::with_lr(0.1),
+            ..Default::default()
+        };
+        let mut runner = CourseBuilder::new(
+            data,
+            Box::new(move |rng| Box::new(mlp_bn(&[dim, 16, 4], rng))),
+            cfg,
+        )
+        .share_filter(fedbn_share_filter())
+        .build();
+        // the global model must not contain any bn keys
+        assert!(runner.server.state.global.names().all(|n| !n.starts_with("bn")));
+        let report = runner.run();
+        assert_eq!(report.rounds, 3);
+        // every client reported final metrics from its personalized model
+        assert_eq!(runner.server.state.client_reports.len(), 6);
+    }
+}

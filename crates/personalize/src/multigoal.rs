@@ -1,0 +1,155 @@
+//! FL with multiple learning goals (§3.4.2).
+//!
+//! Participants reach a consensus on *what to share* — here, the graph
+//! encoder keys `gconv*` — and keep their heads, losses, and even task types
+//! private. One client may run graph classification while another regresses
+//! edge density; both improve the shared structural encoder.
+
+use fs_core::config::FlConfig;
+use fs_core::course::CourseBuilder;
+use fs_core::runner::StandaloneRunner;
+use fs_core::trainer::{LocalTrainer, ShareFilter, TrainConfig};
+use fs_data::graphs::{GraphConfig, GraphTask};
+use fs_data::FedDataset;
+use fs_tensor::loss::LossKind;
+use fs_tensor::model::Gcn;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// The consensus share filter for graph multi-goal courses: only the graph
+/// encoder is exchanged.
+pub fn encoder_share_filter() -> ShareFilter {
+    Arc::new(|name: &str| name.starts_with("gconv"))
+}
+
+/// Builds a multi-goal FL course over the synthetic graph tasks: each client
+/// gets a [`Gcn`] whose head matches its own goal (classification or
+/// regression), and only the encoder is federated.
+pub fn multi_goal_course(graph_cfg: &GraphConfig, data: FedDataset, cfg: FlConfig) -> StandaloneRunner {
+    assert_eq!(
+        data.num_clients(),
+        graph_cfg.tasks.len(),
+        "dataset/tasks mismatch"
+    );
+    let nodes = graph_cfg.nodes;
+    let feats = graph_cfg.feats;
+    let tasks = graph_cfg.tasks.clone();
+    let hidden = 12usize;
+    CourseBuilder::new(
+        data,
+        // the template (defines the shared global init) is a classifier; only
+        // its gconv keys matter because of the share filter
+        Box::new(move |rng| {
+            Box::new(Gcn::new(nodes, feats, hidden, 2, LossKind::SoftmaxCrossEntropy, rng))
+        }),
+        cfg,
+    )
+    .share_filter(encoder_share_filter())
+    .no_central_eval() // task types differ; evaluation is client-side
+    .trainer_factory(Box::new(move |i, template, split, cfg| {
+        // private head per goal; encoder initialized from the template so all
+        // clients agree on the shared starting point
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64 + 101));
+        let (out, loss) = match tasks[i] {
+            GraphTask::Classification => (2, LossKind::SoftmaxCrossEntropy),
+            GraphTask::Regression => (1, LossKind::Mse),
+        };
+        let mut model = Gcn::new(nodes, feats, hidden, out, loss, &mut rng);
+        let shared = template.get_params().filter(|k| k.starts_with("gconv"));
+        use fs_tensor::model::Model;
+        let mut p = model.get_params();
+        p.merge_from(&shared);
+        model.set_params(&p);
+        Box::new(LocalTrainer::new(
+            Box::new(model),
+            split,
+            TrainConfig {
+                local_steps: cfg.local_steps,
+                batch_size: cfg.batch_size,
+                sgd: cfg.sgd,
+            },
+            encoder_share_filter(),
+            cfg.seed ^ (i as u64 + 1),
+        ))
+    }))
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_data::graphs::graph_multitask;
+    use fs_tensor::optim::SgdConfig;
+
+    #[test]
+    fn consensus_filter_selects_encoder_only() {
+        let f = encoder_share_filter();
+        assert!(f("gconv1.weight"));
+        assert!(f("gconv2.weight"));
+        assert!(!f("head.weight"));
+        assert!(!f("head.bias"));
+    }
+
+    #[test]
+    fn mixed_goal_course_runs_and_reports() {
+        let gcfg = GraphConfig {
+            per_client: 20,
+            tasks: vec![
+                GraphTask::Classification,
+                GraphTask::Classification,
+                GraphTask::Regression,
+            ],
+            ..Default::default()
+        };
+        let data = graph_multitask(&gcfg);
+        let cfg = FlConfig {
+            total_rounds: 4,
+            concurrency: 3,
+            local_steps: 4,
+            batch_size: 8,
+            sgd: SgdConfig::with_lr(0.2),
+            ..Default::default()
+        };
+        let mut runner = multi_goal_course(&gcfg, data, cfg);
+        // the global model carries only encoder keys
+        let names: Vec<&str> = runner.server.state.global.names().collect();
+        assert_eq!(names, vec!["gconv1.weight", "gconv2.weight"]);
+        let report = runner.run();
+        assert_eq!(report.rounds, 4);
+        // all three clients (two classifiers, one regressor) reported
+        assert_eq!(runner.server.state.client_reports.len(), 3);
+        // the regression client's report has accuracy 0 but n > 0
+        let reg = runner.server.state.client_reports[&3];
+        assert!(reg.n > 0);
+        assert_eq!(reg.accuracy, 0.0);
+    }
+
+    #[test]
+    fn shared_encoder_helps_classification() {
+        // federated encoder vs frozen-at-init encoder: the federated one
+        // should reach a lower or equal validation loss on classification
+        let gcfg = GraphConfig {
+            per_client: 40,
+            tasks: vec![GraphTask::Classification, GraphTask::Classification, GraphTask::Regression],
+            ..Default::default()
+        };
+        let data = graph_multitask(&gcfg);
+        let cfg = FlConfig {
+            total_rounds: 40,
+            concurrency: 3,
+            local_steps: 6,
+            batch_size: 8,
+            sgd: SgdConfig::with_lr(0.3),
+            ..Default::default()
+        };
+        let mut runner = multi_goal_course(&gcfg, data, cfg);
+        let report = runner.run();
+        assert_eq!(report.rounds, 40);
+        let c1 = runner.server.state.client_reports[&1];
+        assert!(c1.accuracy > 0.7, "classification client stuck at {c1:?}");
+        // the regression client converged too (tiny MSE, no accuracy)
+        let c3 = runner.server.state.client_reports[&3];
+        assert!(c3.loss < 0.1, "regression client stuck at {c3:?}");
+    }
+}

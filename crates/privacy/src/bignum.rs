@@ -1,0 +1,563 @@
+//! Arbitrary-precision unsigned integers, from scratch.
+//!
+//! Paillier homomorphic encryption (§4.1) needs multi-hundred-bit modular
+//! arithmetic; no bignum crate is on the approved dependency list, so this
+//! module implements one: little-endian `u64` limbs with schoolbook
+//! multiplication, shift-subtract division, modular exponentiation, extended
+//! Euclid (for modular inverses), and Miller–Rabin primality testing. It is
+//! correctness-oriented, not constant-time — fine for an FL research
+//! platform, *not* for production cryptography.
+
+use rand::Rng;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: no trailing zero limbs (zero is the empty limb vector).
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.limbs.is_empty() {
+            return write!(f, "BigUint(0)");
+        }
+        write!(f, "BigUint(0x")?;
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// Constructs from little-endian limbs (normalizing).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Self { limbs }
+    }
+
+    /// The value as `u64`, if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// `true` when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` when the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Bit `i` (little-endian).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sum.
+    pub fn add(&self, rhs: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Difference.
+    ///
+    /// # Panics
+    /// Panics if `rhs > self`.
+    pub fn sub(&self, rhs: &BigUint) -> BigUint {
+        assert!(self >= rhs, "BigUint::sub underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        BigUint::from_limbs(out)
+    }
+
+    /// Product (schoolbook).
+    pub fn mul(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() || n == 0 {
+            return if n == 0 { self.clone() } else { BigUint::zero() };
+        }
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift > 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut l = self.limbs[i] >> bit_shift;
+            if bit_shift > 0 && i + 1 < self.limbs.len() {
+                l |= self.limbs[i + 1] << (64 - bit_shift);
+            }
+            out.push(l);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Quotient and remainder (shift-subtract long division).
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_rem(&self, rhs: &BigUint) -> (BigUint, BigUint) {
+        assert!(!rhs.is_zero(), "division by zero");
+        if self < rhs {
+            return (BigUint::zero(), self.clone());
+        }
+        if let (Some(a), Some(b)) = (self.to_u64(), rhs.to_u64()) {
+            return (BigUint::from_u64(a / b), BigUint::from_u64(a % b));
+        }
+        let shift = self.bits() - rhs.bits();
+        let mut rem = self.clone();
+        let mut quo = vec![0u64; shift / 64 + 1];
+        let mut d = rhs.shl(shift);
+        for i in (0..=shift).rev() {
+            if rem >= d {
+                rem = rem.sub(&d);
+                quo[i / 64] |= 1u64 << (i % 64);
+            }
+            d = d.shr(1);
+        }
+        (BigUint::from_limbs(quo), rem)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// `(self * rhs) mod m`.
+    pub fn mod_mul(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(rhs).rem(m)
+    }
+
+    /// `self^exp mod m` by square-and-multiply.
+    pub fn mod_pow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "zero modulus");
+        if m == &BigUint::one() {
+            return BigUint::zero();
+        }
+        let mut base = self.rem(m);
+        let mut result = BigUint::one();
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.mod_mul(&base, m);
+            }
+            base = base.mod_mul(&base, m);
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, rhs: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = rhs.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple.
+    pub fn lcm(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        self.mul(rhs).div_rem(&self.gcd(rhs)).0
+    }
+
+    /// Modular inverse of `self` mod `m`, if `gcd(self, m) == 1`.
+    ///
+    /// Uses extended Euclid with coefficients tracked in `Z_m`.
+    pub fn mod_inverse(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() || self.is_zero() {
+            return None;
+        }
+        let mut r0 = m.clone();
+        let mut r1 = self.rem(m);
+        let mut t0 = BigUint::zero();
+        let mut t1 = BigUint::one();
+        while !r1.is_zero() {
+            let (q, r) = r0.div_rem(&r1);
+            // t0 - q*t1 (mod m)
+            let qt1 = q.mod_mul(&t1, m);
+            let t2 = t0.add(m).sub(&qt1).rem(m);
+            t0 = t1;
+            t1 = t2;
+            r0 = r1;
+            r1 = r;
+        }
+        if r0 == BigUint::one() {
+            Some(t0)
+        } else {
+            None
+        }
+    }
+
+    /// A uniformly random value in `[0, bound)`.
+    pub fn random_below(bound: &BigUint, rng: &mut impl Rng) -> BigUint {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bits();
+        loop {
+            let mut limbs = vec![0u64; bits.div_ceil(64)];
+            for l in &mut limbs {
+                *l = rng.gen();
+            }
+            // mask the top limb to the bound's bit length
+            let extra = limbs.len() * 64 - bits;
+            if extra > 0 {
+                let last = limbs.len() - 1;
+                limbs[last] &= u64::MAX >> extra;
+            }
+            let v = BigUint::from_limbs(limbs);
+            if &v < bound {
+                return v;
+            }
+        }
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probably_prime(&self, rounds: usize, rng: &mut impl Rng) -> bool {
+        if let Some(v) = self.to_u64() {
+            if v < 2 {
+                return false;
+            }
+            for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+                if v == p {
+                    return true;
+                }
+                if v % p == 0 {
+                    return false;
+                }
+            }
+        }
+        if !self.is_odd() {
+            return false;
+        }
+        // trial division by small primes
+        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67] {
+            let pb = BigUint::from_u64(p);
+            if self == &pb {
+                return true;
+            }
+            if self.rem(&pb).is_zero() {
+                return false;
+            }
+        }
+        let one = BigUint::one();
+        let n_minus_1 = self.sub(&one);
+        // n-1 = d * 2^s
+        let mut s = 0usize;
+        let mut d = n_minus_1.clone();
+        while !d.is_odd() {
+            d = d.shr(1);
+            s += 1;
+        }
+        let two = BigUint::from_u64(2);
+        'witness: for _ in 0..rounds {
+            let range = self.sub(&BigUint::from_u64(3));
+            let a = BigUint::random_below(&range, rng).add(&two); // [2, n-2]
+            let mut x = a.mod_pow(&d, self);
+            if x == one || x == n_minus_1 {
+                continue 'witness;
+            }
+            for _ in 0..s - 1 {
+                x = x.mod_mul(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random prime with exactly `bits` bits.
+    pub fn gen_prime(bits: usize, rng: &mut impl Rng) -> BigUint {
+        assert!(bits >= 8, "prime too small to be useful");
+        loop {
+            let mut limbs = vec![0u64; bits.div_ceil(64)];
+            for l in &mut limbs {
+                *l = rng.gen();
+            }
+            let extra = limbs.len() * 64 - bits;
+            let last = limbs.len() - 1;
+            limbs[last] &= u64::MAX >> extra;
+            limbs[last] |= 1u64 << ((bits - 1) % 64); // exact bit length
+            limbs[0] |= 1; // odd
+            let candidate = BigUint::from_limbs(limbs);
+            if candidate.is_probably_prime(16, rng) {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(b(2).add(&b(3)), b(5));
+        assert_eq!(b(10).sub(&b(4)), b(6));
+        assert_eq!(b(7).mul(&b(6)), b(42));
+        let (q, r) = b(17).div_rem(&b(5));
+        assert_eq!((q, r), (b(3), b(2)));
+    }
+
+    #[test]
+    fn carry_propagation() {
+        let max = BigUint::from_u64(u64::MAX);
+        let sum = max.add(&BigUint::one());
+        assert_eq!(sum.bits(), 65);
+        assert_eq!(sum.sub(&BigUint::one()), max);
+        let sq = max.mul(&max);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(sq.add(&max.shl(1)), BigUint::one().shl(128).sub(&BigUint::one()));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(b(1).shl(64).shr(64), b(1));
+        assert_eq!(b(0b1011).shl(3), b(0b1011000));
+        assert_eq!(b(0b1011).shr(2), b(0b10));
+        assert_eq!(b(5).shr(100), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_invariant_random() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a = BigUint::random_below(&BigUint::one().shl(192), &mut rng);
+            let mut m = BigUint::random_below(&BigUint::one().shl(100), &mut rng);
+            if m.is_zero() {
+                m = BigUint::one();
+            }
+            let (q, r) = a.div_rem(&m);
+            assert!(r < m);
+            assert_eq!(q.mul(&m).add(&r), a);
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_u64() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let base: u64 = rng.gen_range(0..1000);
+            let exp: u64 = rng.gen_range(0..20);
+            let m: u64 = rng.gen_range(2..10_000);
+            let expect = {
+                let mut r: u128 = 1;
+                for _ in 0..exp {
+                    r = r * base as u128 % m as u128;
+                }
+                r as u64
+            };
+            assert_eq!(b(base).mod_pow(&b(exp), &b(m)).to_u64(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) = 1 mod p for prime p
+        let p = b(1_000_000_007);
+        let a = b(123_456_789);
+        assert_eq!(a.mod_pow(&p.sub(&BigUint::one()), &p), BigUint::one());
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(12).lcm(&b(18)), b(36));
+        assert_eq!(b(17).gcd(&b(31)), b(1));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+    }
+
+    #[test]
+    fn mod_inverse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = BigUint::gen_prime(64, &mut rng);
+        for _ in 0..20 {
+            let a = BigUint::random_below(&m, &mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.mod_inverse(&m).expect("prime modulus");
+            assert_eq!(a.mod_mul(&inv, &m), BigUint::one());
+        }
+        // non-invertible
+        assert!(b(4).mod_inverse(&b(8)).is_none());
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for p in [2u64, 3, 5, 17, 97, 65_537, 1_000_000_007] {
+            assert!(b(p).is_probably_prime(16, &mut rng), "{p} is prime");
+        }
+        for c in [1u64, 4, 100, 65_535, 1_000_000_008] {
+            assert!(!b(c).is_probably_prime(16, &mut rng), "{c} is composite");
+        }
+        // Carmichael number 561 = 3*11*17 must be rejected
+        assert!(!b(561).is_probably_prime(16, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = BigUint::gen_prime(96, &mut rng);
+        assert_eq!(p.bits(), 96);
+        assert!(p.is_odd());
+        assert!(p.is_probably_prime(16, &mut rng));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(b(5) > b(3));
+        assert!(BigUint::one().shl(64) > b(u64::MAX));
+        assert_eq!(b(7).cmp(&b(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let bound = b(1000);
+        for _ in 0..100 {
+            assert!(BigUint::random_below(&bound, &mut rng) < bound);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The Paillier additively homomorphic cryptosystem (§4.1).
+//!
+//! FederatedScope ships Paillier for cross-silo FL: clients encrypt model
+//! updates, the server aggregates *ciphertexts* (addition under encryption)
+//! and only the key holder can decrypt the sum. Implemented on the in-crate
+//! bignum — key sizes used in tests are small
+//! (128–256 bit) to keep test time low — real deployments need ≥ 2048-bit
+//! keys and a hardened bignum.
+//!
+//! Uses the standard `g = n + 1` variant: `Enc(m, r) = (1 + m n) r^n mod n²`,
+//! `Dec(c) = L(c^λ mod n²) · λ⁻¹ mod n` with `L(x) = (x − 1)/n`.
+
+use crate::bignum::BigUint;
+use rand::Rng;
+
+/// Paillier public key.
+#[derive(Clone, Debug)]
+pub struct PublicKey {
+    /// Modulus `n = p q`.
+    pub n: BigUint,
+    n_squared: BigUint,
+}
+
+/// Paillier private key.
+#[derive(Clone, Debug)]
+pub struct PrivateKey {
+    lambda: BigUint,
+    mu: BigUint,
+    public: PublicKey,
+}
+
+/// A Paillier ciphertext (value in `Z_{n²}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ciphertext(BigUint);
+
+/// Generates a Paillier key pair with an `bits`-bit modulus.
+pub fn keygen(bits: usize, rng: &mut impl Rng) -> (PublicKey, PrivateKey) {
+    assert!(bits >= 32, "modulus too small");
+    loop {
+        let p = BigUint::gen_prime(bits / 2, rng);
+        let q = BigUint::gen_prime(bits - bits / 2, rng);
+        if p == q {
+            continue;
+        }
+        let n = p.mul(&q);
+        let one = BigUint::one();
+        let lambda = p.sub(&one).lcm(&q.sub(&one));
+        // mu = lambda^{-1} mod n (g = n+1 variant)
+        let Some(mu) = lambda.mod_inverse(&n) else {
+            continue;
+        };
+        let n_squared = n.mul(&n);
+        let public = PublicKey { n: n.clone(), n_squared };
+        let private = PrivateKey { lambda, mu, public: public.clone() };
+        return (public, private);
+    }
+}
+
+impl PublicKey {
+    /// Encrypts `m` (must satisfy `m < n`) with fresh randomness.
+    pub fn encrypt(&self, m: &BigUint, rng: &mut impl Rng) -> Ciphertext {
+        assert!(m < &self.n, "plaintext out of range");
+        // r in [1, n) with gcd(r, n) = 1
+        let r = loop {
+            let r = BigUint::random_below(&self.n, rng);
+            if !r.is_zero() && r.gcd(&self.n) == BigUint::one() {
+                break r;
+            }
+        };
+        // (1 + m n) mod n^2
+        let gm = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared);
+        let rn = r.mod_pow(&self.n, &self.n_squared);
+        Ciphertext(gm.mod_mul(&rn, &self.n_squared))
+    }
+
+    /// Encrypts a `u64`.
+    pub fn encrypt_u64(&self, m: u64, rng: &mut impl Rng) -> Ciphertext {
+        self.encrypt(&BigUint::from_u64(m), rng)
+    }
+
+    /// Homomorphic addition: `Dec(add(c1, c2)) = m1 + m2 (mod n)`.
+    pub fn add(&self, c1: &Ciphertext, c2: &Ciphertext) -> Ciphertext {
+        Ciphertext(c1.0.mod_mul(&c2.0, &self.n_squared))
+    }
+
+    /// Homomorphic scalar multiplication: `Dec(mul_scalar(c, k)) = k m (mod n)`.
+    pub fn mul_scalar(&self, c: &Ciphertext, k: &BigUint) -> Ciphertext {
+        Ciphertext(c.0.mod_pow(k, &self.n_squared))
+    }
+}
+
+impl PrivateKey {
+    /// The matching public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Decrypts a ciphertext.
+    pub fn decrypt(&self, c: &Ciphertext) -> BigUint {
+        let n = &self.public.n;
+        let x = c.0.mod_pow(&self.lambda, &self.public.n_squared);
+        // L(x) = (x - 1) / n
+        let l = x.sub(&BigUint::one()).div_rem(n).0;
+        l.mod_mul(&self.mu, n)
+    }
+
+    /// Decrypts to `u64` (plaintext must fit).
+    pub fn decrypt_u64(&self, c: &Ciphertext) -> u64 {
+        self.decrypt(c).to_u64().expect("plaintext exceeds u64")
+    }
+}
+
+/// Fixed-point encoding of an `f32` into `Z_n` with sign handling: positive
+/// values map to `round(v * SCALE)`, negatives to `n - round(|v| * SCALE)`.
+pub const FIXED_SCALE: f64 = 65_536.0;
+
+/// Encodes a float for Paillier aggregation.
+pub fn encode_f32(v: f32, n: &BigUint) -> BigUint {
+    let scaled = (v.abs() as f64 * FIXED_SCALE).round() as u64;
+    let mag = BigUint::from_u64(scaled);
+    if v < 0.0 && !mag.is_zero() {
+        // (a tiny negative whose magnitude rounds to 0 must encode as 0,
+        // not as n, which would fail encrypt's range check)
+        n.sub(&mag)
+    } else {
+        mag
+    }
+}
+
+/// Decodes the homomorphic sum of `count` encoded floats.
+///
+/// Values whose residue exceeds `n/2` are interpreted as negative.
+pub fn decode_f32(enc: &BigUint, n: &BigUint) -> f32 {
+    let half = n.shr(1);
+    if enc > &half {
+        let mag = n.sub(enc);
+        -(mag.to_u64().expect("magnitude fits") as f64 / FIXED_SCALE) as f32
+    } else {
+        (enc.to_u64().expect("magnitude fits") as f64 / FIXED_SCALE) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> (PublicKey, PrivateKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (pk, sk) = keygen(128, &mut rng);
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (pk, sk, mut rng) = keys();
+        for m in [0u64, 1, 42, 1_000_000, u32::MAX as u64] {
+            let c = pk.encrypt_u64(m, &mut rng);
+            assert_eq!(sk.decrypt_u64(&c), m, "roundtrip {m}");
+        }
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let (pk, _sk, mut rng) = keys();
+        let c1 = pk.encrypt_u64(5, &mut rng);
+        let c2 = pk.encrypt_u64(5, &mut rng);
+        assert_ne!(c1, c2, "semantic security requires fresh randomness");
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (pk, sk, mut rng) = keys();
+        let c1 = pk.encrypt_u64(100, &mut rng);
+        let c2 = pk.encrypt_u64(23, &mut rng);
+        assert_eq!(sk.decrypt_u64(&pk.add(&c1, &c2)), 123);
+    }
+
+    #[test]
+    fn homomorphic_scalar_multiplication() {
+        let (pk, sk, mut rng) = keys();
+        let c = pk.encrypt_u64(7, &mut rng);
+        let ck = pk.mul_scalar(&c, &BigUint::from_u64(9));
+        assert_eq!(sk.decrypt_u64(&ck), 63);
+    }
+
+    #[test]
+    fn aggregation_of_many_ciphertexts() {
+        let (pk, sk, mut rng) = keys();
+        let values: Vec<u64> = (1..=10).collect();
+        let mut acc = pk.encrypt_u64(0, &mut rng);
+        for &v in &values {
+            acc = pk.add(&acc, &pk.encrypt_u64(v, &mut rng));
+        }
+        assert_eq!(sk.decrypt_u64(&acc), 55);
+    }
+
+    #[test]
+    fn float_encoding_handles_signs() {
+        let (pk, sk, mut rng) = keys();
+        // sum of +1.5 and -0.75 under encryption
+        let a = encode_f32(1.5, &pk.n);
+        let b = encode_f32(-0.75, &pk.n);
+        let ca = pk.encrypt(&a, &mut rng);
+        let cb = pk.encrypt(&b, &mut rng);
+        let sum = sk.decrypt(&pk.add(&ca, &cb));
+        let v = decode_f32(&sum.rem(&pk.n), &pk.n);
+        assert!((v - 0.75).abs() < 1e-3, "decoded {v}");
+        // purely negative sum
+        let c = encode_f32(-2.25, &pk.n);
+        let cc = pk.encrypt(&c, &mut rng);
+        let v = decode_f32(&sk.decrypt(&cc), &pk.n);
+        assert!((v + 2.25).abs() < 1e-3, "decoded {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "plaintext out of range")]
+    fn oversized_plaintext_rejected() {
+        let (pk, _sk, mut rng) = keys();
+        let too_big = pk.n.clone();
+        let _ = pk.encrypt(&too_big, &mut rng);
+    }
+}

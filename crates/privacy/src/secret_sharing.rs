@@ -1,0 +1,171 @@
+//! Additive secret sharing for secure aggregation (§4.1).
+//!
+//! The paper "develops a secret sharing mechanism for FedAvg": each client
+//! splits its update vector into `n` additive shares over `Z_{2^64}` (all but
+//! one share uniformly random), hands one share to every peer, and the server
+//! only ever sees per-coordinate share *sums* — which reconstruct the sum of
+//! the clients' values while each individual value stays information-
+//! theoretically hidden.
+//!
+//! Floats enter the ring through two's-complement fixed-point encoding, so
+//! negative values and wrap-around cancellation behave correctly.
+
+use fs_tensor::ParamMap;
+use rand::Rng;
+
+/// Fixed-point scale used when sharing floats.
+pub const SHARE_SCALE: f64 = 65_536.0;
+
+/// Encodes a float into the `Z_{2^64}` ring (two's complement fixed point).
+pub fn encode_fixed(v: f32) -> u64 {
+    let scaled = (v as f64 * SHARE_SCALE).round() as i64;
+    scaled as u64
+}
+
+/// Decodes a ring element back to a float.
+pub fn decode_fixed(v: u64) -> f32 {
+    (v as i64) as f64 as f32 / SHARE_SCALE as f32
+}
+
+/// Splits `values` into `n` additive share vectors: the shares of each
+/// coordinate sum (wrapping) to the encoded value.
+pub fn share(values: &[f32], n: usize, rng: &mut impl Rng) -> Vec<Vec<u64>> {
+    assert!(n >= 1, "need at least one share");
+    let mut shares = vec![vec![0u64; values.len()]; n];
+    for (i, &v) in values.iter().enumerate() {
+        let mut acc = 0u64;
+        for s in shares.iter_mut().take(n - 1) {
+            let r: u64 = rng.gen();
+            s[i] = r;
+            acc = acc.wrapping_add(r);
+        }
+        shares[n - 1][i] = encode_fixed(v).wrapping_sub(acc);
+    }
+    shares
+}
+
+/// Reconstructs the float vector from a complete set of share vectors.
+pub fn reconstruct(shares: &[Vec<u64>]) -> Vec<f32> {
+    assert!(!shares.is_empty(), "no shares");
+    let len = shares[0].len();
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let mut acc = 0u64;
+        for s in shares {
+            assert_eq!(s.len(), len, "ragged shares");
+            acc = acc.wrapping_add(s[i]);
+        }
+        out.push(decode_fixed(acc));
+    }
+    out
+}
+
+/// Securely aggregates client parameter maps: each client's tensors are
+/// additively shared among all clients, every client sums the shares it
+/// holds, and the server adds those partial sums — learning only the total.
+///
+/// Returns the aggregated (summed, not averaged) [`ParamMap`]. This is the
+/// simulation of the full protocol: the information flow (who could see
+/// what) matches, while transport is in-process.
+pub fn secure_aggregate(client_params: &[ParamMap], rng: &mut impl Rng) -> ParamMap {
+    assert!(!client_params.is_empty(), "no clients");
+    let n = client_params.len();
+    let template = &client_params[0];
+    let mut result = template.zeros_like();
+    let names: Vec<String> = template.names().map(str::to_string).collect();
+    for name in &names {
+        let len = template.get(name).expect("key").numel();
+        // per-peer accumulated shares (what peer j would hold)
+        let mut peer_sums = vec![vec![0u64; len]; n];
+        for cp in client_params {
+            let t = cp.get(name).unwrap_or_else(|| panic!("client missing key {name}"));
+            let shares = share(t.data(), n, rng);
+            for (peer, sh) in peer_sums.iter_mut().zip(&shares) {
+                for (a, b) in peer.iter_mut().zip(sh) {
+                    *a = a.wrapping_add(*b);
+                }
+            }
+        }
+        // server adds the peers' partial sums
+        let mut total = vec![0u64; len];
+        for peer in &peer_sums {
+            for (a, b) in total.iter_mut().zip(peer) {
+                *a = a.wrapping_add(*b);
+            }
+        }
+        let out = result.get_mut(name).expect("key");
+        for (dst, v) in out.data_mut().iter_mut().zip(&total) {
+            *dst = decode_fixed(*v);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_point_roundtrip() {
+        for v in [0.0f32, 1.0, -1.0, 3.25, -1234.5, 0.0001] {
+            let r = decode_fixed(encode_fixed(v));
+            assert!((r - v).abs() < 1e-3, "{v} -> {r}");
+        }
+    }
+
+    #[test]
+    fn share_reconstruct_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let values = vec![1.5f32, -2.25, 0.0, 100.0];
+        for n in [1usize, 2, 5, 10] {
+            let shares = share(&values, n, &mut rng);
+            assert_eq!(shares.len(), n);
+            let rec = reconstruct(&shares);
+            for (a, b) in values.iter().zip(&rec) {
+                assert!((a - b).abs() < 1e-3, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_share_leaks_nothing_statistically() {
+        // a single share of a constant vector should look uniform: its mean
+        // across many draws must not concentrate near the encoded value
+        let mut rng = StdRng::seed_from_u64(2);
+        let values = vec![7.0f32];
+        let mut zero_hits = 0;
+        for _ in 0..200 {
+            let shares = share(&values, 3, &mut rng);
+            // first share is raw randomness
+            if (decode_fixed(shares[0][0]) - 7.0).abs() < 1.0 {
+                zero_hits += 1;
+            }
+        }
+        assert!(zero_hits < 10, "shares cluster around the secret: {zero_hits}");
+    }
+
+    #[test]
+    fn secure_aggregate_equals_plain_sum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mk = |vals: &[f32]| {
+            let mut p = ParamMap::new();
+            p.insert("w", Tensor::from_vec(vec![vals.len()], vals.to_vec()));
+            p
+        };
+        let clients = vec![mk(&[1.0, -2.0]), mk(&[0.5, 0.5]), mk(&[-3.25, 4.0])];
+        let agg = secure_aggregate(&clients, &mut rng);
+        let w = agg.get("w").unwrap();
+        assert!((w.data()[0] - (1.0 + 0.5 - 3.25)).abs() < 1e-3);
+        assert!((w.data()[1] - (-2.0 + 0.5 + 4.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no clients")]
+    fn empty_aggregation_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = secure_aggregate(&[], &mut rng);
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-client device profiles and the fleet generator.
+//!
+//! The paper estimates client execution times from FedScale device traces; we
+//! substitute log-normal compute-speed and bandwidth draws, which reproduce
+//! the long-tailed "stragglers exist" behaviour that the asynchronous
+//! experiments (§5.3.1) depend on. Each client also gets a crash probability
+//! (device failures / dropouts) and a *responsiveness group* (speed quantile)
+//! used by the group sampler.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+
+/// Static system profile of one client device.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceProfile {
+    /// Local training throughput, in examples per second.
+    pub compute_speed: f64,
+    /// Link bandwidth, in bytes per second (used for both directions).
+    pub bandwidth: f64,
+    /// Probability that the device crashes during a round and never replies.
+    pub crash_prob: f64,
+    /// Responsiveness group index (0 = fastest quantile).
+    pub group: usize,
+}
+
+impl DeviceProfile {
+    /// Seconds of compute needed to process `examples` training examples.
+    pub fn compute_secs(&self, examples: usize) -> f64 {
+        examples as f64 / self.compute_speed.max(1e-9)
+    }
+
+    /// Seconds to move `bytes` across the link once.
+    pub fn comm_secs(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.bandwidth.max(1e-9)
+    }
+
+    /// Total response latency for one round: download + compute + upload.
+    pub fn round_secs(&self, examples: usize, payload_bytes: usize) -> f64 {
+        2.0 * self.comm_secs(payload_bytes) + self.compute_secs(examples)
+    }
+}
+
+/// Configuration for generating a heterogeneous device fleet.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of client devices.
+    pub num_clients: usize,
+    /// Median compute speed (examples/second).
+    pub median_speed: f64,
+    /// Log-normal sigma of the speed distribution (larger = more stragglers).
+    pub speed_sigma: f64,
+    /// Median bandwidth (bytes/second).
+    pub median_bandwidth: f64,
+    /// Log-normal sigma of the bandwidth distribution.
+    pub bandwidth_sigma: f64,
+    /// Per-round crash probability applied to every device.
+    pub crash_prob: f64,
+    /// Number of responsiveness groups (speed quantiles).
+    pub num_groups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            num_clients: 100,
+            median_speed: 50.0,
+            speed_sigma: 1.0,
+            median_bandwidth: 50_000.0,
+            bandwidth_sigma: 0.7,
+            crash_prob: 0.0,
+            num_groups: 4,
+            seed: 17,
+        }
+    }
+}
+
+/// A generated set of device profiles, indexed by client id - 1.
+#[derive(Clone, Debug)]
+pub struct Fleet {
+    profiles: Vec<DeviceProfile>,
+}
+
+impl Fleet {
+    /// Generates a fleet from the configuration (deterministic in the seed).
+    pub fn generate(cfg: &FleetConfig) -> Self {
+        assert!(cfg.num_clients > 0, "fleet needs at least one client");
+        assert!(cfg.num_groups > 0, "fleet needs at least one group");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let speed_dist =
+            LogNormal::new(cfg.median_speed.ln(), cfg.speed_sigma).expect("valid lognormal");
+        let bw_dist = LogNormal::new(cfg.median_bandwidth.ln(), cfg.bandwidth_sigma)
+            .expect("valid lognormal");
+        let mut profiles: Vec<DeviceProfile> = (0..cfg.num_clients)
+            .map(|_| DeviceProfile {
+                compute_speed: speed_dist.sample(&mut rng),
+                bandwidth: bw_dist.sample(&mut rng),
+                crash_prob: cfg.crash_prob,
+                group: 0,
+            })
+            .collect();
+        // assign groups by expected round latency quantile (fast group = 0)
+        let mut order: Vec<usize> = (0..cfg.num_clients).collect();
+        order.sort_by(|&a, &b| {
+            let la = profiles[a].round_secs(100, 100_000);
+            let lb = profiles[b].round_secs(100, 100_000);
+            la.partial_cmp(&lb).expect("finite latency")
+        });
+        let per_group = cfg.num_clients.div_ceil(cfg.num_groups);
+        for (rank, &idx) in order.iter().enumerate() {
+            profiles[idx].group = (rank / per_group).min(cfg.num_groups - 1);
+        }
+        Self { profiles }
+    }
+
+    /// Builds a fleet from explicit profiles (useful in tests).
+    pub fn from_profiles(profiles: Vec<DeviceProfile>) -> Self {
+        Self { profiles }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// `true` when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Profile of client `client_id` (ids start at 1; the server is 0).
+    pub fn profile(&self, client_id: u32) -> &DeviceProfile {
+        assert!(client_id >= 1, "client ids start at 1");
+        &self.profiles[(client_id - 1) as usize]
+    }
+
+    /// All profiles, indexed by client id - 1.
+    pub fn profiles(&self) -> &[DeviceProfile] {
+        &self.profiles
+    }
+
+    /// Samples whether client `client_id` crashes this round.
+    pub fn crashes(&self, client_id: u32, rng: &mut impl Rng) -> bool {
+        rng.gen::<f64>() < self.profile(client_id).crash_prob
+    }
+
+    /// Client ids belonging to responsiveness group `g`.
+    pub fn group_members(&self, g: usize) -> Vec<u32> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.group == g)
+            .map(|(i, _)| i as u32 + 1)
+            .collect()
+    }
+
+    /// Number of distinct responsiveness groups present.
+    pub fn num_groups(&self) -> usize {
+        self.profiles.iter().map(|p| p.group).max().map_or(0, |g| g + 1)
+    }
+
+    /// Mean response speed (1 / expected latency) of each client, used by the
+    /// responsiveness-weighted sampler.
+    pub fn response_speeds(&self, examples: usize, payload_bytes: usize) -> Vec<f64> {
+        self.profiles
+            .iter()
+            .map(|p| 1.0 / p.round_secs(examples, payload_bytes).max(1e-9))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_decomposition() {
+        let p = DeviceProfile { compute_speed: 10.0, bandwidth: 1000.0, crash_prob: 0.0, group: 0 };
+        assert!((p.compute_secs(20) - 2.0).abs() < 1e-9);
+        assert!((p.comm_secs(500) - 0.5).abs() < 1e-9);
+        assert!((p.round_secs(20, 500) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_deterministic_and_heterogeneous() {
+        let cfg = FleetConfig { num_clients: 50, ..Default::default() };
+        let a = Fleet::generate(&cfg);
+        let b = Fleet::generate(&cfg);
+        assert_eq!(a.len(), 50);
+        for i in 0..50 {
+            assert_eq!(a.profiles()[i].compute_speed, b.profiles()[i].compute_speed);
+        }
+        let speeds: Vec<f64> = a.profiles().iter().map(|p| p.compute_speed).collect();
+        let max = speeds.iter().cloned().fold(0.0, f64::max);
+        let min = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 3.0, "fleet not heterogeneous: {min}..{max}");
+    }
+
+    #[test]
+    fn groups_partition_fleet_by_speed() {
+        let cfg = FleetConfig { num_clients: 40, num_groups: 4, ..Default::default() };
+        let f = Fleet::generate(&cfg);
+        let total: usize = (0..4).map(|g| f.group_members(g).len()).sum();
+        assert_eq!(total, 40);
+        assert_eq!(f.num_groups(), 4);
+        // group 0 should be faster on average than group 3
+        let avg = |g: usize| {
+            let m = f.group_members(g);
+            m.iter().map(|&c| f.profile(c).round_secs(100, 100_000)).sum::<f64>() / m.len() as f64
+        };
+        assert!(avg(0) < avg(3), "group 0 {} not faster than group 3 {}", avg(0), avg(3));
+    }
+
+    #[test]
+    fn crash_probability_extremes() {
+        let mut profiles = vec![
+            DeviceProfile { compute_speed: 1.0, bandwidth: 1.0, crash_prob: 0.0, group: 0 },
+            DeviceProfile { compute_speed: 1.0, bandwidth: 1.0, crash_prob: 1.0, group: 0 },
+        ];
+        profiles[0].group = 0;
+        let f = Fleet::from_profiles(profiles);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!f.crashes(1, &mut rng));
+        assert!(f.crashes(2, &mut rng));
+    }
+
+    #[test]
+    fn response_speeds_order_matches_latency() {
+        let f = Fleet::from_profiles(vec![
+            DeviceProfile { compute_speed: 100.0, bandwidth: 1e6, crash_prob: 0.0, group: 0 },
+            DeviceProfile { compute_speed: 1.0, bandwidth: 1e3, crash_prob: 0.0, group: 1 },
+        ]);
+        let s = f.response_speeds(100, 10_000);
+        assert!(s[0] > s[1]);
+    }
+}

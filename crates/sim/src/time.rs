@@ -1,0 +1,110 @@
+//! Virtual timestamps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the virtual clock, in seconds.
+///
+/// Wraps a finite `f64` and provides the total ordering the event queue
+/// needs. Construction asserts finiteness, so `Ord` is safe.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+pub struct VirtualTime(f64);
+
+impl VirtualTime {
+    /// The origin of every FL course (the paper: "the server begins to
+    /// broadcast at timestamp 0").
+    pub const ZERO: VirtualTime = VirtualTime(0.0);
+
+    /// Creates a timestamp.
+    ///
+    /// # Panics
+    /// Panics if `secs` is not finite or is negative.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid virtual time {secs}");
+        VirtualTime(secs)
+    }
+
+    /// Seconds since the course origin.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Hours since the course origin (the unit Table 1 reports).
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+}
+
+impl Eq for VirtualTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for VirtualTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("virtual times are finite")
+    }
+}
+
+impl Add<f64> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: f64) -> VirtualTime {
+        VirtualTime::from_secs(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for VirtualTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = f64;
+    fn sub(self, rhs: VirtualTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = VirtualTime::from_secs(1.0);
+        let b = a + 2.5;
+        assert!(b > a);
+        assert_eq!(b.as_secs(), 3.5);
+        assert!((b - a - 2.5).abs() < 1e-12);
+        assert_eq!(VirtualTime::ZERO.as_secs(), 0.0);
+    }
+
+    #[test]
+    fn hours_conversion() {
+        let t = VirtualTime::from_secs(7200.0);
+        assert!((t.as_hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid virtual time")]
+    fn rejects_nan() {
+        let _ = VirtualTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid virtual time")]
+    fn rejects_negative() {
+        let _ = VirtualTime::from_secs(-1.0);
+    }
+}

@@ -1,0 +1,1138 @@
+//! Neural-network layers with manual analytic gradients.
+//!
+//! Each layer caches whatever it needs during `forward` and consumes the cache
+//! in `backward`, accumulating parameter gradients internally. The layers here
+//! are exactly those needed by the paper's ModelZoo subset used in the
+//! evaluation: `Linear`, `Conv2d` (the "ConvNet2" building block), `Relu`,
+//! `MaxPool2d`, `Flatten`, `Dropout`, and `BatchNorm1d` (FedBN personalizes
+//! batch-norm parameters, §3.4.1).
+//!
+//! All gradients are checked against central finite differences in the crate's
+//! integration tests.
+
+use crate::{init, ParamMap, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A differentiable network layer.
+///
+/// Parameters and their gradients are exposed through [`ParamMap`] collection
+/// so FL code can address them by name (`"<layer>.<param>"`).
+pub trait Layer: Send {
+    /// Computes the layer output, caching intermediates for `backward`.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Back-propagates `grad_out`, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    ///
+    /// Must be called after a matching `forward` with `train = true`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Copies this layer's parameters into `out` under `prefix`.
+    fn collect_params(&self, prefix: &str, out: &mut ParamMap) {
+        let _ = (prefix, out);
+    }
+
+    /// Copies this layer's accumulated gradients into `out` under `prefix`.
+    fn collect_grads(&self, prefix: &str, out: &mut ParamMap) {
+        let _ = (prefix, out);
+    }
+
+    /// Loads this layer's parameters from `src` under `prefix`.
+    ///
+    /// Missing keys are left unchanged (this is what lets FedBN clients keep
+    /// local batch-norm parameters while loading the shared global rest).
+    fn load_params(&mut self, prefix: &str, src: &ParamMap) {
+        let _ = (prefix, src);
+    }
+
+    /// Resets accumulated gradients to zero.
+    fn zero_grad(&mut self) {}
+
+    /// Names (relative to the layer) of non-trained buffers such as
+    /// batch-norm running statistics.
+    fn buffer_names(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
+
+    /// Deep copy as a boxed trait object.
+    fn clone_layer(&self) -> Box<dyn Layer>;
+}
+
+/// Fully connected layer: `y = x W^T + b` with `x: [B, in]`, `W: [out, in]`.
+pub struct Linear {
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    x_cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized linear layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w: init::kaiming_normal(&[out_dim, in_dim], in_dim, rng),
+            b: Tensor::zeros(&[out_dim]),
+            gw: Tensor::zeros(&[out_dim, in_dim]),
+            gb: Tensor::zeros(&[out_dim]),
+            x_cache: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.shape()[1]
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.shape()[0]
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "Linear expects [B, in]");
+        assert_eq!(x.cols(), self.in_dim(), "Linear input dim");
+        let mut y = x.matmul(&self.w.t());
+        let (b_rows, out) = (y.rows(), y.cols());
+        for r in 0..b_rows {
+            for c in 0..out {
+                *y.at_mut(r, c) += self.b.data()[c];
+            }
+        }
+        if train {
+            self.x_cache = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.x_cache.take().expect("Linear::backward without forward(train)");
+        // gw += grad_out^T x ; gb += column sums ; grad_in = grad_out W
+        let gw = grad_out.t().matmul(&x);
+        self.gw.add_scaled(1.0, &gw);
+        let out = grad_out.cols();
+        for r in 0..grad_out.rows() {
+            for c in 0..out {
+                self.gb.data_mut()[c] += grad_out.at(r, c);
+            }
+        }
+        grad_out.matmul(&self.w)
+    }
+
+    fn collect_params(&self, prefix: &str, out: &mut ParamMap) {
+        out.insert(format!("{prefix}.weight"), self.w.clone());
+        out.insert(format!("{prefix}.bias"), self.b.clone());
+    }
+
+    fn collect_grads(&self, prefix: &str, out: &mut ParamMap) {
+        out.insert(format!("{prefix}.weight"), self.gw.clone());
+        out.insert(format!("{prefix}.bias"), self.gb.clone());
+    }
+
+    fn load_params(&mut self, prefix: &str, src: &ParamMap) {
+        if let Some(w) = src.get(&format!("{prefix}.weight")) {
+            assert_eq!(w.shape(), self.w.shape(), "Linear weight shape");
+            self.w = w.clone();
+        }
+        if let Some(b) = src.get(&format!("{prefix}.bias")) {
+            assert_eq!(b.shape(), self.b.shape(), "Linear bias shape");
+            self.b = b.clone();
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw = self.gw.zeros_like();
+        self.gb = self.gb.zeros_like();
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Linear {
+            w: self.w.clone(),
+            b: self.b.clone(),
+            gw: self.gw.clone(),
+            gb: self.gb.clone(),
+            x_cache: None,
+        })
+    }
+}
+
+/// Rectified linear unit, applied elementwise.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("Relu::backward without forward(train)");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(grad_out.shape().to_vec(), data)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Relu::default())
+    }
+}
+
+/// Hyperbolic-tangent activation.
+#[derive(Default)]
+pub struct Tanh {
+    out: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = x.map(f32::tanh);
+        if train {
+            self.out = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.out.take().expect("Tanh::backward without forward(train)");
+        // d tanh = 1 - tanh^2
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&g, &t)| g * (1.0 - t * t))
+            .collect();
+        Tensor::from_vec(grad_out.shape().to_vec(), data)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Tanh::default())
+    }
+}
+
+/// Logistic-sigmoid activation.
+#[derive(Default)]
+pub struct Sigmoid {
+    out: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        if train {
+            self.out = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.out.take().expect("Sigmoid::backward without forward(train)");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&g, &s)| g * s * (1.0 - s))
+            .collect();
+        Tensor::from_vec(grad_out.shape().to_vec(), data)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Sigmoid::default())
+    }
+}
+
+/// 2x2 average pooling with stride 2 over `[B, C, H, W]`.
+#[derive(Default)]
+pub struct AvgPool2d {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates a 2x2/stride-2 average-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "AvgPool2d expects [B, C, H, W]");
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = (h / 2, w / 2);
+        let xd = x.data();
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut s = 0.0f32;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                s += xd[base + (oy * 2 + dy) * w + (ox * 2 + dx)];
+                            }
+                        }
+                        out[((bi * c + ci) * oh + oy) * ow + ox] = s * 0.25;
+                    }
+                }
+            }
+        }
+        if train {
+            self.in_shape = Some(x.shape().to_vec());
+        }
+        Tensor::from_vec(vec![b, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_shape =
+            self.in_shape.take().expect("AvgPool2d::backward without forward(train)");
+        let (b, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (oh, ow) = (h / 2, w / 2);
+        let gd = grad_out.data();
+        let mut grad_in = vec![0.0f32; b * c * h * w];
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gd[((bi * c + ci) * oh + oy) * ow + ox] * 0.25;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                grad_in[base + (oy * 2 + dy) * w + (ox * 2 + dx)] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(in_shape, grad_in)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(AvgPool2d::default())
+    }
+}
+
+/// Flattens `[B, ...]` to `[B, prod(...)]`.
+#[derive(Default)]
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let b = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        if train {
+            self.in_shape = Some(x.shape().to_vec());
+        }
+        x.reshape(&[b, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.in_shape.take().expect("Flatten::backward without forward(train)");
+        grad_out.reshape(&shape)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Flatten::default())
+    }
+}
+
+/// Inverted dropout: at train time zeroes activations with probability `p`
+/// and scales survivors by `1/(1-p)`; identity at eval time.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a private seeded RNG.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Self { p, rng: StdRng::seed_from_u64(seed), mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f32> = (0..x.numel())
+            .map(|_| if self.rng.gen::<f32>() < self.p { 0.0 } else { 1.0 / keep })
+            .collect();
+        let data = x.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(x.shape().to_vec(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self.mask.take() {
+            Some(mask) => {
+                let data = grad_out.data().iter().zip(&mask).map(|(&g, &m)| g * m).collect();
+                Tensor::from_vec(grad_out.shape().to_vec(), data)
+            }
+            None => grad_out.clone(),
+        }
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Dropout { p: self.p, rng: self.rng.clone(), mask: None })
+    }
+}
+
+/// Batch normalization over the feature dimension of `[B, D]` inputs.
+///
+/// Holds learnable `gamma`/`beta` and running statistics (exposed as buffers
+/// `running_mean` / `running_var`). FedBN (§3.4.1) keeps all four local.
+pub struct BatchNorm1d {
+    gamma: Tensor,
+    beta: Tensor,
+    g_gamma: Tensor,
+    g_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gamma: Tensor::ones(&[dim]),
+            beta: Tensor::zeros(&[dim]),
+            g_gamma: Tensor::zeros(&[dim]),
+            g_beta: Tensor::zeros(&[dim]),
+            running_mean: Tensor::zeros(&[dim]),
+            running_var: Tensor::ones(&[dim]),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for BatchNorm1d {
+    #[allow(clippy::needless_range_loop)] // index loops read clearer in kernels
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "BatchNorm1d expects [B, D]");
+        let (b, d) = (x.rows(), x.cols());
+        assert_eq!(d, self.gamma.numel(), "BatchNorm1d dim");
+        let mut out = Tensor::zeros(&[b, d]);
+        if train {
+            let mut mean = vec![0.0f32; d];
+            let mut var = vec![0.0f32; d];
+            for r in 0..b {
+                for c in 0..d {
+                    mean[c] += x.at(r, c);
+                }
+            }
+            for m in &mut mean {
+                *m /= b as f32;
+            }
+            for r in 0..b {
+                for c in 0..d {
+                    let diff = x.at(r, c) - mean[c];
+                    var[c] += diff * diff;
+                }
+            }
+            for v in &mut var {
+                *v /= b as f32;
+            }
+            let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+            let mut x_hat = Tensor::zeros(&[b, d]);
+            for r in 0..b {
+                for c in 0..d {
+                    let xh = (x.at(r, c) - mean[c]) * inv_std[c];
+                    *x_hat.at_mut(r, c) = xh;
+                    *out.at_mut(r, c) = self.gamma.data()[c] * xh + self.beta.data()[c];
+                }
+            }
+            let m = self.momentum;
+            for c in 0..d {
+                self.running_mean.data_mut()[c] =
+                    (1.0 - m) * self.running_mean.data()[c] + m * mean[c];
+                self.running_var.data_mut()[c] =
+                    (1.0 - m) * self.running_var.data()[c] + m * var[c];
+            }
+            self.cache = Some(BnCache { x_hat, inv_std });
+        } else {
+            for r in 0..b {
+                for c in 0..d {
+                    let xh = (x.at(r, c) - self.running_mean.data()[c])
+                        / (self.running_var.data()[c] + self.eps).sqrt();
+                    *out.at_mut(r, c) = self.gamma.data()[c] * xh + self.beta.data()[c];
+                }
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let BnCache { x_hat, inv_std } =
+            self.cache.take().expect("BatchNorm1d::backward without forward(train)");
+        let (b, d) = (grad_out.rows(), grad_out.cols());
+        let bf = b as f32;
+        let mut grad_in = Tensor::zeros(&[b, d]);
+        for c in 0..d {
+            let mut sum_g = 0.0f32;
+            let mut sum_gx = 0.0f32;
+            for r in 0..b {
+                let g = grad_out.at(r, c);
+                sum_g += g;
+                sum_gx += g * x_hat.at(r, c);
+            }
+            self.g_beta.data_mut()[c] += sum_g;
+            self.g_gamma.data_mut()[c] += sum_gx;
+            let gamma = self.gamma.data()[c];
+            for r in 0..b {
+                let g = grad_out.at(r, c);
+                // standard batch-norm backward:
+                // dx = gamma * inv_std / B * (B*g - sum_g - x_hat * sum_gx)
+                *grad_in.at_mut(r, c) =
+                    gamma * inv_std[c] / bf * (bf * g - sum_g - x_hat.at(r, c) * sum_gx);
+            }
+        }
+        grad_in
+    }
+
+    fn collect_params(&self, prefix: &str, out: &mut ParamMap) {
+        out.insert(format!("{prefix}.gamma"), self.gamma.clone());
+        out.insert(format!("{prefix}.beta"), self.beta.clone());
+        out.insert(format!("{prefix}.running_mean"), self.running_mean.clone());
+        out.insert(format!("{prefix}.running_var"), self.running_var.clone());
+    }
+
+    fn collect_grads(&self, prefix: &str, out: &mut ParamMap) {
+        out.insert(format!("{prefix}.gamma"), self.g_gamma.clone());
+        out.insert(format!("{prefix}.beta"), self.g_beta.clone());
+    }
+
+    fn load_params(&mut self, prefix: &str, src: &ParamMap) {
+        if let Some(t) = src.get(&format!("{prefix}.gamma")) {
+            self.gamma = t.clone();
+        }
+        if let Some(t) = src.get(&format!("{prefix}.beta")) {
+            self.beta = t.clone();
+        }
+        if let Some(t) = src.get(&format!("{prefix}.running_mean")) {
+            self.running_mean = t.clone();
+        }
+        if let Some(t) = src.get(&format!("{prefix}.running_var")) {
+            self.running_var = t.clone();
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.g_gamma = self.g_gamma.zeros_like();
+        self.g_beta = self.g_beta.zeros_like();
+    }
+
+    fn buffer_names(&self) -> Vec<&'static str> {
+        vec!["running_mean", "running_var"]
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(BatchNorm1d {
+            gamma: self.gamma.clone(),
+            beta: self.beta.clone(),
+            g_gamma: self.g_gamma.clone(),
+            g_beta: self.g_beta.clone(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            momentum: self.momentum,
+            eps: self.eps,
+            cache: None,
+        })
+    }
+}
+
+/// 2-D convolution over `[B, C, H, W]` inputs, implemented with im2col.
+///
+/// Stride is fixed at 1; `pad` zero-pads symmetrically.
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    pad: usize,
+    /// Kernel flattened to `[out_ch, in_ch * k * k]`.
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cache: Option<ConvCache>,
+}
+
+struct ConvCache {
+    cols: Tensor,
+    in_shape: Vec<usize>,
+}
+
+impl Conv2d {
+    /// Creates a `k x k` convolution from `in_ch` to `out_ch` channels with
+    /// zero padding `pad` and stride 1.
+    pub fn new(in_ch: usize, out_ch: usize, k: usize, pad: usize, rng: &mut impl Rng) -> Self {
+        let fan_in = in_ch * k * k;
+        Self {
+            in_ch,
+            out_ch,
+            k,
+            pad,
+            w: init::kaiming_normal(&[out_ch, fan_in], fan_in, rng),
+            b: Tensor::zeros(&[out_ch]),
+            gw: Tensor::zeros(&[out_ch, fan_in]),
+            gb: Tensor::zeros(&[out_ch]),
+            cache: None,
+        }
+    }
+
+    /// Output spatial size for an `h x w` input.
+    ///
+    /// # Panics
+    /// Panics with a named error when the kernel exceeds the padded input
+    /// (instead of a bare usize underflow).
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h + 2 * self.pad + 1 > self.k && w + 2 * self.pad + 1 > self.k,
+            "Conv2d kernel {}x{} does not fit {}x{} input with padding {}",
+            self.k,
+            self.k,
+            h,
+            w,
+            self.pad
+        );
+        (h + 2 * self.pad + 1 - self.k, w + 2 * self.pad + 1 - self.k)
+    }
+
+    /// Lowers `[B, C, H, W]` into the im2col matrix `[B*OH*OW, C*K*K]`.
+    fn im2col(&self, x: &Tensor) -> Tensor {
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let kk = self.k;
+        let pad = self.pad as isize;
+        let cols_w = c * kk * kk;
+        let mut cols = vec![0.0f32; b * oh * ow * cols_w];
+        let xd = x.data();
+        for bi in 0..b {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((bi * oh + oy) * ow + ox) * cols_w;
+                    for ci in 0..c {
+                        for ky in 0..kk {
+                            let iy = oy as isize + ky as isize - pad;
+                            for kx in 0..kk {
+                                let ix = ox as isize + kx as isize - pad;
+                                let dst = row + (ci * kk + ky) * kk + kx;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    cols[dst] = xd
+                                        [((bi * c + ci) * h + iy as usize) * w + ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![b * oh * ow, cols_w], cols)
+    }
+
+    /// Scatters the im2col-shaped gradient back to `[B, C, H, W]`.
+    fn col2im(&self, gcols: &Tensor, in_shape: &[usize]) -> Tensor {
+        let (b, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let kk = self.k;
+        let pad = self.pad as isize;
+        let cols_w = c * kk * kk;
+        let mut out = vec![0.0f32; b * c * h * w];
+        let gd = gcols.data();
+        for bi in 0..b {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((bi * oh + oy) * ow + ox) * cols_w;
+                    for ci in 0..c {
+                        for ky in 0..kk {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kk {
+                                let ix = ox as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let src = row + (ci * kk + ky) * kk + kx;
+                                out[((bi * c + ci) * h + iy as usize) * w + ix as usize] +=
+                                    gd[src];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(in_shape.to_vec(), out)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "Conv2d expects [B, C, H, W]");
+        assert_eq!(x.shape()[1], self.in_ch, "Conv2d input channels");
+        let (b, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let cols = self.im2col(x);
+        // [B*OH*OW, fan_in] x [fan_in, out_ch] -> [B*OH*OW, out_ch]
+        let mut y = cols.matmul(&self.w.t());
+        for r in 0..y.rows() {
+            for c in 0..self.out_ch {
+                *y.at_mut(r, c) += self.b.data()[c];
+            }
+        }
+        if train {
+            self.cache = Some(ConvCache { cols, in_shape: x.shape().to_vec() });
+        }
+        // reorder [B*OH*OW, OC] -> [B, OC, OH, OW]
+        let mut out = vec![0.0f32; b * self.out_ch * oh * ow];
+        for bi in 0..b {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (bi * oh + oy) * ow + ox;
+                    for oc in 0..self.out_ch {
+                        out[((bi * self.out_ch + oc) * oh + oy) * ow + ox] = y.at(row, oc);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![b, self.out_ch, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let ConvCache { cols, in_shape } =
+            self.cache.take().expect("Conv2d::backward without forward(train)");
+        let (b, oc, oh, ow) = (
+            grad_out.shape()[0],
+            grad_out.shape()[1],
+            grad_out.shape()[2],
+            grad_out.shape()[3],
+        );
+        assert_eq!(oc, self.out_ch);
+        // reorder grad [B, OC, OH, OW] -> [B*OH*OW, OC]
+        let mut g = vec![0.0f32; b * oh * ow * oc];
+        let gd = grad_out.data();
+        for bi in 0..b {
+            for o in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        g[((bi * oh + oy) * ow + ox) * oc + o] =
+                            gd[((bi * oc + o) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+        let gmat = Tensor::from_vec(vec![b * oh * ow, oc], g);
+        // gw += gmat^T cols ; gb += column sums ; gcols = gmat W
+        let gw = gmat.t().matmul(&cols);
+        self.gw.add_scaled(1.0, &gw);
+        for r in 0..gmat.rows() {
+            for c in 0..oc {
+                self.gb.data_mut()[c] += gmat.at(r, c);
+            }
+        }
+        let gcols = gmat.matmul(&self.w);
+        self.col2im(&gcols, &in_shape)
+    }
+
+    fn collect_params(&self, prefix: &str, out: &mut ParamMap) {
+        out.insert(format!("{prefix}.weight"), self.w.clone());
+        out.insert(format!("{prefix}.bias"), self.b.clone());
+    }
+
+    fn collect_grads(&self, prefix: &str, out: &mut ParamMap) {
+        out.insert(format!("{prefix}.weight"), self.gw.clone());
+        out.insert(format!("{prefix}.bias"), self.gb.clone());
+    }
+
+    fn load_params(&mut self, prefix: &str, src: &ParamMap) {
+        if let Some(w) = src.get(&format!("{prefix}.weight")) {
+            assert_eq!(w.shape(), self.w.shape(), "Conv2d weight shape");
+            self.w = w.clone();
+        }
+        if let Some(b) = src.get(&format!("{prefix}.bias")) {
+            self.b = b.clone();
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw = self.gw.zeros_like();
+        self.gb = self.gb.zeros_like();
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Conv2d {
+            in_ch: self.in_ch,
+            out_ch: self.out_ch,
+            k: self.k,
+            pad: self.pad,
+            w: self.w.clone(),
+            b: self.b.clone(),
+            gw: self.gw.clone(),
+            gb: self.gb.clone(),
+            cache: None,
+        })
+    }
+}
+
+/// 2x2 max pooling with stride 2 over `[B, C, H, W]`.
+///
+/// Odd trailing rows/columns are dropped (floor semantics, as in PyTorch).
+#[derive(Default)]
+pub struct MaxPool2d {
+    argmax: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a 2x2/stride-2 max-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "MaxPool2d expects [B, C, H, W]");
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = (h / 2, w / 2);
+        let xd = x.data();
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let mut arg = vec![0usize; b * c * oh * ow];
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = base + (oy * 2 + dy) * w + (ox * 2 + dx);
+                                if xd[idx] > best {
+                                    best = xd[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = ((bi * c + ci) * oh + oy) * ow + ox;
+                        out[o] = best;
+                        arg[o] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some((arg, x.shape().to_vec()));
+        }
+        Tensor::from_vec(vec![b, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (arg, in_shape) =
+            self.argmax.take().expect("MaxPool2d::backward without forward(train)");
+        let mut grad_in = vec![0.0f32; in_shape.iter().product()];
+        for (g, &idx) in grad_out.data().iter().zip(&arg) {
+            grad_in[idx] += g;
+        }
+        Tensor::from_vec(in_shape, grad_in)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(MaxPool2d::default())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for (_, layer) in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut cur = grad_out.clone();
+        for (_, layer) in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn collect_params(&self, prefix: &str, out: &mut ParamMap) {
+        for (name, layer) in &self.layers {
+            layer.collect_params(&Self::join(prefix, name), out);
+        }
+    }
+
+    fn collect_grads(&self, prefix: &str, out: &mut ParamMap) {
+        for (name, layer) in &self.layers {
+            layer.collect_grads(&Self::join(prefix, name), out);
+        }
+    }
+
+    fn load_params(&mut self, prefix: &str, src: &ParamMap) {
+        for (name, layer) in &mut self.layers {
+            layer.load_params(&Self::join(prefix, name), src);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for (_, layer) in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone_net())
+    }
+}
+
+/// An ordered, named composition of layers.
+pub struct Sequential {
+    layers: Vec<(String, Box<dyn Layer>)>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a named layer; names become parameter-key prefixes.
+    pub fn push(&mut self, name: impl Into<String>, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push((name.into(), layer));
+        self
+    }
+
+    /// Names of the contained layers, in order.
+    pub fn layer_names(&self) -> Vec<&str> {
+        self.layers.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Buffer keys (fully prefixed) across all layers.
+    pub fn buffer_keys(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, layer) in &self.layers {
+            for b in layer.buffer_names() {
+                out.push(format!("{name}.{b}"));
+            }
+        }
+        out
+    }
+
+    fn join(prefix: &str, name: &str) -> String {
+        if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}.{name}")
+        }
+    }
+
+    /// Deep copy.
+    pub fn clone_net(&self) -> Sequential {
+        Sequential {
+            layers: self
+                .layers
+                .iter()
+                .map(|(n, l)| (n.clone(), l.clone_layer()))
+                .collect(),
+        }
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_known() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 1, &mut rng);
+        l.w = Tensor::from_vec(vec![1, 2], vec![2.0, 3.0]);
+        l.b = Tensor::from_vec(vec![1], vec![1.0]);
+        let x = Tensor::from_vec(vec![1, 2], vec![4.0, 5.0]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.data(), &[2.0 * 4.0 + 3.0 * 5.0 + 1.0]);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![1, 4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = r.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = r.backward(&Tensor::ones(&[1, 4]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 9);
+        let x = Tensor::ones(&[1, 10_000]);
+        let y = d.forward(&x, true);
+        // E[y] = 1; empirical mean should be close.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![1.0, 5.0, 3.0, 2.0],
+        );
+        let mut p = MaxPool2d::new();
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[5.0]);
+        let g = p.backward(&Tensor::ones(&[1, 1, 1, 1]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Conv2d::new(2, 4, 3, 1, &mut rng);
+        let x = Tensor::zeros(&[2, 2, 8, 8]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 4, 8, 8]);
+        let c2 = Conv2d::new(1, 1, 3, 0, &mut rng);
+        assert_eq!(c2.out_hw(8, 8), (6, 6));
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 1x1 input channel, 2x2 kernel of ones, no padding: output = window sums.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Conv2d::new(1, 1, 2, 0, &mut rng);
+        c.w = Tensor::ones(&[1, 4]);
+        c.b = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = c.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn batchnorm_normalizes_batch() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::from_vec(vec![4, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        let y = bn.forward(&x, true);
+        // each column should have ~zero mean, ~unit variance
+        for c in 0..2 {
+            let col: Vec<f32> = (0..4).map(|r| y.at(r, c)).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 4.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn batchnorm_running_stats_move_toward_batch() {
+        let mut bn = BatchNorm1d::new(1);
+        let x = Tensor::from_vec(vec![2, 1], vec![10.0, 20.0]);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, true);
+        }
+        assert!((bn.running_mean.data()[0] - 15.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn sequential_collect_and_load_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Sequential::new();
+        net.push("fc1", Box::new(Linear::new(4, 3, &mut rng)));
+        net.push("act", Box::new(Relu::new()));
+        net.push("fc2", Box::new(Linear::new(3, 2, &mut rng)));
+        let mut p = ParamMap::new();
+        net.collect_params("", &mut p);
+        assert_eq!(p.len(), 4);
+        assert!(p.contains("fc1.weight"));
+        let zeros = p.zeros_like();
+        net.load_params("", &zeros);
+        let mut p2 = ParamMap::new();
+        net.collect_params("", &mut p2);
+        assert_eq!(p2, zeros);
+    }
+
+    #[test]
+    fn buffer_keys_report_bn_stats() {
+        let mut net = Sequential::new();
+        net.push("bn1", Box::new(BatchNorm1d::new(3)));
+        assert_eq!(net.buffer_keys(), vec!["bn1.running_mean", "bn1.running_var"]);
+    }
+}

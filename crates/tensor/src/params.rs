@@ -1,0 +1,301 @@
+//! Name-addressed parameter collections.
+//!
+//! Every message exchanged in an FL course carries model parameters (or
+//! gradients, deltas, …) as a [`ParamMap`]: an ordered map from parameter name
+//! (e.g. `"conv1.weight"`) to [`Tensor`]. Name-addressing is load-bearing for
+//! the paper's personalization support — FedBN is literally "share every key
+//! that does not start with `bn.`", and multi-goal FL shares only an agreed
+//! subset of keys (the *consensus set*, §3.4.2).
+
+use crate::Tensor;
+use std::collections::BTreeMap;
+
+/// An ordered map of named tensors.
+///
+/// Backed by a `BTreeMap` so iteration order is deterministic — determinism
+/// matters because aggregation, wire encoding, and test assertions all iterate
+/// the map.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParamMap {
+    entries: BTreeMap<String, Tensor>,
+}
+
+impl ParamMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a named tensor.
+    pub fn insert(&mut self, name: impl Into<String>, t: Tensor) {
+        self.entries.insert(name.into(), t);
+    }
+
+    /// Looks up a tensor by name.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.entries.get(name)
+    }
+
+    /// Mutable lookup by name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Tensor> {
+        self.entries.get_mut(name)
+    }
+
+    /// Removes and returns a named tensor.
+    pub fn remove(&mut self, name: &str) -> Option<Tensor> {
+        self.entries.remove(name)
+    }
+
+    /// `true` when the map contains `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Number of named tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the map holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, tensor)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates with mutable tensors, in name order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut Tensor)> {
+        self.entries.iter_mut().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Parameter names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|k| k.as_str())
+    }
+
+    /// Total number of scalar elements across all tensors.
+    pub fn numel(&self) -> usize {
+        self.entries.values().map(Tensor::numel).sum()
+    }
+
+    /// A map with the same keys/shapes, all zeros.
+    pub fn zeros_like(&self) -> Self {
+        let entries = self.entries.iter().map(|(k, v)| (k.clone(), v.zeros_like())).collect();
+        Self { entries }
+    }
+
+    /// `self[k] += alpha * rhs[k]` for every key of `rhs`.
+    ///
+    /// # Panics
+    /// Panics if `rhs` contains a key missing from `self` or with a different
+    /// shape — both indicate a protocol error in the FL course.
+    pub fn add_scaled(&mut self, alpha: f32, rhs: &ParamMap) {
+        for (k, v) in rhs.iter() {
+            let dst = self
+                .entries
+                .get_mut(k)
+                .unwrap_or_else(|| panic!("add_scaled: missing key {k:?}"));
+            dst.add_scaled(alpha, v);
+        }
+    }
+
+    /// Multiplies every tensor by `alpha` in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for t in self.entries.values_mut() {
+            t.scale(alpha);
+        }
+    }
+
+    /// Elementwise difference `self - rhs` over the keys of `self`.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is missing any key of `self`.
+    pub fn sub(&self, rhs: &ParamMap) -> ParamMap {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(k, v)| {
+                let other = rhs.get(k).unwrap_or_else(|| panic!("sub: missing key {k:?}"));
+                (k.clone(), v.sub(other))
+            })
+            .collect();
+        ParamMap { entries }
+    }
+
+    /// Flattened inner product over shared structure.
+    ///
+    /// # Panics
+    /// Panics on key or shape mismatch.
+    pub fn dot(&self, rhs: &ParamMap) -> f32 {
+        self.entries
+            .iter()
+            .map(|(k, v)| {
+                let other = rhs.get(k).unwrap_or_else(|| panic!("dot: missing key {k:?}"));
+                v.dot(other)
+            })
+            .sum()
+    }
+
+    /// Euclidean norm over all elements of all tensors.
+    pub fn norm(&self) -> f32 {
+        self.entries.values().map(|t| {
+            let n = t.norm();
+            n * n
+        }).sum::<f32>().sqrt()
+    }
+
+    /// Squared Euclidean distance to `rhs` over the keys of `self`.
+    pub fn sq_dist(&self, rhs: &ParamMap) -> f32 {
+        self.entries
+            .iter()
+            .map(|(k, v)| {
+                let other = rhs.get(k).unwrap_or_else(|| panic!("sq_dist: missing key {k:?}"));
+                v.sq_dist(other)
+            })
+            .sum()
+    }
+
+    /// Keeps only the entries whose name satisfies `pred` (e.g. FedBN's
+    /// "everything except `bn.*`").
+    pub fn filter(&self, pred: impl Fn(&str) -> bool) -> ParamMap {
+        let entries = self
+            .entries
+            .iter()
+            .filter(|(k, _)| pred(k))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        ParamMap { entries }
+    }
+
+    /// Copies every entry of `src` into `self`, replacing same-named entries
+    /// and inserting new ones. This is the "load the shared part of the
+    /// global model" operation: keys in `self` but not in `src` (e.g. local
+    /// BatchNorm stats under FedBN) are left untouched.
+    pub fn merge_from(&mut self, src: &ParamMap) {
+        for (k, v) in src.iter() {
+            self.entries.insert(k.to_string(), v.clone());
+        }
+    }
+
+    /// Clips the global L2 norm to `max_norm`, returning the scaling factor
+    /// applied (1.0 when no clipping occurred). Used by DP-FL (§4.1).
+    pub fn clip_norm(&mut self, max_norm: f32) -> f32 {
+        let n = self.norm();
+        if n > max_norm && n > 0.0 {
+            let s = max_norm / n;
+            self.scale(s);
+            s
+        } else {
+            1.0
+        }
+    }
+
+    /// `true` when every tensor contains only finite values.
+    pub fn is_finite(&self) -> bool {
+        self.entries.values().all(Tensor::is_finite)
+    }
+}
+
+impl FromIterator<(String, Tensor)> for ParamMap {
+    fn from_iter<I: IntoIterator<Item = (String, Tensor)>>(iter: I) -> Self {
+        Self { entries: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for ParamMap {
+    type Item = (String, Tensor);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Tensor>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParamMap {
+        let mut p = ParamMap::new();
+        p.insert("fc.weight", Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]));
+        p.insert("fc.bias", Tensor::from_vec(vec![2], vec![0.5, -0.5]));
+        p.insert("bn.gamma", Tensor::from_vec(vec![2], vec![1.0, 1.0]));
+        p
+    }
+
+    #[test]
+    fn insert_get_iter_order() {
+        let p = sample();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get("fc.bias").unwrap().data(), &[0.5, -0.5]);
+        let names: Vec<_> = p.names().collect();
+        assert_eq!(names, vec!["bn.gamma", "fc.bias", "fc.weight"]);
+        assert_eq!(p.numel(), 8);
+    }
+
+    #[test]
+    fn add_scaled_updates_in_place() {
+        let mut p = sample();
+        let q = p.clone();
+        p.add_scaled(2.0, &q);
+        assert_eq!(p.get("fc.weight").unwrap().data(), &[3.0, 6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing key")]
+    fn add_scaled_missing_key_panics() {
+        let mut p = ParamMap::new();
+        p.insert("a", Tensor::zeros(&[1]));
+        let mut q = ParamMap::new();
+        q.insert("b", Tensor::zeros(&[1]));
+        p.add_scaled(1.0, &q);
+    }
+
+    #[test]
+    fn sub_and_dot() {
+        let p = sample();
+        let z = p.zeros_like();
+        let d = p.sub(&z);
+        assert_eq!(d, p);
+        assert!((p.dot(&p) - (1.0 + 4.0 + 9.0 + 16.0 + 0.25 + 0.25 + 1.0 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn filter_excludes_bn_keys() {
+        let p = sample();
+        let shared = p.filter(|k| !k.starts_with("bn."));
+        assert_eq!(shared.len(), 2);
+        assert!(!shared.contains("bn.gamma"));
+    }
+
+    #[test]
+    fn merge_from_preserves_local_only_keys() {
+        let mut local = sample();
+        let mut incoming = ParamMap::new();
+        incoming.insert("fc.weight", Tensor::zeros(&[2, 2]));
+        local.merge_from(&incoming);
+        assert_eq!(local.get("fc.weight").unwrap().data(), &[0.0; 4]);
+        // bn.gamma untouched
+        assert_eq!(local.get("bn.gamma").unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn clip_norm_scales_down_only_when_needed() {
+        let mut p = ParamMap::new();
+        p.insert("w", Tensor::from_vec(vec![2], vec![3.0, 4.0])); // norm 5
+        let s = p.clip_norm(10.0);
+        assert_eq!(s, 1.0);
+        let s = p.clip_norm(1.0);
+        assert!((s - 0.2).abs() < 1e-6);
+        assert!((p.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn norm_matches_flat_norm() {
+        let p = sample();
+        let flat: f32 = p.iter().flat_map(|(_, t)| t.data().iter().map(|v| v * v)).sum();
+        assert!((p.norm() - flat.sqrt()).abs() < 1e-6);
+    }
+}

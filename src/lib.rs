@@ -1,0 +1,33 @@
+//! # fedscope
+//!
+//! A Rust reproduction of **FederatedScope** (VLDB 2023): a flexible,
+//! event-driven federated-learning platform for heterogeneity.
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`tensor`] — ML substrate (tensors, layers, models, optimizers)
+//! * [`data`] — DataZoo: synthetic federated datasets and partitioners
+//! * [`net`] — messages, wire codec (message translation), backends
+//! * [`sim`] — virtual time, device profiles, discrete-event queue
+//! * [`core`] — the event-driven FL engine (workers, events, handlers,
+//!   aggregators, samplers, runners, completeness checking)
+//! * [`personalize`] — FedBN / Ditto / pFedMe / FedEM and multi-goal FL
+//! * [`privacy`] — DP mechanisms, Paillier, secret sharing
+//! * [`attack`] — privacy attacks (DLG, membership/property inference) and
+//!   backdoors (BadNets, DBA, Neurotoxin-style, model replacement)
+//! * [`autotune`] — HPO: random search, successive halving, Hyperband, PBT,
+//!   FedEx
+//!
+//! See the `examples/` directory for runnable FL courses, and `crates/bench`
+//! for the harness reproducing every table and figure of the paper.
+
+pub use fs_attack as attack;
+pub use fs_autotune as autotune;
+pub use fs_core as core;
+pub use fs_data as data;
+pub use fs_net as net;
+pub use fs_personalize as personalize;
+pub use fs_privacy as privacy;
+pub use fs_sim as sim;
+pub use fs_tensor as tensor;

@@ -1,0 +1,211 @@
+//! Integration tests: attack simulation inside real FL courses (§4.2).
+
+use fedscope::attack::backdoor::{attack_success_rate, dba_fragments, Trigger};
+use fedscope::attack::malicious::{AttackMode, MaliciousTrainer};
+use fedscope::attack::membership::evaluate_membership_attack;
+use fedscope::core::aggregator::Krum;
+use fedscope::core::config::FlConfig;
+use fedscope::core::course::CourseBuilder;
+use fedscope::core::trainer::{share_all, LocalTrainer, TrainConfig};
+use fedscope::data::synth::{cifar_like, twitter_like, ImageConfig, TwitterConfig};
+use fedscope::tensor::loss::Target;
+use fedscope::tensor::model::{convnet2, logistic_regression, Model};
+use fedscope::tensor::optim::SgdConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn image_cfg() -> ImageConfig {
+    ImageConfig {
+        num_clients: 8,
+        per_client: 40,
+        img: 8,
+        num_classes: 4,
+        seed: 77,
+        ..Default::default()
+    }
+}
+
+/// Runs a course where the first `n_mal` clients stamp DBA trigger fragments.
+fn dba_course(n_mal: usize) -> (f32, f32) {
+    let data = cifar_like(&image_cfg(), None);
+    let clean_test = data.clients[7].test.clone();
+    let full = Trigger { row: 0, col: 0, h: 2, w: 4, value: 3.0 };
+    let frags = dba_fragments(&full, 2);
+    let cfg = FlConfig {
+        total_rounds: 12,
+        concurrency: 8,
+        local_steps: 8,
+        batch_size: 8,
+        sgd: SgdConfig::with_lr(0.2),
+        seed: 77,
+        ..Default::default()
+    };
+    let mut runner = CourseBuilder::new(
+        data,
+        Box::new(|rng| Box::new(convnet2(1, 8, 16, 4, 0.0, rng))),
+        cfg,
+    )
+    .trainer_factory(Box::new(move |i, model, split, cfg| {
+        let inner = LocalTrainer::new(
+            model,
+            split,
+            TrainConfig {
+                local_steps: cfg.local_steps,
+                batch_size: cfg.batch_size,
+                sgd: cfg.sgd,
+            },
+            share_all(),
+            cfg.seed ^ (i as u64 + 1),
+        );
+        if i < n_mal {
+            Box::new(MaliciousTrainer::new(
+                inner,
+                AttackMode::DataPoison {
+                    trigger: frags[i % frags.len()].clone(),
+                    target_class: 0,
+                    fraction: 0.5,
+                },
+                cfg.seed ^ (0xabc + i as u64),
+            ))
+        } else {
+            Box::new(inner)
+        }
+    }))
+    .build();
+    runner.run();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut model = convnet2(1, 8, 16, 4, 0.0, &mut rng);
+    let mut p = model.get_params();
+    p.merge_from(&runner.server.state.global);
+    model.set_params(&p);
+    let clean = model.evaluate(&clean_test.x, &clean_test.y).accuracy;
+    // the *full* trigger activates the backdoor even though no single client
+    // ever stamped it whole — the hallmark of DBA
+    let asr = attack_success_rate(&mut model, &clean_test, &full, 0);
+    (clean, asr)
+}
+
+#[test]
+fn dba_fragments_assemble_into_a_backdoor() {
+    let (_, asr_benign) = dba_course(0);
+    let (clean, asr) = dba_course(4);
+    assert!(
+        asr > asr_benign + 0.2,
+        "DBA failed: benign asr {asr_benign}, attacked {asr}"
+    );
+    assert!(clean > 0.4, "attack destroyed clean accuracy: {clean}");
+}
+
+#[test]
+fn krum_blunts_model_replacement() {
+    let run = |use_krum: bool| -> f32 {
+        let data =
+            twitter_like(&TwitterConfig { num_clients: 10, per_client: 30, ..Default::default() });
+        let dim = data.input_dim();
+        let cfg = FlConfig {
+            total_rounds: 12,
+            concurrency: 10,
+            local_steps: 6,
+            batch_size: 4,
+            sgd: SgdConfig::with_lr(0.3),
+            seed: 5,
+            ..Default::default()
+        };
+        let mut builder = CourseBuilder::new(
+            data,
+            Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+            cfg,
+        )
+        .trainer_factory(Box::new(|i, model, mut split, cfg| {
+            if i == 0 {
+                // swap classes 0 and 1 through a temp index
+                fedscope::attack::backdoor::label_flip(&mut split.train, 1, 2);
+                fedscope::attack::backdoor::label_flip(&mut split.train, 0, 1);
+                fedscope::attack::backdoor::label_flip(&mut split.train, 2, 0);
+            }
+            let inner = LocalTrainer::new(
+                model,
+                split,
+                TrainConfig {
+                    local_steps: cfg.local_steps,
+                    batch_size: cfg.batch_size,
+                    sgd: cfg.sgd,
+                },
+                share_all(),
+                cfg.seed ^ (i as u64 + 1),
+            );
+            if i == 0 {
+                Box::new(MaliciousTrainer::new(
+                    inner,
+                    AttackMode::ModelReplacement { n_participants: 10 },
+                    9,
+                ))
+            } else {
+                Box::new(inner)
+            }
+        }));
+        if use_krum {
+            builder = builder.aggregator(Box::new(Krum::multi(1, 5)));
+        }
+        let mut runner = builder.build();
+        let report = runner.run();
+        report.history.last().unwrap().metrics.accuracy
+    };
+    let fedavg = run(false);
+    let krum = run(true);
+    assert!(krum > fedavg, "Krum ({krum}) must beat FedAvg ({fedavg}) under replacement");
+}
+
+#[test]
+fn membership_attack_weakens_on_federated_model() {
+    // FL's averaging regularizes: the global model should leak less about any
+    // single client's training data than a locally overfit model does
+    let data = twitter_like(&TwitterConfig { num_clients: 12, per_client: 30, ..Default::default() });
+    let dim = data.input_dim();
+    // locally overfit model on client 0
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut local = logistic_regression(dim, 2, &mut rng);
+    let t0 = &data.clients[0].train;
+    for _ in 0..300 {
+        let (_, g) = local.loss_grad(&t0.x, &t0.y);
+        let mut p = local.get_params();
+        p.add_scaled(-1.0, &g);
+        local.set_params(&p);
+    }
+    // federated model over all clients
+    let cfg = FlConfig {
+        total_rounds: 15,
+        concurrency: 12,
+        local_steps: 4,
+        batch_size: 4,
+        sgd: SgdConfig::with_lr(0.3),
+        seed: 3,
+        ..Default::default()
+    };
+    let mut runner = CourseBuilder::new(
+        data.clone(),
+        Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+        cfg,
+    )
+    .build();
+    runner.run();
+    let mut fed = logistic_regression(dim, 2, &mut rng);
+    let mut p = fed.get_params();
+    p.merge_from(&runner.server.state.global);
+    fed.set_params(&p);
+
+    let labels = |t: &Target| match t {
+        Target::Classes(c) => c.clone(),
+        _ => unreachable!(),
+    };
+    let (mx, my) = (&data.clients[0].train.x, labels(&data.clients[0].train.y));
+    let (nx, ny) = (&data.clients[1].train.x, labels(&data.clients[1].train.y));
+    let local_leak = evaluate_membership_attack(&mut local, mx, &my, nx, &ny);
+    let fed_leak = evaluate_membership_attack(&mut fed, mx, &my, nx, &ny);
+    assert!(
+        fed_leak.auc < local_leak.auc,
+        "federation should reduce leakage: local {} vs fed {}",
+        local_leak.auc,
+        fed_leak.auc
+    );
+}

@@ -1,0 +1,166 @@
+//! Integration tests: privacy plug-ins inside real FL courses.
+
+use fedscope::core::aggregator::{Aggregator, ReceivedUpdate};
+use fedscope::core::config::FlConfig;
+use fedscope::core::course::CourseBuilder;
+use fedscope::core::trainer::{share_all, LocalTrainer, LocalUpdate, TrainConfig, Trainer};
+use fedscope::data::synth::{twitter_like, TwitterConfig};
+use fedscope::privacy::dp::{gaussian_mechanism, DpConfig};
+use fedscope::privacy::paillier::{decode_f32, encode_f32, keygen};
+use fedscope::privacy::secret_sharing::secure_aggregate;
+use fedscope::tensor::model::{logistic_regression, Metrics};
+use fedscope::tensor::optim::SgdConfig;
+use fedscope::tensor::ParamMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A DP-noising trainer (Figure 6's behavior plug-in).
+struct DpTrainer {
+    inner: LocalTrainer,
+    dp: DpConfig,
+    rng: StdRng,
+}
+
+impl Trainer for DpTrainer {
+    fn incorporate(&mut self, global: &ParamMap) {
+        self.inner.incorporate(global);
+    }
+    fn local_train(&mut self, global: &ParamMap, round: u64) -> LocalUpdate {
+        let mut update = self.inner.local_train(global, round);
+        let mut delta = update.params.sub(&global.filter(|k| update.params.contains(k)));
+        gaussian_mechanism(&mut delta, &self.dp, &mut self.rng);
+        let mut noisy = global.filter(|k| update.params.contains(k));
+        noisy.add_scaled(1.0, &delta);
+        update.params = noisy;
+        update
+    }
+    fn evaluate_val(&mut self) -> Metrics {
+        self.inner.evaluate_val()
+    }
+    fn evaluate_test(&mut self) -> Metrics {
+        self.inner.evaluate_test()
+    }
+    fn num_train_samples(&self) -> usize {
+        self.inner.num_train_samples()
+    }
+}
+
+#[test]
+fn dp_course_still_learns_with_mild_noise() {
+    let data = twitter_like(&TwitterConfig { num_clients: 20, per_client: 20, ..Default::default() });
+    let dim = data.input_dim();
+    let cfg = FlConfig {
+        total_rounds: 25,
+        concurrency: 12,
+        local_steps: 6,
+        batch_size: 4,
+        sgd: SgdConfig::with_lr(0.4),
+        seed: 1,
+        ..Default::default()
+    };
+    let mut runner = CourseBuilder::new(
+        data,
+        Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+        cfg,
+    )
+    .trainer_factory(Box::new(|i, model, split, cfg| {
+        let inner = LocalTrainer::new(
+            model,
+            split,
+            TrainConfig {
+                local_steps: cfg.local_steps,
+                batch_size: cfg.batch_size,
+                sgd: cfg.sgd,
+            },
+            share_all(),
+            cfg.seed ^ (i as u64 + 1),
+        );
+        Box::new(DpTrainer {
+            inner,
+            dp: DpConfig { clip_norm: 1.0, sigma: 0.02 },
+            rng: StdRng::seed_from_u64(cfg.seed ^ (77 + i as u64)),
+        })
+    }))
+    .build();
+    let report = runner.run();
+    let best = report.history.iter().map(|r| r.metrics.accuracy).fold(0.0f32, f32::max);
+    assert!(best > 0.62, "DP with mild noise must still learn: best {best}");
+}
+
+/// A secure-aggregation aggregator: reconstructs only the share-sum, exactly
+/// like a real secure-aggregation server, then normalizes by total weight.
+struct SecureAggregator {
+    rng: StdRng,
+}
+
+impl Aggregator for SecureAggregator {
+    fn aggregate(&mut self, global: &ParamMap, updates: &[ReceivedUpdate]) -> ParamMap {
+        if updates.is_empty() {
+            return global.clone();
+        }
+        let params: Vec<ParamMap> = updates
+            .iter()
+            .map(|u| u.params.filter(|k| global.contains(k)))
+            .collect();
+        let mut sum = secure_aggregate(&params, &mut self.rng);
+        sum.scale(1.0 / updates.len() as f32);
+        sum
+    }
+    fn name(&self) -> &'static str {
+        "secure_aggregation"
+    }
+}
+
+#[test]
+fn secure_aggregation_course_matches_plain_fedavg_closely() {
+    let mk = |secure: bool| -> f32 {
+        let data =
+            twitter_like(&TwitterConfig { num_clients: 10, per_client: 20, ..Default::default() });
+        let dim = data.input_dim();
+        let cfg = FlConfig {
+            total_rounds: 20,
+            concurrency: 10,
+            local_steps: 4,
+            batch_size: 4,
+            sgd: SgdConfig::with_lr(0.4),
+            seed: 2,
+            ..Default::default()
+        };
+        let mut builder = CourseBuilder::new(
+            data,
+            Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+            cfg,
+        );
+        if secure {
+            builder = builder
+                .aggregator(Box::new(SecureAggregator { rng: StdRng::seed_from_u64(3) }));
+        }
+        let mut runner = builder.build();
+        let report = runner.run();
+        report.history.last().unwrap().metrics.accuracy
+    };
+    let plain = mk(false);
+    let secure = mk(true);
+    // secure aggregation computes an unweighted mean under fixed-point
+    // encoding; the result must track plain FedAvg closely
+    assert!(
+        (plain - secure).abs() < 0.1,
+        "secure {secure} vs plain {plain} diverged"
+    );
+    assert!(secure > 0.55, "secure aggregation course failed to learn: {secure}");
+}
+
+#[test]
+fn paillier_aggregates_a_model_update_coordinatewise() {
+    // one coordinate of three client updates, summed under encryption
+    let mut rng = StdRng::seed_from_u64(4);
+    let (pk, sk) = keygen(128, &mut rng);
+    let updates = [0.125f32, -0.5, 0.75];
+    let mut acc = pk.encrypt(&encode_f32(0.0, &pk.n), &mut rng);
+    for &u in &updates {
+        acc = pk.add(&acc, &pk.encrypt(&encode_f32(u, &pk.n), &mut rng));
+    }
+    let sum = decode_f32(&sk.decrypt(&acc), &pk.n);
+    let expect: f32 = updates.iter().sum();
+    assert!((sum - expect).abs() < 1e-3, "{sum} vs {expect}");
+}

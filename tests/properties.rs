@@ -1,0 +1,124 @@
+//! Property-based tests over the workspace's core invariants.
+
+use fedscope::net::wire::{decode_params, encode_params};
+use fedscope::privacy::bignum::BigUint;
+use fedscope::privacy::secret_sharing::{reconstruct, share};
+use fedscope::tensor::{ParamMap, Tensor};
+use proptest::prelude::*;
+
+fn arb_param_map() -> impl Strategy<Value = ParamMap> {
+    prop::collection::btree_map(
+        "[a-z]{1,8}(\\.[a-z]{1,8})?",
+        prop::collection::vec(-1e6f32..1e6, 0..64),
+        0..6,
+    )
+    .prop_map(|m| {
+        m.into_iter()
+            .map(|(k, v)| {
+                let len = v.len();
+                (k, Tensor::from_vec(vec![len], v))
+            })
+            .collect::<ParamMap>()
+    })
+}
+
+proptest! {
+    #[test]
+    fn wire_codec_roundtrips_any_param_map(p in arb_param_map()) {
+        let bytes = encode_params(&p);
+        let q = decode_params(&bytes).expect("decode");
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn wire_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_params(&bytes); // must return Err, not panic
+    }
+
+    #[test]
+    fn secret_shares_reconstruct(values in prop::collection::vec(-1e4f32..1e4, 1..64), n in 1usize..8) {
+        let mut rng = rand::thread_rng();
+        let shares = share(&values, n, &mut rng);
+        let rec = reconstruct(&shares);
+        for (a, b) in values.iter().zip(&rec) {
+            prop_assert!((a - b).abs() < 1e-2, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn bignum_add_sub_roundtrip(a in any::<u64>(), b in any::<u64>()) {
+        let x = BigUint::from_u64(a);
+        let y = BigUint::from_u64(b);
+        let sum = x.add(&y);
+        prop_assert_eq!(sum.sub(&y), x);
+    }
+
+    #[test]
+    fn bignum_div_rem_invariant(a in any::<u128>(), b in 1u64..) {
+        // build a 128-bit value from the u128
+        let hi = BigUint::from_u64((a >> 64) as u64).shl(64);
+        let x = hi.add(&BigUint::from_u64(a as u64));
+        let m = BigUint::from_u64(b);
+        let (q, r) = x.div_rem(&m);
+        prop_assert!(r < m);
+        prop_assert_eq!(q.mul(&m).add(&r), x);
+    }
+
+    #[test]
+    fn bignum_mod_pow_matches_u128(base in 0u64..1000, exp in 0u32..16, m in 2u64..65_536) {
+        let mut expect: u128 = 1;
+        for _ in 0..exp {
+            expect = expect * base as u128 % m as u128;
+        }
+        let got = BigUint::from_u64(base)
+            .mod_pow(&BigUint::from_u64(exp as u64), &BigUint::from_u64(m));
+        prop_assert_eq!(got.to_u64(), Some(expect as u64));
+    }
+
+    #[test]
+    fn param_map_add_scaled_linear(p in arb_param_map(), alpha in -10.0f32..10.0) {
+        // p + alpha*0 == p, and (p + alpha*p) == (1+alpha)*p
+        let zeros = p.zeros_like();
+        let mut q = p.clone();
+        q.add_scaled(alpha, &zeros);
+        prop_assert_eq!(&q, &p);
+        let mut r = p.clone();
+        r.add_scaled(alpha, &p);
+        let mut expect = p.clone();
+        expect.scale(1.0 + alpha);
+        for (k, t) in r.iter() {
+            let e = expect.get(k).unwrap();
+            for (x, y) in t.data().iter().zip(e.data()) {
+                prop_assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0), "{} vs {}", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn clip_norm_bounds_hold(p in arb_param_map(), max in 0.1f32..100.0) {
+        let mut q = p.clone();
+        q.clip_norm(max);
+        prop_assert!(q.norm() <= max * 1.001 || p.norm() <= max);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(rows in 1usize..6, logits in prop::collection::vec(-30.0f32..30.0, 6..36)) {
+        let cols = logits.len() / rows;
+        prop_assume!(cols >= 1);
+        let t = Tensor::from_vec(vec![rows, cols], logits[..rows * cols].to_vec());
+        let p = fedscope::tensor::loss::softmax(&t);
+        for r in 0..rows {
+            let s: f32 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn staleness_weight_monotone(tau1 in 0u64..100, tau2 in 0u64..100, a in 0.01f32..3.0) {
+        use fedscope::core::aggregator::staleness_weight;
+        let (lo, hi) = if tau1 <= tau2 { (tau1, tau2) } else { (tau2, tau1) };
+        prop_assert!(staleness_weight(hi, a) <= staleness_weight(lo, a));
+        prop_assert!(staleness_weight(lo, a) <= 1.0);
+    }
+}
