@@ -37,7 +37,13 @@ pub struct Trigger {
 impl Trigger {
     /// A default 2x2 corner trigger.
     pub fn corner() -> Self {
-        Self { row: 0, col: 0, h: 2, w: 2, value: 3.0 }
+        Self {
+            row: 0,
+            col: 0,
+            h: 2,
+            w: 2,
+            value: 3.0,
+        }
     }
 
     /// Stamps the trigger into every image of a `[N, C, H, W]` batch,
@@ -45,14 +51,16 @@ impl Trigger {
     pub fn stamp(&self, x: &mut Tensor) {
         assert_eq!(x.shape().len(), 4, "trigger expects [N, C, H, W]");
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-        assert!(self.row + self.h <= h && self.col + self.w <= w, "trigger out of bounds");
+        assert!(
+            self.row + self.h <= h && self.col + self.w <= w,
+            "trigger out of bounds"
+        );
         let data = x.data_mut();
         for ni in 0..n {
             for ci in 0..c {
                 for dy in 0..self.h {
                     for dx in 0..self.w {
-                        data[((ni * c + ci) * h + self.row + dy) * w + self.col + dx] =
-                            self.value;
+                        data[((ni * c + ci) * h + self.row + dy) * w + self.col + dx] = self.value;
                     }
                 }
             }
@@ -92,7 +100,11 @@ pub fn poison_dataset(
 /// `j` stamps only fragment `j`; the server-side aggregate reassembles the
 /// full pattern.
 pub fn dba_fragments(trigger: &Trigger, k: usize) -> Vec<Trigger> {
-    assert!(k >= 1 && k <= trigger.w, "cannot split {}-wide trigger into {k}", trigger.w);
+    assert!(
+        k >= 1 && k <= trigger.w,
+        "cannot split {}-wide trigger into {k}",
+        trigger.w
+    );
     let per = trigger.w / k;
     (0..k)
         .map(|j| Trigger {
@@ -123,8 +135,13 @@ impl BlendedTrigger {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(seed);
-        let pattern = (0..c * h * w).map(|_| rng.gen_range(-1.0f32..2.0)).collect();
-        Self { pattern, alpha: 0.25 }
+        let pattern = (0..c * h * w)
+            .map(|_| rng.gen_range(-1.0f32..2.0))
+            .collect();
+        Self {
+            pattern,
+            alpha: 0.25,
+        }
     }
 
     /// Blends the pattern into every image of a `[N, C, H, W]` batch.
@@ -243,7 +260,9 @@ pub fn attack_success_rate(
         Target::Classes(c) => c.clone(),
         _ => return 0.0,
     };
-    let keep: Vec<usize> = (0..clean_test.len()).filter(|&i| labels[i] != target_class).collect();
+    let keep: Vec<usize> = (0..clean_test.len())
+        .filter(|&i| labels[i] != target_class)
+        .collect();
     if keep.is_empty() {
         return 0.0;
     }
@@ -261,7 +280,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn image_data() -> ClientData {
-        let cfg = ImageConfig { num_clients: 1, per_client: 40, img: 8, ..Default::default() };
+        let cfg = ImageConfig {
+            num_clients: 1,
+            per_client: 40,
+            img: 8,
+            ..Default::default()
+        };
         cifar_like(&cfg, None).clients[0].train.clone()
     }
 
@@ -274,7 +298,7 @@ mod tests {
         assert_eq!(x.data()[1], 3.0); // (0,1)
         assert_eq!(x.data()[8], 3.0); // (1,0)
         assert_eq!(x.data()[2], 0.0); // (0,2) untouched
-        // second image too
+                                      // second image too
         assert_eq!(x.data()[64], 3.0);
     }
 
@@ -297,7 +321,13 @@ mod tests {
 
     #[test]
     fn dba_fragments_tile_the_trigger() {
-        let t = Trigger { row: 1, col: 2, h: 2, w: 4, value: 3.0 };
+        let t = Trigger {
+            row: 1,
+            col: 2,
+            h: 2,
+            w: 4,
+            value: 3.0,
+        };
         let frags = dba_fragments(&t, 2);
         assert_eq!(frags.len(), 2);
         assert_eq!(frags[0].col, 2);
@@ -332,7 +362,12 @@ mod tests {
     #[test]
     fn warp_trigger_is_subtle_and_consistent() {
         let t = WarpTrigger::sinusoidal(8, 8, 0.7);
-        let cfg = ImageConfig { num_clients: 1, per_client: 4, img: 8, ..Default::default() };
+        let cfg = ImageConfig {
+            num_clients: 1,
+            per_client: 4,
+            img: 8,
+            ..Default::default()
+        };
         let d = cifar_like(&cfg, None).clients[0].train.clone();
         let mut a = d.x.clone();
         let mut b = d.x.clone();
@@ -385,7 +420,13 @@ mod tests {
         assert_eq!(edges.len(), 5);
         // the least-confident example must not be among the most confident
         let probs = fs_tensor::loss::softmax(&m.predict(&flat.x));
-        let conf = |i: usize| probs.row(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let conf = |i: usize| {
+            probs
+                .row(i)
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max)
+        };
         let min_all = (0..flat.len()).map(conf).fold(f32::INFINITY, f32::min);
         assert!((conf(edges[0]) - min_all).abs() < 1e-6);
     }

@@ -59,7 +59,11 @@ pub fn invert_linear_gradients(grads: &ParamMap, prefix: &str) -> Option<Reconst
         return None;
     }
     let x: Vec<f32> = (0..d).map(|j| gw.at(best, j) / denom).collect();
-    Some(Reconstruction { x, label, confidence: denom.abs() })
+    Some(Reconstruction {
+        x,
+        label,
+        confidence: denom.abs(),
+    })
 }
 
 /// Mean squared error between a reconstruction and the true input — the
@@ -108,11 +112,21 @@ mod tests {
     fn dp_noise_defeats_reconstruction() {
         let (mut grads, truth, _) = single_example_grads(2);
         let mut rng = StdRng::seed_from_u64(9);
-        gaussian_mechanism(&mut grads, &DpConfig { clip_norm: 1.0, sigma: 0.3 }, &mut rng);
+        gaussian_mechanism(
+            &mut grads,
+            &DpConfig {
+                clip_norm: 1.0,
+                sigma: 0.3,
+            },
+            &mut rng,
+        );
         // total inversion failure also counts as a successful defence
         if let Some(rec) = invert_linear_gradients(&grads, "fc") {
             let mse = reconstruction_mse(&rec, &truth);
-            assert!(mse > 0.05, "noise should destroy the reconstruction, mse {mse}");
+            assert!(
+                mse > 0.05,
+                "noise should destroy the reconstruction, mse {mse}"
+            );
         }
     }
 

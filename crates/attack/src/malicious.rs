@@ -47,14 +47,24 @@ pub struct MaliciousTrainer {
 impl MaliciousTrainer {
     /// Wraps `inner` with the given attack mode.
     pub fn new(inner: LocalTrainer, mode: AttackMode, seed: u64) -> Self {
-        Self { inner, mode, poisoned: false, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            inner,
+            mode,
+            poisoned: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     fn ensure_poisoned(&mut self) {
         if self.poisoned {
             return;
         }
-        if let AttackMode::DataPoison { trigger, target_class, fraction } = self.mode.clone() {
+        if let AttackMode::DataPoison {
+            trigger,
+            target_class,
+            fraction,
+        } = self.mode.clone()
+        {
             poison_dataset(
                 &mut self.inner.data_mut().train,
                 &trigger,

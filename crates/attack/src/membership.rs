@@ -53,7 +53,11 @@ pub fn evaluate_membership_attack(
     }
     let auc = (wins / (member_losses.len() as f64 * nonmember_losses.len() as f64)) as f32;
     // best threshold over the pooled values
-    let mut candidates: Vec<f32> = member_losses.iter().chain(&nonmember_losses).copied().collect();
+    let mut candidates: Vec<f32> = member_losses
+        .iter()
+        .chain(&nonmember_losses)
+        .copied()
+        .collect();
     candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite losses"));
     let total = (member_losses.len() + nonmember_losses.len()) as f32;
     let mut best_acc = 0.0f32;
@@ -67,7 +71,11 @@ pub fn evaluate_membership_attack(
             best_thr = thr;
         }
     }
-    MembershipReport { accuracy: best_acc, auc, threshold: best_thr }
+    MembershipReport {
+        accuracy: best_acc,
+        auc,
+        threshold: best_thr,
+    }
 }
 
 #[cfg(test)]
@@ -81,7 +89,11 @@ mod tests {
 
     #[test]
     fn overfit_model_leaks_membership() {
-        let d = twitter_like(&TwitterConfig { num_clients: 2, per_client: 40, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 2,
+            per_client: 40,
+            ..Default::default()
+        });
         let train = &d.clients[0].train;
         let holdout = &d.clients[1].train;
         let mut rng = StdRng::seed_from_u64(0);
@@ -102,13 +114,22 @@ mod tests {
             _ => unreachable!(),
         };
         let report = evaluate_membership_attack(&mut m, &train.x, &ty, &holdout.x, &hy);
-        assert!(report.auc > 0.7, "overfit model should leak, auc {}", report.auc);
+        assert!(
+            report.auc > 0.7,
+            "overfit model should leak, auc {}",
+            report.auc
+        );
         assert!(report.accuracy > 0.6);
     }
 
     #[test]
     fn random_model_does_not_leak() {
-        let d = twitter_like(&TwitterConfig { num_clients: 2, per_client: 40, seed: 5, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 2,
+            per_client: 40,
+            seed: 5,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(1);
         let mut m = logistic_regression(d.input_dim(), 2, &mut rng);
         let a = &d.clients[0].train;
@@ -131,7 +152,11 @@ mod tests {
 
     #[test]
     fn per_example_losses_match_mean() {
-        let d = twitter_like(&TwitterConfig { num_clients: 1, per_client: 20, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 1,
+            per_client: 20,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(2);
         let mut m = logistic_regression(d.input_dim(), 2, &mut rng);
         let t = &d.clients[0].train;

@@ -16,11 +16,7 @@ use fs_tensor::ParamMap;
 /// parameters and the attacker's desired parameters, returns the update to
 /// submit so that after weighted averaging with `n_participants` equal-weight
 /// updates the global lands (approximately) on the desired model.
-pub fn model_replacement(
-    global: &ParamMap,
-    desired: &ParamMap,
-    n_participants: usize,
-) -> ParamMap {
+pub fn model_replacement(global: &ParamMap, desired: &ParamMap, n_participants: usize) -> ParamMap {
     let boost = n_participants.max(1) as f32;
     let mut delta = desired.sub(global);
     delta.scale(boost);
@@ -51,7 +47,11 @@ pub fn neurotoxin_mask(
     mags.sort_by(|a, b| b.partial_cmp(a).expect("finite magnitudes"));
     let cut = ((mags.len() as f32) * top_frac).floor() as usize;
     // mask exactly the `cut` hottest coordinates
-    let threshold = if cut == 0 { f32::INFINITY } else { mags[cut - 1] };
+    let threshold = if cut == 0 {
+        f32::INFINITY
+    } else {
+        mags[cut - 1]
+    };
     let mut out = malicious.clone();
     for (k, t) in out.iter_mut() {
         let (Some(g), Some(b)) = (global.get(k), benign_reference_delta.get(k)) else {

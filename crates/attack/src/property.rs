@@ -15,7 +15,10 @@ use rand::SeedableRng;
 /// Flattens a gradient map into a feature vector, down-sampling to at most
 /// `max_dim` coordinates (stride sampling keeps it deterministic).
 pub fn gradient_features(grads: &ParamMap, max_dim: usize) -> Vec<f32> {
-    let flat: Vec<f32> = grads.iter().flat_map(|(_, t)| t.data().iter().copied()).collect();
+    let flat: Vec<f32> = grads
+        .iter()
+        .flat_map(|(_, t)| t.data().iter().copied())
+        .collect();
     if flat.len() <= max_dim {
         return flat;
     }
@@ -53,7 +56,10 @@ impl PropertyAttacker {
             p.add_scaled(-0.5, &g);
             meta.set_params(&p);
         }
-        Self { meta: Box::new(meta), dim }
+        Self {
+            meta: Box::new(meta),
+            dim,
+        }
     }
 
     /// Predicts whether the property holds for a gradient observation.

@@ -33,7 +33,11 @@ impl FedExPolicy {
     pub fn new(arms: Vec<SgdConfig>, eta: f64) -> Self {
         assert!(!arms.is_empty(), "need at least one arm");
         let n = arms.len();
-        Self { arms, logits: vec![0.0; n], eta }
+        Self {
+            arms,
+            logits: vec![0.0; n],
+            eta,
+        }
     }
 
     /// Standard arm grid around a base configuration: learning-rate
@@ -42,14 +46,21 @@ impl FedExPolicy {
     pub fn lr_grid(base: SgdConfig, eta: f64) -> Self {
         let arms = [0.5f32, 0.707, 1.0, 1.414, 2.0]
             .iter()
-            .map(|&m| SgdConfig { lr: base.lr * m, ..base })
+            .map(|&m| SgdConfig {
+                lr: base.lr * m,
+                ..base
+            })
             .collect();
         Self::new(arms, eta)
     }
 
     /// Current sampling probabilities (softmax of the logits).
     pub fn probabilities(&self) -> Vec<f64> {
-        let max = self.logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .logits
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = self.logits.iter().map(|l| (l - max).exp()).collect();
         let sum: f64 = exps.iter().sum();
         exps.into_iter().map(|e| e / sum).collect()
@@ -75,7 +86,11 @@ impl FedExPolicy {
         // importance-weighted gradient on the played arm
         self.logits[arm] += self.eta * advantage / p[arm].max(1e-6);
         // keep logits bounded for numerical sanity
-        let max = self.logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .logits
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         for l in &mut self.logits {
             *l -= max;
         }
@@ -105,7 +120,11 @@ pub struct FedExTrainer {
 impl FedExTrainer {
     /// Wraps a trainer with a shared policy.
     pub fn new(inner: LocalTrainer, policy: Arc<Mutex<FedExPolicy>>, seed: u64) -> Self {
-        Self { inner, policy, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            inner,
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -126,7 +145,10 @@ impl Trainer for FedExTrainer {
         let after = self.inner.evaluate_val();
         if before.n > 0 {
             let advantage = (before.loss - after.loss) as f64;
-            self.policy.lock().expect("policy lock").update(arm, advantage);
+            self.policy
+                .lock()
+                .expect("policy lock")
+                .update(arm, advantage);
         }
         update
     }
@@ -164,7 +186,10 @@ pub struct FedExHook {
 impl FedExHook {
     /// Creates a hook.
     pub fn new(eta: f64) -> Self {
-        Self { eta, last_policy: Arc::new(Mutex::new(None)) }
+        Self {
+            eta,
+            last_policy: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Builds the per-trial trainer factory.
@@ -194,7 +219,11 @@ impl FedExHook {
                 share_all(),
                 cfg.seed ^ (i as u64 + 1),
             );
-            Box::new(FedExTrainer::new(inner, policy, cfg.seed ^ (0xfede ^ i as u64)))
+            Box::new(FedExTrainer::new(
+                inner,
+                policy,
+                cfg.seed ^ (0xfede ^ i as u64),
+            ))
         })
     }
 }
@@ -235,10 +264,7 @@ mod tests {
 
     #[test]
     fn sampling_follows_distribution() {
-        let mut p = FedExPolicy::new(
-            vec![SgdConfig::with_lr(0.1), SgdConfig::with_lr(1.0)],
-            0.5,
-        );
+        let mut p = FedExPolicy::new(vec![SgdConfig::with_lr(0.1), SgdConfig::with_lr(1.0)], 0.5);
         p.logits = vec![5.0, 0.0];
         let mut rng = StdRng::seed_from_u64(0);
         let mut first = 0;
@@ -256,8 +282,11 @@ mod tests {
         use fs_data::synth::{twitter_like, TwitterConfig};
         use fs_tensor::model::{logistic_regression, Model};
 
-        let data =
-            twitter_like(&TwitterConfig { num_clients: 10, per_client: 20, ..Default::default() });
+        let data = twitter_like(&TwitterConfig {
+            num_clients: 10,
+            per_client: 20,
+            ..Default::default()
+        });
         let dim = data.input_dim();
         let base = FlConfig {
             concurrency: 6,
@@ -277,7 +306,12 @@ mod tests {
         let (result, _) = obj.run(&cfg, 8, None);
         assert!(result.val_loss.is_finite());
         // the policy was created and updated during the course
-        let policy = hook.last_policy.lock().unwrap().clone().expect("policy created");
+        let policy = hook
+            .last_policy
+            .lock()
+            .unwrap()
+            .clone()
+            .expect("policy created");
         let probs = policy.lock().unwrap().probabilities();
         let uniform = probs.iter().all(|&v| (v - 0.2).abs() < 1e-9);
         assert!(!uniform, "policy never updated: {probs:?}");

@@ -42,8 +42,12 @@ pub struct Checkpoint {
 pub trait Objective {
     /// Runs `budget` additional rounds under `cfg`, optionally resuming from
     /// `from`, and returns the result plus a checkpoint for later resumption.
-    fn run(&mut self, cfg: &Config, budget: u64, from: Option<&Checkpoint>)
-        -> (TrialResult, Checkpoint);
+    fn run(
+        &mut self,
+        cfg: &Config,
+        budget: u64,
+        from: Option<&Checkpoint>,
+    ) -> (TrialResult, Checkpoint);
 }
 
 /// A thread-safe model factory shared across trials.
@@ -63,14 +67,22 @@ pub struct FlObjective {
 impl FlObjective {
     /// Creates the objective.
     pub fn new(dataset: FedDataset, model_factory: SharedModelFactory, base: FlConfig) -> Self {
-        Self { dataset, model_factory, base, trainer_hook: None }
+        Self {
+            dataset,
+            model_factory,
+            base,
+            trainer_hook: None,
+        }
     }
 
     /// Translates a sampled [`Config`] into the course configuration.
     pub fn apply_config(base: &FlConfig, cfg: &Config) -> FlConfig {
         let mut out = base.clone();
         if let Some(&lr) = cfg.get("lr") {
-            out.sgd = SgdConfig { lr: lr as f32, ..out.sgd };
+            out.sgd = SgdConfig {
+                lr: lr as f32,
+                ..out.sgd
+            };
         }
         if let Some(&m) = cfg.get("momentum") {
             out.sgd.momentum = m as f32;
@@ -120,7 +132,11 @@ impl Objective for FlObjective {
             Some(r) => (r.metrics.loss as f64, r.metrics.accuracy as f64),
             None => (f64::INFINITY, 0.0),
         };
-        let result = TrialResult { val_loss, test_accuracy, cost: report.rounds };
+        let result = TrialResult {
+            val_loss,
+            test_accuracy,
+            cost: report.rounds,
+        };
         let ck = Checkpoint {
             global: runner.server.state.global.clone(),
             rounds_done: rounds_before + report.rounds,
@@ -145,8 +161,15 @@ impl Objective for QuadraticObjective {
         let total = done + budget;
         let base = (lr - 0.3).powi(2);
         let val_loss = base + 1.0 / (total as f64 + 1.0);
-        let result = TrialResult { val_loss, test_accuracy: 1.0 - val_loss, cost: budget };
-        let ck = Checkpoint { global: ParamMap::new(), rounds_done: total };
+        let result = TrialResult {
+            val_loss,
+            test_accuracy: 1.0 - val_loss,
+            cost: budget,
+        };
+        let ck = Checkpoint {
+            global: ParamMap::new(),
+            rounds_done: total,
+        };
         (result, ck)
     }
 }
@@ -174,9 +197,16 @@ mod tests {
 
     #[test]
     fn fl_objective_runs_and_checkpoints() {
-        let data = twitter_like(&TwitterConfig { num_clients: 8, per_client: 12, ..Default::default() });
+        let data = twitter_like(&TwitterConfig {
+            num_clients: 8,
+            per_client: 12,
+            ..Default::default()
+        });
         let dim = data.input_dim();
-        let base = FlConfig { concurrency: 4, ..Default::default() };
+        let base = FlConfig {
+            concurrency: 4,
+            ..Default::default()
+        };
         let mut obj = FlObjective::new(
             data,
             Arc::new(move |rng: &mut StdRng| {
@@ -184,7 +214,14 @@ mod tests {
             }),
             base,
         );
-        let space = SearchSpace::new().with("lr", Param::Float { lo: 0.1, hi: 1.0, log: true });
+        let space = SearchSpace::new().with(
+            "lr",
+            Param::Float {
+                lo: 0.1,
+                hi: 1.0,
+                log: true,
+            },
+        );
         let mut rng = StdRng::seed_from_u64(0);
         let cfg = space.sample(&mut rng);
         let (r1, ck1) = obj.run(&cfg, 3, None);

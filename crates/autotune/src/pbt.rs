@@ -26,7 +26,12 @@ pub struct PbtConfig {
 
 impl Default for PbtConfig {
     fn default() -> Self {
-        Self { population: 8, interval: 2, cycles: 4, replace_frac: 0.25 }
+        Self {
+            population: 8,
+            interval: 2,
+            cycles: 4,
+            replace_frac: 0.25,
+        }
     }
 }
 
@@ -43,7 +48,11 @@ pub fn pbt(
             (
                 space.sample(rng),
                 None,
-                TrialResult { val_loss: f64::INFINITY, test_accuracy: 0.0, cost: 0 },
+                TrialResult {
+                    val_loss: f64::INFINITY,
+                    test_accuracy: 0.0,
+                    cost: 0,
+                },
             )
         })
         .collect();
@@ -57,15 +66,21 @@ pub fn pbt(
             best_seen = best_seen.min(r.val_loss);
             *res = r;
             *ck = Some(new_ck);
-            trace.push(BestSeen { cumulative_cost: spent, best_val_loss: best_seen });
+            trace.push(BestSeen {
+                cumulative_cost: spent,
+                best_val_loss: best_seen,
+            });
         }
         // exploit + explore
         let mut order: Vec<usize> = (0..members.len()).collect();
         order.sort_by(|&a, &b| {
-            members[a].2.val_loss.partial_cmp(&members[b].2.val_loss).expect("finite")
+            members[a]
+                .2
+                .val_loss
+                .partial_cmp(&members[b].2.val_loss)
+                .expect("finite")
         });
-        let n_replace =
-            ((members.len() as f64) * cfg.replace_frac).round().max(1.0) as usize;
+        let n_replace = ((members.len() as f64) * cfg.replace_frac).round().max(1.0) as usize;
         for i in 0..n_replace {
             let loser = order[members.len() - 1 - i];
             let winner = order[i % (members.len() - n_replace).max(1)];
@@ -78,7 +93,11 @@ pub fn pbt(
         .into_iter()
         .min_by(|a, b| a.2.val_loss.partial_cmp(&b.2.val_loss).expect("finite"))
         .expect("non-empty population");
-    SearchOutcome { best_config: best.0, best_result: best.2, trace }
+    SearchOutcome {
+        best_config: best.0,
+        best_result: best.2,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -91,16 +110,32 @@ mod tests {
 
     #[test]
     fn pbt_improves_over_cycles() {
-        let space = SearchSpace::new().with("lr", Param::Float { lo: 0.01, hi: 1.0, log: false });
+        let space = SearchSpace::new().with(
+            "lr",
+            Param::Float {
+                lo: 0.01,
+                hi: 1.0,
+                log: false,
+            },
+        );
         let mut obj = QuadraticObjective;
         let mut rng = StdRng::seed_from_u64(7);
         let out = pbt(
             &space,
             &mut obj,
-            PbtConfig { population: 8, interval: 2, cycles: 6, replace_frac: 0.25 },
+            PbtConfig {
+                population: 8,
+                interval: 2,
+                cycles: 6,
+                replace_frac: 0.25,
+            },
             &mut rng,
         );
-        assert!((out.best_config["lr"] - 0.3).abs() < 0.3, "best {}", out.best_config["lr"]);
+        assert!(
+            (out.best_config["lr"] - 0.3).abs() < 0.3,
+            "best {}",
+            out.best_config["lr"]
+        );
         // checkpoints accumulate budget: final cost trace is long
         assert_eq!(out.trace.len(), 8 * 6);
         let first = out.trace.first().unwrap().best_val_loss;
@@ -111,13 +146,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "population")]
     fn tiny_population_rejected() {
-        let space = SearchSpace::new().with("lr", Param::Float { lo: 0.01, hi: 1.0, log: false });
+        let space = SearchSpace::new().with(
+            "lr",
+            Param::Float {
+                lo: 0.01,
+                hi: 1.0,
+                log: false,
+            },
+        );
         let mut obj = QuadraticObjective;
         let mut rng = StdRng::seed_from_u64(0);
         let _ = pbt(
             &space,
             &mut obj,
-            PbtConfig { population: 1, ..Default::default() },
+            PbtConfig {
+                population: 1,
+                ..Default::default()
+            },
             &mut rng,
         );
     }

@@ -42,7 +42,9 @@ pub fn random_search(
         let cfg = space.sample(rng);
         let (result, _ck) = objective.run(&cfg, budget_per_trial, None);
         spent += result.cost;
-        let better = best.as_ref().is_none_or(|(_, b)| result.val_loss < b.val_loss);
+        let better = best
+            .as_ref()
+            .is_none_or(|(_, b)| result.val_loss < b.val_loss);
         if better {
             best = Some((cfg, result.clone()));
         }
@@ -52,7 +54,11 @@ pub fn random_search(
         });
     }
     let (best_config, best_result) = best.expect("n_trials > 0");
-    SearchOutcome { best_config, best_result, trace }
+    SearchOutcome {
+        best_config,
+        best_result,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -65,16 +71,34 @@ mod tests {
 
     #[test]
     fn finds_near_optimal_lr() {
-        let space = SearchSpace::new().with("lr", Param::Float { lo: 0.01, hi: 1.0, log: false });
+        let space = SearchSpace::new().with(
+            "lr",
+            Param::Float {
+                lo: 0.01,
+                hi: 1.0,
+                log: false,
+            },
+        );
         let mut obj = QuadraticObjective;
         let mut rng = StdRng::seed_from_u64(3);
         let out = random_search(&space, &mut obj, 50, 10, &mut rng);
-        assert!((out.best_config["lr"] - 0.3).abs() < 0.1, "best lr {}", out.best_config["lr"]);
+        assert!(
+            (out.best_config["lr"] - 0.3).abs() < 0.1,
+            "best lr {}",
+            out.best_config["lr"]
+        );
     }
 
     #[test]
     fn trace_is_monotone_nonincreasing() {
-        let space = SearchSpace::new().with("lr", Param::Float { lo: 0.01, hi: 1.0, log: false });
+        let space = SearchSpace::new().with(
+            "lr",
+            Param::Float {
+                lo: 0.01,
+                hi: 1.0,
+                log: false,
+            },
+        );
         let mut obj = QuadraticObjective;
         let mut rng = StdRng::seed_from_u64(4);
         let out = random_search(&space, &mut obj, 20, 5, &mut rng);

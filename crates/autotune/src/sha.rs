@@ -30,7 +30,11 @@ pub fn successive_halving(
             (
                 space.sample(rng),
                 None,
-                TrialResult { val_loss: f64::INFINITY, test_accuracy: 0.0, cost: 0 },
+                TrialResult {
+                    val_loss: f64::INFINITY,
+                    test_accuracy: 0.0,
+                    cost: 0,
+                },
             )
         })
         .collect();
@@ -45,7 +49,10 @@ pub fn successive_halving(
             best_seen = best_seen.min(r.val_loss);
             *result = r;
             *ck = Some(new_ck);
-            trace.push(BestSeen { cumulative_cost: spent, best_val_loss: best_seen });
+            trace.push(BestSeen {
+                cumulative_cost: spent,
+                best_val_loss: best_seen,
+            });
         }
         if population.len() == 1 {
             break;
@@ -56,7 +63,11 @@ pub fn successive_halving(
         population.truncate(keep);
     }
     let (best_config, _, best_result) = population.into_iter().next().expect("non-empty");
-    SearchOutcome { best_config, best_result, trace }
+    SearchOutcome {
+        best_config,
+        best_result,
+        trace,
+    }
 }
 
 /// Runs Hyperband: brackets `s = s_max, ..., 0`, where bracket `s` starts
@@ -78,16 +89,21 @@ pub fn hyperband(
         for point in &out.trace {
             trace.push(BestSeen {
                 cumulative_cost: spent + point.cumulative_cost,
-                best_val_loss: point
-                    .best_val_loss
-                    .min(best.as_ref().map_or(f64::INFINITY, |b| b.best_result.val_loss)),
+                best_val_loss: point.best_val_loss.min(
+                    best.as_ref()
+                        .map_or(f64::INFINITY, |b| b.best_result.val_loss),
+                ),
             });
         }
         spent += out.trace.last().map_or(0, |p| p.cumulative_cost);
-        let better =
-            best.as_ref().is_none_or(|b| out.best_result.val_loss < b.best_result.val_loss);
+        let better = best
+            .as_ref()
+            .is_none_or(|b| out.best_result.val_loss < b.best_result.val_loss);
         if better {
-            best = Some(SearchOutcome { trace: Vec::new(), ..out });
+            best = Some(SearchOutcome {
+                trace: Vec::new(),
+                ..out
+            });
         }
     }
     let mut best = best.expect("at least one bracket");
@@ -104,7 +120,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn space() -> SearchSpace {
-        SearchSpace::new().with("lr", Param::Float { lo: 0.01, hi: 1.0, log: false })
+        SearchSpace::new().with(
+            "lr",
+            Param::Float {
+                lo: 0.01,
+                hi: 1.0,
+                log: false,
+            },
+        )
     }
 
     #[test]
@@ -112,7 +135,11 @@ mod tests {
         let mut obj = QuadraticObjective;
         let mut rng = StdRng::seed_from_u64(0);
         let out = successive_halving(&space(), &mut obj, 16, 3, 2, &mut rng);
-        assert!((out.best_config["lr"] - 0.3).abs() < 0.25, "best {}", out.best_config["lr"]);
+        assert!(
+            (out.best_config["lr"] - 0.3).abs() < 0.25,
+            "best {}",
+            out.best_config["lr"]
+        );
         // survivors got more budget than first-rung losers
         assert!(out.best_result.cost > 0);
     }

@@ -107,7 +107,14 @@ mod tests {
 
     fn space() -> SearchSpace {
         SearchSpace::new()
-            .with("lr", Param::Float { lo: 0.01, hi: 1.0, log: true })
+            .with(
+                "lr",
+                Param::Float {
+                    lo: 0.01,
+                    hi: 1.0,
+                    log: true,
+                },
+            )
             .with("steps", Param::Int { lo: 1, hi: 8 })
             .with("batch", Param::Choice(vec![8.0, 16.0, 32.0]))
     }
@@ -128,7 +135,14 @@ mod tests {
 
     #[test]
     fn log_sampling_covers_decades() {
-        let s = SearchSpace::new().with("lr", Param::Float { lo: 1e-4, hi: 1.0, log: true });
+        let s = SearchSpace::new().with(
+            "lr",
+            Param::Float {
+                lo: 1e-4,
+                hi: 1.0,
+                log: true,
+            },
+        );
         let mut rng = StdRng::seed_from_u64(1);
         let mut small = 0;
         for _ in 0..500 {

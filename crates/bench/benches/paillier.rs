@@ -20,9 +20,11 @@ fn bench_paillier(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("decrypt", bits), &ct, |b, ct| {
             b.iter(|| sk.decrypt_u64(std::hint::black_box(ct)))
         });
-        group.bench_with_input(BenchmarkId::new("hom_add", bits), &(ct, ct2), |b, (a, bb)| {
-            b.iter(|| pk.add(std::hint::black_box(a), std::hint::black_box(bb)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hom_add", bits),
+            &(ct, ct2),
+            |b, (a, bb)| b.iter(|| pk.add(std::hint::black_box(a), std::hint::black_box(bb))),
+        );
     }
     group.finish();
 }

@@ -36,16 +36,17 @@ fn main() {
     let mut rows: Vec<AblationRow> = Vec::new();
 
     let run = |study: &str,
-                   setting: &str,
-                   goal: usize,
-                   tolerance: u64,
-                   discount: f32,
-                   server_opt: Option<ServerOpt>,
-                   rows: &mut Vec<AblationRow>| {
-        let mut cfg = wl
-            .base_cfg
-            .clone()
-            .async_goal(goal, BroadcastManner::AfterReceiving, SamplerKind::Uniform);
+               setting: &str,
+               goal: usize,
+               tolerance: u64,
+               discount: f32,
+               server_opt: Option<ServerOpt>,
+               rows: &mut Vec<AblationRow>| {
+        let mut cfg = wl.base_cfg.clone().async_goal(
+            goal,
+            BroadcastManner::AfterReceiving,
+            SamplerKind::Uniform,
+        );
         cfg.total_rounds = 150;
         cfg.staleness_tolerance = tolerance;
         cfg.staleness_discount = discount;
@@ -58,8 +59,14 @@ fn main() {
         }
         let mut runner = builder.build();
         let report = runner.run();
-        let final_accuracy = report.history.last().map(|r| r.metrics.accuracy).unwrap_or(0.0);
-        let hours = runner.time_to_accuracy(wl.target_accuracy).map(|s| s / 3600.0);
+        let final_accuracy = report
+            .history
+            .last()
+            .map(|r| r.metrics.accuracy)
+            .unwrap_or(0.0);
+        let hours = runner
+            .time_to_accuracy(wl.target_accuracy)
+            .map(|s| s / 3600.0);
         let log = &runner.server.state.staleness_log;
         let mean_staleness = log.iter().sum::<u64>() as f64 / log.len().max(1) as f64;
         eprintln!(
@@ -82,16 +89,56 @@ fn main() {
     }
     // 2. staleness tolerance sweep
     for tol in [0u64, 2, 20] {
-        run("tolerance", &format!("tol={tol}"), 4, tol, 0.5, None, &mut rows);
+        run(
+            "tolerance",
+            &format!("tol={tol}"),
+            4,
+            tol,
+            0.5,
+            None,
+            &mut rows,
+        );
     }
     // 3. aggregation goal sweep
     for goal in [4usize, 8, 16] {
-        run("goal", &format!("goal={goal}"), goal, 20, 0.5, None, &mut rows);
+        run(
+            "goal",
+            &format!("goal={goal}"),
+            goal,
+            20,
+            0.5,
+            None,
+            &mut rows,
+        );
     }
     // 4. server optimizer (FedOpt family)
-    run("server_opt", "sgd(lr=1)", 8, 20, 0.5, Some(ServerOpt::fedavg()), &mut rows);
-    run("server_opt", "adam(lr=0.1)", 8, 20, 0.5, Some(ServerOpt::adam(0.1)), &mut rows);
-    run("server_opt", "yogi(lr=0.1)", 8, 20, 0.5, Some(ServerOpt::yogi(0.1)), &mut rows);
+    run(
+        "server_opt",
+        "sgd(lr=1)",
+        8,
+        20,
+        0.5,
+        Some(ServerOpt::fedavg()),
+        &mut rows,
+    );
+    run(
+        "server_opt",
+        "adam(lr=0.1)",
+        8,
+        20,
+        0.5,
+        Some(ServerOpt::adam(0.1)),
+        &mut rows,
+    );
+    run(
+        "server_opt",
+        "yogi(lr=0.1)",
+        8,
+        20,
+        0.5,
+        Some(ServerOpt::yogi(0.1)),
+        &mut rows,
+    );
 
     println!("\nAblations on FEMNIST-like (async, after-receiving)\n");
     let table: Vec<Vec<String>> = rows
@@ -110,7 +157,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["study", "setting", "final acc", "hours to 90%", "dropped", "mean staleness"],
+            &[
+                "study",
+                "setting",
+                "final acc",
+                "hours to 90%",
+                "dropped",
+                "mean staleness"
+            ],
             &table
         )
     );

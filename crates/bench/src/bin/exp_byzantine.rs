@@ -44,7 +44,12 @@ fn make_aggregator(name: &str) -> Box<dyn Aggregator> {
 /// Runs a 12-client course where clients 0 and 1 run `attack`; returns the
 /// final global test accuracy.
 fn run(agg_name: &str, attack: &str) -> f32 {
-    let data = twitter_like(&TwitterConfig { num_clients: 12, per_client: 80, seed: 7, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 12,
+        per_client: 80,
+        seed: 7,
+        ..Default::default()
+    });
     let dim = data.input_dim();
     let cfg = FlConfig {
         total_rounds: 40,
@@ -94,18 +99,32 @@ fn run(agg_name: &str, attack: &str) -> f32 {
     }))
     .build();
     let report = runner.run();
-    report.history.last().map(|r| r.metrics.accuracy).unwrap_or(0.0)
+    report
+        .history
+        .last()
+        .map(|r| r.metrics.accuracy)
+        .unwrap_or(0.0)
 }
 
 fn main() {
-    let aggregators = ["fedavg", "multi-krum", "median", "trimmed-mean", "norm-bounded"];
+    let aggregators = [
+        "fedavg",
+        "multi-krum",
+        "median",
+        "trimmed-mean",
+        "norm-bounded",
+    ];
     let attacks = ["none", "label-flip", "replacement"];
     let mut cells = Vec::new();
     for agg in aggregators {
         for attack in attacks {
             let acc = run(agg, attack);
             eprintln!("  {agg} vs {attack}: {acc:.4}");
-            cells.push(Cell { aggregator: agg.into(), attack: attack.into(), accuracy: acc });
+            cells.push(Cell {
+                aggregator: agg.into(),
+                attack: attack.into(),
+                accuracy: acc,
+            });
         }
     }
     println!("\nRobustness matrix — final accuracy, 2/12 malicious clients\n");
@@ -123,7 +142,13 @@ fn main() {
             row
         })
         .collect();
-    println!("{}", render_table(&["aggregator", "no attack", "label-flip", "replacement"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["aggregator", "no attack", "label-flip", "replacement"],
+            &rows
+        )
+    );
     let path = write_json("byzantine", &cells).expect("write results");
     println!("wrote {path}");
 }

@@ -45,7 +45,11 @@ fn main() {
     wl.base_cfg.concurrency = 25;
     wl.aggregation_goal = 12;
     let n_clients = wl.dataset.num_clients();
-    let strategies = [Strategy::SyncVanilla, Strategy::SyncOverSelection, Strategy::GoalAggrUnif];
+    let strategies = [
+        Strategy::SyncVanilla,
+        Strategy::SyncOverSelection,
+        Strategy::GoalAggrUnif,
+    ];
     let mut dists = Vec::new();
     for strat in strategies {
         let mut cfg = strat.configure(&wl);
@@ -62,9 +66,15 @@ fn main() {
             hist[c as usize] += 1;
         }
         let starved = counts.iter().filter(|&&c| c == 0).count() as f64 / n_clients as f64;
-        println!("\n{} — effective aggregation count per client", strat.label());
-        let buckets: Vec<(String, usize)> =
-            hist.iter().enumerate().map(|(i, &c)| (i.to_string(), c)).collect();
+        println!(
+            "\n{} — effective aggregation count per client",
+            strat.label()
+        );
+        let buckets: Vec<(String, usize)> = hist
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i.to_string(), c))
+            .collect();
         println!("{}", ascii_histogram(&buckets, 40));
         println!("Pr[count = 0] = {starved:.3}");
         dists.push(Dist {
@@ -75,7 +85,11 @@ fn main() {
     }
     // the paper's claim, asserted
     let starved = |label: &str| {
-        dists.iter().find(|d| d.strategy == label).map(|d| d.fraction_starved).unwrap_or(0.0)
+        dists
+            .iter()
+            .find(|d| d.strategy == label)
+            .map(|d| d.fraction_starved)
+            .unwrap_or(0.0)
     };
     println!(
         "\nSync-OS starves {:.1}% of clients; vanilla {:.1}%; async {:.1}%",

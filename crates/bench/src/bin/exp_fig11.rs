@@ -33,8 +33,12 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 
 fn main() {
     let wl = femnist(7);
-    let strategies =
-        [Strategy::GoalAggrUnif, Strategy::GoalReceUnif, Strategy::TimeAggrUnif, Strategy::GoalAggrGroup];
+    let strategies = [
+        Strategy::GoalAggrUnif,
+        Strategy::GoalReceUnif,
+        Strategy::TimeAggrUnif,
+        Strategy::GoalAggrGroup,
+    ];
     let mut dists = Vec::new();
     for strat in strategies {
         let mut cfg = strat.configure(&wl);
@@ -52,14 +56,26 @@ fn main() {
         let mean = log.iter().sum::<u64>() as f64 / log.len().max(1) as f64;
         let p95 = percentile(&log, 0.95);
         println!("\n{} — staleness of aggregated updates", strat.label());
-        let buckets: Vec<(String, usize)> =
-            hist.iter().enumerate().map(|(i, &c)| (i.to_string(), c)).collect();
+        let buckets: Vec<(String, usize)> = hist
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i.to_string(), c))
+            .collect();
         println!("{}", ascii_histogram(&buckets, 40));
         println!("mean = {mean:.2}, p95 = {p95}");
-        dists.push(StalenessDist { strategy: strat.label().to_string(), histogram: hist, mean, p95 });
+        dists.push(StalenessDist {
+            strategy: strat.label().to_string(),
+            histogram: hist,
+            mean,
+            p95,
+        });
     }
     let mean_of = |label: &str| {
-        dists.iter().find(|d| d.strategy == label).map(|d| d.mean).unwrap_or(0.0)
+        dists
+            .iter()
+            .find(|d| d.strategy == label)
+            .map(|d| d.mean)
+            .unwrap_or(0.0)
     };
     println!(
         "\nafter-aggregating mean staleness {:.2} vs after-receiving {:.2} (paper: Aggr < Rece)",

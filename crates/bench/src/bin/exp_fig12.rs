@@ -9,10 +9,10 @@
 //! cargo run -p fs-bench --release --bin exp_fig12
 //! ```
 
+use fs_bench::output::{render_table, write_json};
 use fs_core::config::FlConfig;
 use fs_core::course::CourseBuilder;
 use fs_core::trainer::{share_all, TrainConfig};
-use fs_bench::output::{render_table, write_json};
 use fs_data::synth::{femnist_like, ImageConfig};
 use fs_data::FedDataset;
 use fs_personalize::fedbn::fedbn_share_filter;
@@ -65,7 +65,13 @@ fn summarize(method: &str, accs: Vec<f32>) -> MethodResult {
     let mut sorted = accs.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let q10 = sorted[(sorted.len() as f32 * 0.1) as usize];
-    MethodResult { method: method.to_string(), client_accuracies: accs, mean, std: var.sqrt(), q10 }
+    MethodResult {
+        method: method.to_string(),
+        client_accuracies: accs,
+        mean,
+        std: var.sqrt(),
+        q10,
+    }
 }
 
 fn client_accs(runner: &fs_core::StandaloneRunner) -> Vec<f32> {
@@ -163,7 +169,10 @@ fn main() {
                     batch_size: cfg.batch_size,
                     // responsibilities scale gradients by gamma <= 1, so the
                     // mixture needs a higher raw learning rate
-                    sgd: SgdConfig { lr: cfg.sgd.lr * 2.0, ..cfg.sgd },
+                    sgd: SgdConfig {
+                        lr: cfg.sgd.lr * 2.0,
+                        ..cfg.sgd
+                    },
                 },
                 share_all(),
                 cfg.seed ^ (i as u64 + 1),
@@ -185,7 +194,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["method", "mean acc", "q10 acc", "sigma"], &rows));
+    println!(
+        "{}",
+        render_table(&["method", "mean acc", "q10 acc", "sigma"], &rows)
+    );
     let path = write_json("fig12", &results).expect("write results");
     println!("wrote {path}");
 }

@@ -41,7 +41,9 @@ impl Trainer for DpTrainer {
     fn local_train(&mut self, global: &ParamMap, round: u64) -> LocalUpdate {
         let mut update = self.inner.local_train(global, round);
         // noise the *delta* so clipping scales sensibly, then re-add
-        let mut delta = update.params.sub(&global.filter(|k| update.params.contains(k)));
+        let mut delta = update
+            .params
+            .sub(&global.filter(|k| update.params.contains(k)));
         gaussian_mechanism(&mut delta, &self.dp, &mut self.rng);
         let mut noisy = global.filter(|k| update.params.contains(k));
         noisy.add_scaled(1.0, &delta);
@@ -108,7 +110,10 @@ fn run_course(noisy_fraction: f64, data: &FedDataset) -> f32 {
         seed: 31,
         ..Default::default()
     };
-    let dp = DpConfig { clip_norm: 1.0, sigma: 0.4 };
+    let dp = DpConfig {
+        clip_norm: 1.0,
+        sigma: 0.4,
+    };
     let mut runner = CourseBuilder::new(
         data.clone(),
         Box::new(move |rng| Box::new(logistic_regression(dim, classes, rng))),
@@ -127,14 +132,22 @@ fn run_course(noisy_fraction: f64, data: &FedDataset) -> f32 {
             cfg.seed ^ (i as u64 + 1),
         );
         if i < n_noisy {
-            Box::new(DpTrainer { inner, dp, rng: StdRng::seed_from_u64(cfg.seed ^ (0xd9 + i as u64)) })
+            Box::new(DpTrainer {
+                inner,
+                dp,
+                rng: StdRng::seed_from_u64(cfg.seed ^ (0xd9 + i as u64)),
+            })
         } else {
             Box::new(inner)
         }
     }))
     .build();
     let report = runner.run();
-    report.history.last().map(|r| r.metrics.accuracy).unwrap_or(0.0)
+    report
+        .history
+        .last()
+        .map(|r| r.metrics.accuracy)
+        .unwrap_or(0.0)
 }
 
 fn dlg_attack(data: &FedDataset) -> Vec<DlgPoint> {
@@ -164,7 +177,10 @@ fn dlg_attack(data: &FedDataset) -> Vec<DlgPoint> {
     let mut noisy = grads.clone();
     gaussian_mechanism(
         &mut noisy,
-        &DpConfig { clip_norm: 1.0, sigma: 0.05 },
+        &DpConfig {
+            clip_norm: 1.0,
+            sigma: 0.05,
+        },
         &mut StdRng::seed_from_u64(7),
     );
     let rec = invert_linear_gradients(&noisy, "fc");
@@ -185,12 +201,20 @@ fn main() {
     for &f in &fractions {
         let acc = run_course(f, &data);
         eprintln!("  noisy fraction {f}: accuracy {acc:.4}");
-        utility.push(UtilityPoint { noisy_fraction: f, accuracy: acc });
+        utility.push(UtilityPoint {
+            noisy_fraction: f,
+            accuracy: acc,
+        });
     }
     println!("\nFigure 13 (left) — accuracy vs fraction of DP-noised clients\n");
     let rows: Vec<Vec<String>> = utility
         .iter()
-        .map(|u| vec![format!("{:.0}%", u.noisy_fraction * 100.0), format!("{:.4}", u.accuracy)])
+        .map(|u| {
+            vec![
+                format!("{:.0}%", u.noisy_fraction * 100.0),
+                format!("{:.4}", u.accuracy),
+            ]
+        })
         .collect();
     println!("{}", render_table(&["noisy clients", "accuracy"], &rows));
 
@@ -201,12 +225,16 @@ fn main() {
         .map(|d| {
             vec![
                 d.client_kind.clone(),
-                d.reconstruction_mse.map_or("failed".into(), |m| format!("{m:.6}")),
+                d.reconstruction_mse
+                    .map_or("failed".into(), |m| format!("{m:.6}")),
                 d.label_recovered.map_or("—".into(), |b| b.to_string()),
             ]
         })
         .collect();
-    println!("{}", render_table(&["client", "recon MSE", "label recovered"], &rows));
+    println!(
+        "{}",
+        render_table(&["client", "recon MSE", "label recovered"], &rows)
+    );
     let path = write_json("fig13", &Fig13 { utility, dlg }).expect("write results");
     println!("wrote {path}");
 }

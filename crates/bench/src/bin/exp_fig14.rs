@@ -58,9 +58,7 @@ fn make_objective(with_fedex: bool) -> FlObjective {
     };
     let mut obj = FlObjective::new(
         data,
-        Arc::new(move |rng: &mut StdRng| {
-            Box::new(mlp(&[dim, 32, classes], rng)) as Box<dyn Model>
-        }),
+        Arc::new(move |rng: &mut StdRng| Box::new(mlp(&[dim, 32, classes], rng)) as Box<dyn Model>),
         base,
     );
     if with_fedex {
@@ -71,7 +69,14 @@ fn make_objective(with_fedex: bool) -> FlObjective {
 
 fn main() {
     let space = SearchSpace::new()
-        .with("lr", Param::Float { lo: 0.005, hi: 1.5, log: true })
+        .with(
+            "lr",
+            Param::Float {
+                lo: 0.005,
+                hi: 1.5,
+                log: true,
+            },
+        )
         .with("local_steps", Param::Int { lo: 1, hi: 8 });
     let full_budget = 25u64;
     let mut results: Vec<MethodTrace> = Vec::new();
@@ -93,8 +98,11 @@ fn main() {
         // re-train the searched configuration at full budget for the legend's
         // test accuracy
         let (final_result, _) = obj.run(&outcome.best_config, full_budget, None);
-        let trace: Vec<(u64, f64)> =
-            outcome.trace.iter().map(|p| (p.cumulative_cost, p.best_val_loss)).collect();
+        let trace: Vec<(u64, f64)> = outcome
+            .trace
+            .iter()
+            .map(|p| (p.cumulative_cost, p.best_val_loss))
+            .collect();
         eprintln!(
             "  {name}: best val loss {:.4}, final test acc {:.4} (lr={:.3}, steps={})",
             outcome.best_result.val_loss,
@@ -124,7 +132,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["method", "best val loss", "final test acc", "rounds spent"], &rows)
+        render_table(
+            &["method", "best val loss", "final test acc", "rounds spent"],
+            &rows
+        )
     );
     let path = write_json("fig14", &results).expect("write results");
     println!("wrote {path}");

@@ -128,14 +128,20 @@ fn run(data: &FedDataset, sampler: &str) -> (f32, f32) {
             builder.sampler(Sampler::Responsiveness { speeds: inv })
         }
         "group" => {
-            let groups = (0..fleet.num_groups()).map(|g| fleet.group_members(g)).collect();
+            let groups = (0..fleet.num_groups())
+                .map(|g| fleet.group_members(g))
+                .collect();
             builder.sampler(Sampler::group(groups))
         }
         other => panic!("unknown sampler {other}"),
     };
     let mut runner = builder.build();
     let report = runner.run();
-    let overall = report.history.last().map(|r| r.metrics.accuracy).unwrap_or(0.0);
+    let overall = report
+        .history
+        .last()
+        .map(|r| r.metrics.accuracy)
+        .unwrap_or(0.0);
     let rare = rare_label_accuracy(&mut runner, data);
     (overall, rare)
 }
@@ -150,13 +156,20 @@ fn main() {
         let mut slow = vec![0usize; 10];
         for (i, c) in data.clients.iter().enumerate() {
             let h = c.train.label_histogram(10);
-            let dst = if i >= SLOW_START { &mut slow } else { &mut fast };
+            let dst = if i >= SLOW_START {
+                &mut slow
+            } else {
+                &mut fast
+            };
             for (d, v) in dst.iter_mut().zip(&h) {
                 *d += v;
             }
         }
-        println!("{name}: rare-label examples fast={} slow={}",
-            fast[8] + fast[9], slow[8] + slow[9]);
+        println!(
+            "{name}: rare-label examples fast={} slow={}",
+            fast[8] + fast[9],
+            slow[8] + slow[9]
+        );
     }
 
     let mut outcomes = Vec::new();
@@ -184,7 +197,13 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["split", "sampler", "overall acc", "rare-label acc"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["split", "sampler", "overall acc", "rare-label acc"],
+            &rows
+        )
+    );
     let path = write_json("fig18_20", &outcomes).expect("write results");
     println!("wrote {path}");
 }

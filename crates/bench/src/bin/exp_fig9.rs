@@ -35,13 +35,19 @@ fn main() {
         cfg.total_rounds = if strat.is_async() { 150 } else { 50 };
         let mut runner = wl.build(cfg);
         let report = runner.run();
-        let points: Vec<(f64, f32)> =
-            report.history.iter().map(|r| (r.time_secs, r.metrics.accuracy)).collect();
+        let points: Vec<(f64, f32)> = report
+            .history
+            .iter()
+            .map(|r| (r.time_secs, r.metrics.accuracy))
+            .collect();
         println!("{}:", strat.label());
         for &(t, a) in points.iter().step_by((points.len() / 8).max(1)) {
             println!("  t={t:>8.1}s acc={a:.3}");
         }
-        curves.push(Curve { strategy: strat.label().to_string(), points });
+        curves.push(Curve {
+            strategy: strat.label().to_string(),
+            points,
+        });
     }
     // the paper's headline observation: a noticeable accuracy gap at equal
     // virtual time for a long stretch of training

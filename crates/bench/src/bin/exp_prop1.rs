@@ -89,7 +89,11 @@ fn run_async(clients: &[Client], tau_max: usize, t_rounds: usize, seed: u64) -> 
         let mut delta = vec![0.0f64; DIM];
         for c in clients {
             // staled start iterate
-            let tau = if tau_max == 0 { 0 } else { rng.gen_range(0..=tau_max) };
+            let tau = if tau_max == 0 {
+                0
+            } else {
+                rng.gen_range(0..=tau_max)
+            };
             let idx = history.len().saturating_sub(1 + tau);
             let mut local = history[idx].clone();
             for _ in 0..Q {
@@ -149,9 +153,17 @@ fn main() {
             }
         }
         eprintln!("  tau_max={tau_max}: floor {final_gap:.6}, quarter {quarter_gap:.6}");
-        results.push(Prop1Result { tau_max, final_gap, quarter_gap, gaps });
+        results.push(Prop1Result {
+            tau_max,
+            final_gap,
+            quarter_gap,
+            gaps,
+        });
     }
-    println!("\nProposition 1 — error floor vs maximum staleness (µQη = {:.3} < 1)\n", 0.5 * Q as f64 * ETA);
+    println!(
+        "\nProposition 1 — error floor vs maximum staleness (µQη = {:.3} < 1)\n",
+        0.5 * Q as f64 * ETA
+    );
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -162,7 +174,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["tau_max", "gap @ T/4", "floor (last 50 rounds)"], &rows));
+    println!(
+        "{}",
+        render_table(&["tau_max", "gap @ T/4", "floor (last 50 rounds)"], &rows)
+    );
     // geometric phase: the synchronous run's early gaps decay log-linearly
     let sync = &results[0].gaps;
     let ratio1 = sync[40] / sync[20];

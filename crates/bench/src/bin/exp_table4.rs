@@ -60,16 +60,21 @@ fn cfg() -> FlConfig {
 
 /// Size-weighted mean of client-side final test accuracies.
 fn weighted_accuracy(runner: &fs_core::StandaloneRunner) -> f32 {
-    let reports: Vec<Metrics> = runner.server.state.client_reports.values().copied().collect();
+    let reports: Vec<Metrics> = runner
+        .server
+        .state
+        .client_reports
+        .values()
+        .copied()
+        .collect();
     Metrics::weighted_merge(&reports).accuracy
 }
 
 fn run_method(method: &str, data: &FedDataset) -> f32 {
     let dim = data.input_dim();
     let classes = data.num_classes;
-    let factory = move |rng: &mut StdRng| -> Box<dyn Model> {
-        Box::new(mlp_bn(&[dim, 48, classes], rng))
-    };
+    let factory =
+        move |rng: &mut StdRng| -> Box<dyn Model> { Box::new(mlp_bn(&[dim, 48, classes], rng)) };
     let mut builder = CourseBuilder::new(data.clone(), Box::new(factory), cfg());
     builder = match method {
         "FedAvg" => builder,
@@ -109,7 +114,11 @@ fn main() {
         for method in methods {
             let acc = run_method(method, &data);
             eprintln!("  {method} / {split_name}: {acc:.4}");
-            cells.push(Cell { method: method.into(), split: split_name.clone(), accuracy: acc });
+            cells.push(Cell {
+                method: method.into(),
+                split: split_name.clone(),
+                accuracy: acc,
+            });
         }
     }
     println!("\nTable 4 — accuracy on CIFAR-like, IID vs Dirichlet splits\n");
@@ -129,7 +138,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["method", "IID", "alpha=1.0", "alpha=0.5", "alpha=0.2"], &rows)
+        render_table(
+            &["method", "IID", "alpha=1.0", "alpha=0.5", "alpha=0.2"],
+            &rows
+        )
     );
     let path = write_json("table4", &cells).expect("write results");
     println!("wrote {path}");

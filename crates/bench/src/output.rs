@@ -81,10 +81,7 @@ mod tests {
 
     #[test]
     fn histogram_scales_to_width() {
-        let h = ascii_histogram(
-            &[("0".into(), 10), ("1".into(), 5), ("2".into(), 0)],
-            20,
-        );
+        let h = ascii_histogram(&[("0".into(), 10), ("1".into(), 5), ("2".into(), 0)], 20);
         let lines: Vec<&str> = h.lines().collect();
         assert!(lines[0].matches('#').count() == 20);
         assert!(lines[1].matches('#').count() == 10);

@@ -61,7 +61,11 @@ impl Strategy {
     /// The extended Figure-17 strategy set.
     pub fn fig17() -> Vec<Strategy> {
         let mut v = Self::table1();
-        v.extend([Strategy::TimeReceUnif, Strategy::GoalReceResp, Strategy::GoalAggrResp]);
+        v.extend([
+            Strategy::TimeReceUnif,
+            Strategy::GoalReceResp,
+            Strategy::GoalAggrResp,
+        ]);
         v
     }
 
@@ -83,37 +87,61 @@ impl Strategy {
             Strategy::SyncVanilla => base.sync_vanilla(),
             Strategy::SyncOverSelection => base.sync_over_selection(0.3),
             Strategy::GoalAggrUnif => {
-                let mut c = base.async_goal(goal, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+                let mut c = base.async_goal(
+                    goal,
+                    BroadcastManner::AfterAggregating,
+                    SamplerKind::Uniform,
+                );
                 c.total_rounds = async_rounds;
                 c
             }
             Strategy::GoalReceUnif => {
-                let mut c = base.async_goal(goal, BroadcastManner::AfterReceiving, SamplerKind::Uniform);
+                let mut c =
+                    base.async_goal(goal, BroadcastManner::AfterReceiving, SamplerKind::Uniform);
                 c.total_rounds = async_rounds;
                 c
             }
             Strategy::TimeAggrUnif => {
-                let mut c = base.async_time(budget, 1, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+                let mut c = base.async_time(
+                    budget,
+                    1,
+                    BroadcastManner::AfterAggregating,
+                    SamplerKind::Uniform,
+                );
                 c.total_rounds = async_rounds;
                 c
             }
             Strategy::GoalAggrGroup => {
-                let mut c = base.async_goal(goal, BroadcastManner::AfterAggregating, SamplerKind::Group);
+                let mut c =
+                    base.async_goal(goal, BroadcastManner::AfterAggregating, SamplerKind::Group);
                 c.total_rounds = async_rounds;
                 c
             }
             Strategy::TimeReceUnif => {
-                let mut c = base.async_time(budget, 1, BroadcastManner::AfterReceiving, SamplerKind::Uniform);
+                let mut c = base.async_time(
+                    budget,
+                    1,
+                    BroadcastManner::AfterReceiving,
+                    SamplerKind::Uniform,
+                );
                 c.total_rounds = async_rounds;
                 c
             }
             Strategy::GoalReceResp => {
-                let mut c = base.async_goal(goal, BroadcastManner::AfterReceiving, SamplerKind::Responsiveness);
+                let mut c = base.async_goal(
+                    goal,
+                    BroadcastManner::AfterReceiving,
+                    SamplerKind::Responsiveness,
+                );
                 c.total_rounds = async_rounds;
                 c
             }
             Strategy::GoalAggrResp => {
-                let mut c = base.async_goal(goal, BroadcastManner::AfterAggregating, SamplerKind::Responsiveness);
+                let mut c = base.async_goal(
+                    goal,
+                    BroadcastManner::AfterAggregating,
+                    SamplerKind::Responsiveness,
+                );
                 c.total_rounds = async_rounds;
                 c
             }
@@ -144,7 +172,12 @@ mod tests {
         assert_eq!(c.staleness_tolerance, 0);
         assert!(c.over_selection > 0.0);
         let c = Strategy::GoalAggrGroup.configure(&wl);
-        assert_eq!(c.rule, AggregationRule::GoalAchieved { goal: wl.aggregation_goal });
+        assert_eq!(
+            c.rule,
+            AggregationRule::GoalAchieved {
+                goal: wl.aggregation_goal
+            }
+        );
         assert_eq!(c.sampler, SamplerKind::Group);
         let c = Strategy::TimeAggrUnif.configure(&wl);
         assert!(matches!(c.rule, AggregationRule::TimeUp { .. }));

@@ -1,0 +1,495 @@
+//! The compressed-parameter container and its byte codec.
+//!
+//! A [`CompressedBlock`] is what a [`Compressor`](crate::Compressor) emits and
+//! what travels inside compressed wire payloads: a list of named tensors,
+//! each in one of three encodings ([`Encoding`]), plus a delta flag tying the
+//! block to a reference model version. The byte layout extends the neutral
+//! wire format's name/shape/value discipline (§3.5 of the paper): it carries
+//! no architecture information, only names, shapes, and (encoded) values.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! block   := u8 flags (bit0 = delta), u64 ref_version, u32 count, ctensor*
+//! ctensor := u16 name_len, name (UTF-8), u8 ndim, u32 dim*, u8 enc_tag, body
+//! body    := dense: f32 * numel
+//!          | quant: u8 bits, f32 min, f32 max, packed (numel values)
+//!          | sparse: u32 k, u32 index[k], f32 value[k]
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// How one tensor's values are encoded.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Encoding {
+    /// Raw f32 values (no compression).
+    Dense {
+        /// Row-major values, `numel` of them.
+        values: Vec<f32>,
+    },
+    /// Uniform linear quantization with per-tensor min/max.
+    Quantized {
+        /// Bits per value: 4 or 8.
+        bits: u8,
+        /// Smallest original value (maps to level 0).
+        min: f32,
+        /// Largest original value (maps to level `2^bits - 1`).
+        max: f32,
+        /// Quantization levels; 8-bit: one per byte, 4-bit: two per byte
+        /// (low nibble first, odd tail padded with a zero nibble).
+        packed: Vec<u8>,
+    },
+    /// Top-k sparsification: only `k` (index, value) pairs, rest are zero.
+    Sparse {
+        /// Flat row-major indices of the kept values, strictly increasing.
+        indices: Vec<u32>,
+        /// Kept values, parallel to `indices`.
+        values: Vec<f32>,
+    },
+}
+
+impl Encoding {
+    /// Wire tag of this encoding.
+    fn tag(&self) -> u8 {
+        match self {
+            Encoding::Dense { .. } => 0,
+            Encoding::Quantized { .. } => 1,
+            Encoding::Sparse { .. } => 2,
+        }
+    }
+
+    /// Exact encoded body size in bytes for a tensor with `numel` elements.
+    fn body_len(&self, numel: usize) -> usize {
+        match self {
+            Encoding::Dense { .. } => 4 * numel,
+            Encoding::Quantized { bits, .. } => 1 + 4 + 4 + packed_len(*bits, numel),
+            Encoding::Sparse { indices, .. } => 4 + 8 * indices.len(),
+        }
+    }
+}
+
+/// Packed byte count for `numel` values at `bits` per value.
+pub fn packed_len(bits: u8, numel: usize) -> usize {
+    match bits {
+        8 => numel,
+        4 => numel.div_ceil(2),
+        _ => unreachable!("unsupported quantization width {bits}"),
+    }
+}
+
+/// One compressed tensor: name, shape, and encoded values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressedTensor {
+    /// Parameter name (same namespace as `ParamMap` keys).
+    pub name: String,
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Encoded values.
+    pub encoding: Encoding,
+}
+
+impl CompressedTensor {
+    /// Number of elements the shape declares.
+    pub fn numel(&self) -> usize {
+        self.shape.iter().product()
+    }
+}
+
+/// A compressor's output: compressed tensors plus delta bookkeeping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressedBlock {
+    /// When set, tensors encode `current - reference` and the receiver must
+    /// add the reference model identified by [`CompressedBlock::ref_version`].
+    pub delta: bool,
+    /// Version of the reference model deltas are taken against (0 and
+    /// meaningless when `delta` is unset).
+    pub ref_version: u64,
+    /// The compressed tensors.
+    pub tensors: Vec<CompressedTensor>,
+}
+
+impl CompressedBlock {
+    /// A full (non-delta) block.
+    pub fn full(tensors: Vec<CompressedTensor>) -> Self {
+        Self {
+            delta: false,
+            ref_version: 0,
+            tensors,
+        }
+    }
+
+    /// Exact size of [`encode_block`]'s output, without allocating it.
+    pub fn encoded_len(&self) -> usize {
+        let mut n = 1 + 8 + 4;
+        for t in &self.tensors {
+            n += 2 + t.name.len() + 1 + 4 * t.shape.len() + 1 + t.encoding.body_len(t.numel());
+        }
+        n
+    }
+}
+
+/// Errors raised while decoding compressed-block bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockCodecError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A tensor name was not valid UTF-8.
+    BadName,
+    /// An unknown encoding tag or quantization width.
+    BadTag(u8),
+    /// Shape product overflow, sparse index out of range, or non-increasing
+    /// sparse indices.
+    BadShape,
+}
+
+impl fmt::Display for BlockCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockCodecError::Truncated => write!(f, "compressed block truncated"),
+            BlockCodecError::BadName => write!(f, "tensor name is not valid UTF-8"),
+            BlockCodecError::BadTag(t) => write!(f, "unknown compressed-encoding tag {t}"),
+            BlockCodecError::BadShape => write!(f, "compressed block shape/index mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for BlockCodecError {}
+
+fn need(buf: &&[u8], n: usize) -> Result<(), BlockCodecError> {
+    if buf.remaining() < n {
+        Err(BlockCodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Appends a block's wire bytes to `buf`.
+pub fn put_block(buf: &mut BytesMut, block: &CompressedBlock) {
+    buf.put_u8(u8::from(block.delta));
+    buf.put_u64_le(block.ref_version);
+    buf.put_u32_le(block.tensors.len() as u32);
+    for t in &block.tensors {
+        buf.put_u16_le(t.name.len() as u16);
+        buf.put_slice(t.name.as_bytes());
+        buf.put_u8(t.shape.len() as u8);
+        for &d in &t.shape {
+            buf.put_u32_le(d as u32);
+        }
+        buf.put_u8(t.encoding.tag());
+        match &t.encoding {
+            Encoding::Dense { values } => {
+                for &v in values {
+                    buf.put_f32_le(v);
+                }
+            }
+            Encoding::Quantized {
+                bits,
+                min,
+                max,
+                packed,
+            } => {
+                buf.put_u8(*bits);
+                buf.put_f32_le(*min);
+                buf.put_f32_le(*max);
+                buf.put_slice(packed);
+            }
+            Encoding::Sparse { indices, values } => {
+                buf.put_u32_le(indices.len() as u32);
+                for &i in indices {
+                    buf.put_u32_le(i);
+                }
+                for &v in values {
+                    buf.put_f32_le(v);
+                }
+            }
+        }
+    }
+}
+
+/// Encodes a block standalone (header + tensors).
+pub fn encode_block(block: &CompressedBlock) -> Bytes {
+    let mut buf = BytesMut::with_capacity(block.encoded_len());
+    put_block(&mut buf, block);
+    buf.freeze()
+}
+
+/// Reads one block from the cursor, advancing it; strict about every field.
+pub fn take_block(buf: &mut &[u8]) -> Result<CompressedBlock, BlockCodecError> {
+    need(buf, 1 + 8 + 4)?;
+    let flags = buf.get_u8();
+    if flags > 1 {
+        return Err(BlockCodecError::BadTag(flags));
+    }
+    let delta = flags == 1;
+    let ref_version = buf.get_u64_le();
+    let count = buf.get_u32_le() as usize;
+    let mut tensors = Vec::new();
+    for _ in 0..count {
+        need(buf, 2)?;
+        let name_len = buf.get_u16_le() as usize;
+        need(buf, name_len)?;
+        let name = std::str::from_utf8(&buf[..name_len])
+            .map_err(|_| BlockCodecError::BadName)?
+            .to_string();
+        buf.advance(name_len);
+        need(buf, 1)?;
+        let ndim = buf.get_u8() as usize;
+        need(buf, 4 * ndim)?;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(buf.get_u32_le() as usize);
+        }
+        let numel = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or(BlockCodecError::BadShape)?;
+        need(buf, 1)?;
+        let encoding = match buf.get_u8() {
+            0 => {
+                let bytes = numel.checked_mul(4).ok_or(BlockCodecError::BadShape)?;
+                need(buf, bytes)?;
+                let values = (0..numel).map(|_| buf.get_f32_le()).collect();
+                Encoding::Dense { values }
+            }
+            1 => {
+                need(buf, 1 + 4 + 4)?;
+                let bits = buf.get_u8();
+                if bits != 4 && bits != 8 {
+                    return Err(BlockCodecError::BadTag(bits));
+                }
+                let min = buf.get_f32_le();
+                let max = buf.get_f32_le();
+                let plen = packed_len(bits, numel);
+                need(buf, plen)?;
+                let packed = buf[..plen].to_vec();
+                buf.advance(plen);
+                Encoding::Quantized {
+                    bits,
+                    min,
+                    max,
+                    packed,
+                }
+            }
+            2 => {
+                need(buf, 4)?;
+                let k = buf.get_u32_le() as usize;
+                if k > numel {
+                    return Err(BlockCodecError::BadShape);
+                }
+                let bytes = k.checked_mul(8).ok_or(BlockCodecError::BadShape)?;
+                need(buf, bytes)?;
+                let indices: Vec<u32> = (0..k).map(|_| buf.get_u32_le()).collect();
+                // strictly increasing ⇒ unique and in range by the last check
+                if indices.windows(2).any(|w| w[0] >= w[1])
+                    || indices.last().is_some_and(|&i| i as usize >= numel)
+                {
+                    return Err(BlockCodecError::BadShape);
+                }
+                let values = (0..k).map(|_| buf.get_f32_le()).collect();
+                Encoding::Sparse { indices, values }
+            }
+            t => return Err(BlockCodecError::BadTag(t)),
+        };
+        tensors.push(CompressedTensor {
+            name,
+            shape,
+            encoding,
+        });
+    }
+    Ok(CompressedBlock {
+        delta,
+        ref_version,
+        tensors,
+    })
+}
+
+/// Decodes a standalone block, requiring the buffer to be fully consumed.
+pub fn decode_block(mut buf: &[u8]) -> Result<CompressedBlock, BlockCodecError> {
+    let block = take_block(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(BlockCodecError::BadShape);
+    }
+    Ok(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> CompressedBlock {
+        CompressedBlock {
+            delta: true,
+            ref_version: 42,
+            tensors: vec![
+                CompressedTensor {
+                    name: "fc.weight".into(),
+                    shape: vec![2, 3],
+                    encoding: Encoding::Dense {
+                        values: vec![1.0, -2.0, 3.5, 0.0, 4.25, -1.5],
+                    },
+                },
+                CompressedTensor {
+                    name: "fc.bias".into(),
+                    shape: vec![5],
+                    encoding: Encoding::Quantized {
+                        bits: 4,
+                        min: -1.0,
+                        max: 1.0,
+                        packed: vec![0x21, 0x0f, 0x07],
+                    },
+                },
+                CompressedTensor {
+                    name: "emb".into(),
+                    shape: vec![10],
+                    encoding: Encoding::Sparse {
+                        indices: vec![1, 7],
+                        values: vec![0.5, -0.25],
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn block_roundtrips() {
+        let b = sample_block();
+        let bytes = encode_block(&b);
+        assert_eq!(bytes.len(), b.encoded_len());
+        assert_eq!(decode_block(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_block_roundtrips() {
+        let b = CompressedBlock::full(vec![]);
+        let bytes = encode_block(&b);
+        assert_eq!(bytes.len(), b.encoded_len());
+        assert_eq!(decode_block(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        let bytes = encode_block(&sample_block());
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_block(&bytes[..cut]),
+                Err(BlockCodecError::Truncated),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut raw = encode_block(&sample_block()).to_vec();
+        raw.push(0);
+        assert_eq!(decode_block(&raw), Err(BlockCodecError::BadShape));
+    }
+
+    #[test]
+    fn bad_encoding_tag_rejected() {
+        let mut b = sample_block();
+        b.tensors.truncate(1);
+        let mut raw = encode_block(&b).to_vec();
+        // the encoding tag sits right after name and shape of tensor 0
+        let tag_pos = 1 + 8 + 4 + 2 + "fc.weight".len() + 1 + 4 * 2;
+        raw[tag_pos] = 9;
+        assert_eq!(decode_block(&raw), Err(BlockCodecError::BadTag(9)));
+    }
+
+    #[test]
+    fn sparse_index_out_of_range_rejected() {
+        let b = CompressedBlock::full(vec![CompressedTensor {
+            name: "t".into(),
+            shape: vec![4],
+            encoding: Encoding::Sparse {
+                indices: vec![1, 4],
+                values: vec![1.0, 2.0],
+            },
+        }]);
+        let raw = encode_block(&b);
+        assert_eq!(decode_block(&raw), Err(BlockCodecError::BadShape));
+    }
+
+    #[test]
+    fn sparse_unsorted_indices_rejected() {
+        let b = CompressedBlock::full(vec![CompressedTensor {
+            name: "t".into(),
+            shape: vec![4],
+            encoding: Encoding::Sparse {
+                indices: vec![2, 1],
+                values: vec![1.0, 2.0],
+            },
+        }]);
+        let raw = encode_block(&b);
+        assert_eq!(decode_block(&raw), Err(BlockCodecError::BadShape));
+    }
+
+    #[test]
+    fn bad_quant_width_rejected() {
+        let b = CompressedBlock::full(vec![CompressedTensor {
+            name: "t".into(),
+            shape: vec![2],
+            encoding: Encoding::Quantized {
+                bits: 8,
+                min: 0.0,
+                max: 1.0,
+                packed: vec![0, 255],
+            },
+        }]);
+        let mut raw = encode_block(&b).to_vec();
+        let bits_pos = 1 + 8 + 4 + 2 + 1 + 1 + 4 + 1;
+        assert_eq!(raw[bits_pos], 8);
+        raw[bits_pos] = 3;
+        assert_eq!(decode_block(&raw), Err(BlockCodecError::BadTag(3)));
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        // cheap deterministic fuzz: decode must only ever return Err
+        let mut state = 0x1234_5678_u64;
+        for len in 0..200 {
+            let mut raw = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                raw.push((state >> 33) as u8);
+            }
+            let _ = decode_block(&raw);
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_for_all_encodings() {
+        for numel in [0usize, 1, 2, 3, 7, 8] {
+            let dense = CompressedTensor {
+                name: "d".into(),
+                shape: vec![numel],
+                encoding: Encoding::Dense {
+                    values: vec![0.5; numel],
+                },
+            };
+            let q4 = CompressedTensor {
+                name: "q4".into(),
+                shape: vec![numel],
+                encoding: Encoding::Quantized {
+                    bits: 4,
+                    min: 0.0,
+                    max: 1.0,
+                    packed: vec![0u8; packed_len(4, numel)],
+                },
+            };
+            let sparse = CompressedTensor {
+                name: "s".into(),
+                shape: vec![numel],
+                encoding: Encoding::Sparse {
+                    indices: (0..numel as u32).collect(),
+                    values: vec![1.0; numel],
+                },
+            };
+            let b = CompressedBlock::full(vec![dense, q4, sparse]);
+            assert_eq!(encode_block(&b).len(), b.encoded_len(), "numel={numel}");
+        }
+    }
+}

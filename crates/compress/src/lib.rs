@@ -1,0 +1,35 @@
+//! # fs-compress — pluggable update compression
+//!
+//! FederatedScope's exchange loop moves model parameters every round, and on
+//! realistic deployments the uplink is the bottleneck (§5 of the paper charges
+//! communication in the virtual-time cost model). This crate provides the
+//! compression layer between a trainer's [`fs_tensor::ParamMap`] and the bytes
+//! that actually cross the wire:
+//!
+//! * [`Identity`] — dense f32 passthrough, the baseline.
+//! * [`UniformQuant`] — 8-bit or 4-bit linear quantization with per-tensor
+//!   min/max, bounding per-value error by `range / (2^bits - 1)`.
+//! * [`TopK`] — magnitude sparsification with client-side error-feedback
+//!   residuals, so mass dropped in one round is re-injected the next.
+//! * [`DeltaEncode`] — encodes the difference against the last broadcast
+//!   model, composable with either of the above (quantizing a small-range
+//!   delta is far more precise than quantizing raw weights).
+//!
+//! The [`CompressedBlock`] container has an exact, validated byte codec
+//! ([`encode_block`] / [`decode_block`]) that `fs-net` embeds in its message
+//! framing, and whose [`CompressedBlock::encoded_len`] the simulator uses to
+//! charge *actual* bytes instead of `4 × numel`.
+//!
+//! Everything here is deterministic: same inputs and same compressor state
+//! produce identical bytes, so seeded courses stay reproducible.
+
+mod block;
+mod compressors;
+
+pub use block::{
+    decode_block, encode_block, packed_len, put_block, take_block, BlockCodecError,
+    CompressedBlock, CompressedTensor, Encoding,
+};
+pub use compressors::{
+    decompress, Compressor, DecompressError, DeltaEncode, Identity, TopK, UniformQuant,
+};

@@ -65,12 +65,18 @@ pub struct FedAvg {
 impl FedAvg {
     /// Vanilla FedAvg (server SGD, lr=1) with the given staleness discount.
     pub fn new(staleness_discount: f32) -> Self {
-        Self { server_opt: ServerOpt::fedavg(), staleness_discount }
+        Self {
+            server_opt: ServerOpt::fedavg(),
+            staleness_discount,
+        }
     }
 
     /// FedOpt variant with a custom server optimizer.
     pub fn with_server_opt(server_opt: ServerOpt, staleness_discount: f32) -> Self {
-        Self { server_opt, staleness_discount }
+        Self {
+            server_opt,
+            staleness_discount,
+        }
     }
 }
 
@@ -129,7 +135,10 @@ impl Aggregator for FedNova {
             let shared = u.params.filter(|k| global.contains(k));
             let d = shared.sub(&global.filter(|k| shared.contains(k)));
             for (k, t) in d.iter() {
-                norm_delta.get_mut(k).expect("shared key").add_scaled(w / steps, t);
+                norm_delta
+                    .get_mut(k)
+                    .expect("shared key")
+                    .add_scaled(w / steps, t);
             }
             eff_steps += w * steps;
             total_w += w;
@@ -163,12 +172,18 @@ pub struct Krum {
 impl Krum {
     /// Classic Krum tolerating `f` Byzantine clients.
     pub fn new(f: usize) -> Self {
-        Self { num_byzantine: f, num_selected: 1 }
+        Self {
+            num_byzantine: f,
+            num_selected: 1,
+        }
     }
 
     /// Multi-Krum averaging the best `m` updates.
     pub fn multi(f: usize, m: usize) -> Self {
-        Self { num_byzantine: f, num_selected: m.max(1) }
+        Self {
+            num_byzantine: f,
+            num_selected: m.max(1),
+        }
     }
 
     /// Krum scores: for each update, the sum of squared distances to its
@@ -183,7 +198,11 @@ impl Krum {
                 // a Byzantine NaN must count as "infinitely far", not panic
                 .map(|j| {
                     let d = updates[i].params.sq_dist(&updates[j].params);
-                    if d.is_finite() { d } else { f32::INFINITY }
+                    if d.is_finite() {
+                        d
+                    } else {
+                        f32::INFINITY
+                    }
                 })
                 .collect();
             dists.sort_by(f32::total_cmp);
@@ -207,8 +226,11 @@ impl Aggregator for Krum {
         let mut next = global.clone();
         let selected: Vec<&ReceivedUpdate> = order.iter().take(m).map(|&i| &updates[i]).collect();
         for (k, out) in next.iter_mut() {
-            let sources: Vec<&crate::aggregator::ReceivedUpdate> =
-                selected.iter().copied().filter(|u| u.params.contains(k)).collect();
+            let sources: Vec<&crate::aggregator::ReceivedUpdate> = selected
+                .iter()
+                .copied()
+                .filter(|u| u.params.contains(k))
+                .collect();
             if sources.is_empty() {
                 continue;
             }
@@ -240,7 +262,10 @@ impl NormBounded {
     /// Wraps `inner` with a delta-norm cap.
     pub fn new(max_delta_norm: f32, inner: Box<dyn Aggregator>) -> Self {
         assert!(max_delta_norm > 0.0, "norm bound must be positive");
-        Self { max_delta_norm, inner }
+        Self {
+            max_delta_norm,
+            inner,
+        }
     }
 }
 
@@ -254,7 +279,10 @@ impl Aggregator for NormBounded {
                 delta.clip_norm(self.max_delta_norm);
                 let mut params = global.filter(|k| shared.contains(k));
                 params.add_scaled(1.0, &delta);
-                ReceivedUpdate { params, ..u.clone() }
+                ReceivedUpdate {
+                    params,
+                    ..u.clone()
+                }
             })
             .collect();
         self.inner.aggregate(global, &bounded)
@@ -349,7 +377,13 @@ mod tests {
     }
 
     fn update(v: &[f32], n: u64, staleness: u64) -> ReceivedUpdate {
-        ReceivedUpdate { client: 1, params: params(v), staleness, n_samples: n, n_steps: 4 }
+        ReceivedUpdate {
+            client: 1,
+            params: params(v),
+            staleness,
+            n_samples: n,
+            n_steps: 4,
+        }
     }
 
     #[test]
@@ -388,7 +422,9 @@ mod tests {
 
     #[test]
     fn fednova_normalizes_step_counts() {
-        let mut agg = FedNova { staleness_discount: 0.0 };
+        let mut agg = FedNova {
+            staleness_discount: 0.0,
+        };
         let global = params(&[0.0]);
         // client A: 2 steps of +1 each (delta 2); client B: 8 steps of +1 each (delta 8)
         let mut a = update(&[2.0], 1, 0);
@@ -441,11 +477,18 @@ mod tests {
         ];
         let mut plain = FedAvg::new(0.0);
         let hijacked = plain.aggregate(&global, &ups);
-        assert!(hijacked.get("w").unwrap().data()[0] > 10.0, "attack must work unbounded");
+        assert!(
+            hijacked.get("w").unwrap().data()[0] > 10.0,
+            "attack must work unbounded"
+        );
         let mut defended = NormBounded::new(1.5, Box::new(FedAvg::new(0.0)));
         let next = defended.aggregate(&global, &ups);
         let w = next.get("w").unwrap();
-        assert!(w.norm() < 2.0, "bounded aggregate stays in benign range: {:?}", w.data());
+        assert!(
+            w.norm() < 2.0,
+            "bounded aggregate stays in benign range: {:?}",
+            w.data()
+        );
         assert_eq!(defended.name(), "norm_bounded");
     }
 
@@ -498,7 +541,12 @@ mod tests {
         let global = params(&[0.0]);
         let mut evil = update(&[f32::NAN], 1, 0);
         evil.client = 9;
-        let ups = vec![update(&[1.0], 1, 0), update(&[1.1], 1, 0), update(&[0.9], 1, 0), evil];
+        let ups = vec![
+            update(&[1.0], 1, 0),
+            update(&[1.1], 1, 0),
+            update(&[0.9], 1, 0),
+            evil,
+        ];
         let next = agg.aggregate(&global, &ups);
         assert!(next.is_finite(), "NaN update must be rejected, not adopted");
     }

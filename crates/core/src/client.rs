@@ -12,8 +12,10 @@ use crate::ctx::Ctx;
 use crate::event::{Condition, Event};
 use crate::registry::Registry;
 use crate::trainer::Trainer;
+use fs_compress::{decompress, Compressor};
 use fs_net::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};
 use fs_tensor::model::Metrics;
+use fs_tensor::ParamMap;
 
 /// Mutable client state shared by all handlers.
 pub struct ClientState {
@@ -31,10 +33,27 @@ pub struct ClientState {
     /// Whether to evaluate the incoming global model and raise
     /// `performance_drop` (costs one validation pass per round).
     pub detect_perf_drop: bool,
+    /// Upload codec: when set, updates leave as `Payload::CompressedUpdate`.
+    /// Per-client instance — error-feedback residuals and delta references
+    /// belong to this sender only.
+    pub compressor: Option<Box<dyn Compressor>>,
     /// Set once `Finish` is handled.
     pub done: bool,
     /// Final test metrics reported at course end.
     pub final_test: Option<Metrics>,
+}
+
+/// Incorporates a shipped global model (dense or compressed) into the
+/// trainer, if the payload carries one.
+fn incorporate_shipped_model(state: &mut ClientState, payload: &Payload) {
+    match payload {
+        Payload::Model { params, .. } => state.trainer.incorporate(params),
+        Payload::CompressedModel { block, .. } => match decompress(block, None) {
+            Ok(params) => state.trainer.incorporate(&params),
+            Err(e) => debug_assert!(false, "shipped model decompress failed: {e}"),
+        },
+        _ => {}
+    }
 }
 
 /// A client participant: state + handler registry.
@@ -55,10 +74,14 @@ impl Client {
             last_val: None,
             perf_drop_count: 0,
             detect_perf_drop: false,
+            compressor: None,
             done: false,
             final_test: None,
         };
-        let mut c = Self { state, registry: Registry::new() };
+        let mut c = Self {
+            state,
+            registry: Registry::new(),
+        };
         c.install_default_handlers();
         c
     }
@@ -80,14 +103,22 @@ impl Client {
 
     /// Initial action: ask to join the FL course.
     pub fn start(&mut self, ctx: &mut Ctx) {
-        ctx.send(Message::new(self.state.id, SERVER_ID, MessageKind::JoinIn, 0, Payload::Empty));
+        ctx.send(Message::new(
+            self.state.id,
+            SERVER_ID,
+            MessageKind::JoinIn,
+            0,
+            Payload::Empty,
+        ));
     }
 
     /// Dispatches a message event, then drains any raised condition events.
     pub fn handle(&mut self, msg: &Message, ctx: &mut Ctx) {
-        self.registry.dispatch(&mut self.state, Event::Message(msg.kind), msg, ctx);
+        self.registry
+            .dispatch(&mut self.state, Event::Message(msg.kind), msg, ctx);
         while let Some(cond) = ctx.raised.pop_front() {
-            self.registry.dispatch(&mut self.state, Event::Condition(cond), msg, ctx);
+            self.registry
+                .dispatch(&mut self.state, Event::Condition(cond), msg, ctx);
         }
         if self.state.done {
             ctx.finished = true;
@@ -114,8 +145,24 @@ impl Client {
                 Event::Condition(Condition::PerformanceDrop),
             ],
             Box::new(|state, msg, ctx| {
-                let (params, version) = match &msg.payload {
+                let decoded: ParamMap;
+                let (params, version): (&ParamMap, u64) = match &msg.payload {
                     Payload::Model { params, version } => (params, *version),
+                    Payload::CompressedModel { block, version } => {
+                        // broadcasts are never delta-encoded (a sampled client
+                        // may have missed any number of earlier models), so no
+                        // reference is needed
+                        match decompress(block, None) {
+                            Ok(p) => {
+                                decoded = p;
+                                (&decoded, *version)
+                            }
+                            Err(e) => {
+                                debug_assert!(false, "broadcast decompress failed: {e}");
+                                return;
+                            }
+                        }
+                    }
                     other => {
                         debug_assert!(false, "ModelParams carried {other:?}");
                         return;
@@ -133,17 +180,31 @@ impl Client {
                 }
                 let update = state.trainer.local_train(params, msg.round);
                 state.rounds_trained += 1;
-                let reply = Message::new(
-                    state.id,
-                    SERVER_ID,
-                    MessageKind::Updates,
-                    msg.round,
-                    Payload::Update {
+                let payload = match state.compressor.as_mut() {
+                    Some(codec) => {
+                        // the broadcast just received is the delta reference;
+                        // the server holds the same model under `version`
+                        codec.set_reference(params, version);
+                        Payload::CompressedUpdate {
+                            block: codec.compress(&update.params),
+                            start_version: version,
+                            n_samples: update.n_samples,
+                            n_steps: update.n_steps,
+                        }
+                    }
+                    None => Payload::Update {
                         params: update.params,
                         start_version: version,
                         n_samples: update.n_samples,
                         n_steps: update.n_steps,
                     },
+                };
+                let reply = Message::new(
+                    state.id,
+                    SERVER_ID,
+                    MessageKind::Updates,
+                    msg.round,
+                    payload,
                 );
                 ctx.send_after_compute(reply, update.examples_processed as f64);
             }),
@@ -166,9 +227,7 @@ impl Client {
             "evaluate_and_report",
             vec![Event::Message(MessageKind::MetricsReport)],
             Box::new(|state, msg, ctx| {
-                if let Payload::Model { params, .. } = &msg.payload {
-                    state.trainer.incorporate(params);
-                }
+                incorporate_shipped_model(state, &msg.payload);
                 let metrics = state.trainer.evaluate_test();
                 ctx.send(Message::new(
                     state.id,
@@ -187,9 +246,7 @@ impl Client {
             "finalize",
             vec![Event::Message(MessageKind::MetricsReport)],
             Box::new(|state, msg, ctx| {
-                if let Payload::Model { params, .. } = &msg.payload {
-                    state.trainer.incorporate(params);
-                }
+                incorporate_shipped_model(state, &msg.payload);
                 let metrics = state.trainer.evaluate_test();
                 state.final_test = Some(metrics);
                 ctx.send(Message::new(
@@ -217,7 +274,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn make_client(id: ParticipantId) -> (Client, ParamMap) {
-        let d = twitter_like(&TwitterConfig { num_clients: 2, per_client: 20, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 2,
+            per_client: 20,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(0);
         let model = logistic_regression(d.input_dim(), 2, &mut rng);
         let global = model.get_params();
@@ -250,7 +311,10 @@ mod tests {
             1,
             MessageKind::ModelParams,
             0,
-            Payload::Model { params: global, version: 7 },
+            Payload::Model {
+                params: global,
+                version: 7,
+            },
         );
         c.handle(&msg, &mut ctx);
         assert_eq!(c.state.rounds_trained, 1);
@@ -259,7 +323,11 @@ mod tests {
         assert_eq!(out.msg.kind, MessageKind::Updates);
         assert!(out.compute_work > 0.0, "training must report compute work");
         match &out.msg.payload {
-            Payload::Update { start_version, n_samples, .. } => {
+            Payload::Update {
+                start_version,
+                n_samples,
+                ..
+            } => {
                 assert_eq!(*start_version, 7);
                 assert!(*n_samples > 0);
             }
@@ -276,7 +344,10 @@ mod tests {
             1,
             MessageKind::Finish,
             3,
-            Payload::Model { params: global, version: 3 },
+            Payload::Model {
+                params: global,
+                version: 3,
+            },
         );
         c.handle(&msg, &mut ctx);
         assert!(c.state.done);
@@ -290,15 +361,21 @@ mod tests {
         let (mut c, global) = make_client(1);
         c.state.detect_perf_drop = true;
         // seed a high last_val so any real model looks like a drop
-        c.state.last_val =
-            Some(Metrics { loss: 0.0, accuracy: 1.1, n: 1 });
+        c.state.last_val = Some(Metrics {
+            loss: 0.0,
+            accuracy: 1.1,
+            n: 1,
+        });
         let mut ctx = Ctx::at(VirtualTime::ZERO);
         let msg = Message::new(
             SERVER_ID,
             1,
             MessageKind::ModelParams,
             0,
-            Payload::Model { params: global, version: 0 },
+            Payload::Model {
+                params: global,
+                version: 0,
+            },
         );
         c.handle(&msg, &mut ctx);
         assert_eq!(c.state.perf_drop_count, 1);
@@ -319,7 +396,10 @@ mod tests {
             1,
             MessageKind::ModelParams,
             0,
-            Payload::Model { params: global, version: 0 },
+            Payload::Model {
+                params: global,
+                version: 0,
+            },
         );
         c.handle(&msg, &mut ctx);
         assert!(ctx.outbox.is_empty(), "override should suppress the update");

@@ -69,9 +69,16 @@ impl FlowGraph {
         let terminal = Event::Message(MessageKind::Finish);
         let reachable = self.reachable_from(start);
         let complete = reachable.contains(&terminal);
-        let redundant: Vec<Event> =
-            self.nodes.iter().copied().filter(|n| !reachable.contains(n)).collect();
-        CompletenessReport { complete, redundant }
+        let redundant: Vec<Event> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| !reachable.contains(n))
+            .collect();
+        CompletenessReport {
+            complete,
+            redundant,
+        }
     }
 
     /// Node count (for tests and logs).
@@ -118,7 +125,10 @@ mod tests {
     #[test]
     fn missing_termination_is_incomplete() {
         let mut g = FlowGraph::default();
-        g.add_edge(Event::Message(MessageKind::JoinIn), Event::Message(MessageKind::ModelParams));
+        g.add_edge(
+            Event::Message(MessageKind::JoinIn),
+            Event::Message(MessageKind::ModelParams),
+        );
         let r = g.check();
         assert!(!r.complete);
     }

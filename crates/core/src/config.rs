@@ -1,6 +1,80 @@
 //! FL course configuration.
 
+use fs_compress::{Compressor, DeltaEncode, Identity, TopK, UniformQuant};
 use fs_tensor::optim::SgdConfig;
+
+/// Which codec compresses a parameter payload (see `fs-compress`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CodecSpec {
+    /// Dense f32 passthrough (framing only, no size reduction).
+    Identity,
+    /// Uniform linear quantization with per-tensor min/max.
+    UniformQuant {
+        /// Quantization width: 4 or 8 bits per value.
+        bits: u8,
+    },
+    /// Top-k magnitude sparsification with error-feedback residuals.
+    TopK {
+        /// Fraction of entries kept per tensor, in `(0, 1]`.
+        ratio: f32,
+    },
+}
+
+impl CodecSpec {
+    /// Instantiates the codec. Each participant gets its own instance, so
+    /// stateful codecs (error feedback, delta references) stay per-sender.
+    pub fn build(self) -> Box<dyn Compressor> {
+        match self {
+            CodecSpec::Identity => Box::new(Identity),
+            CodecSpec::UniformQuant { bits } => Box::new(UniformQuant::new(bits)),
+            CodecSpec::TopK { ratio } => Box::new(TopK::new(ratio)),
+        }
+    }
+}
+
+/// Update-compression configuration for a course.
+///
+/// Upload (client → server) and download (server → client) directions are
+/// configured independently; `Default` disables both, preserving the dense
+/// `Payload::Model` / `Payload::Update` wire behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct CompressionConfig {
+    /// Codec for client updates, or `None` for dense uploads.
+    pub upload: Option<CodecSpec>,
+    /// Encode uploads as deltas against the received broadcast model (the
+    /// server keeps a bounded history of past globals to reconstruct them).
+    pub upload_delta: bool,
+    /// Codec for model broadcasts, or `None` for dense downloads.
+    pub download: Option<CodecSpec>,
+}
+
+impl CompressionConfig {
+    /// 8-bit quantized uploads — the paper-style default for shrinking the
+    /// client uplink, usually the bottleneck.
+    pub fn quant8_upload() -> Self {
+        Self {
+            upload: Some(CodecSpec::UniformQuant { bits: 8 }),
+            ..Default::default()
+        }
+    }
+
+    /// Builds the (stateful) upload codec for one client.
+    pub fn build_upload(&self) -> Option<Box<dyn Compressor>> {
+        self.upload.map(|spec| {
+            let inner = spec.build();
+            if self.upload_delta {
+                Box::new(DeltaEncode::new(inner)) as Box<dyn Compressor>
+            } else {
+                inner
+            }
+        })
+    }
+
+    /// Builds the download codec (one instance, held by the server).
+    pub fn build_download(&self) -> Option<Box<dyn Compressor>> {
+        self.download.map(CodecSpec::build)
+    }
+}
 
 /// When the server performs federated aggregation — the condition-checking
 /// event family of §3.3.
@@ -79,6 +153,8 @@ pub struct FlConfig {
     pub batch_size: usize,
     /// Local optimizer configuration.
     pub sgd: SgdConfig,
+    /// Update compression (both directions disabled by default).
+    pub compression: CompressionConfig,
     /// Course RNG seed.
     pub seed: u64,
 }
@@ -100,6 +176,7 @@ impl Default for FlConfig {
             local_steps: 4,
             batch_size: 20,
             sgd: SgdConfig::with_lr(0.1),
+            compression: CompressionConfig::default(),
             seed: 42,
         }
     }
@@ -123,7 +200,9 @@ impl FlConfig {
     /// Convenience: the paper's `Sync-OS` (over-selection) strategy —
     /// `goal_achieved` with goal = concurrency and zero staleness tolerance.
     pub fn sync_over_selection(mut self, extra: f32) -> Self {
-        self.rule = AggregationRule::GoalAchieved { goal: self.concurrency };
+        self.rule = AggregationRule::GoalAchieved {
+            goal: self.concurrency,
+        };
         self.broadcast = BroadcastManner::AfterAggregating;
         self.over_selection = extra;
         self.staleness_tolerance = 0;
@@ -131,7 +210,12 @@ impl FlConfig {
     }
 
     /// Convenience: `Async-Goal-<manner>-<sampler>` with the given goal.
-    pub fn async_goal(mut self, goal: usize, manner: BroadcastManner, sampler: SamplerKind) -> Self {
+    pub fn async_goal(
+        mut self,
+        goal: usize,
+        manner: BroadcastManner,
+        sampler: SamplerKind,
+    ) -> Self {
         self.rule = AggregationRule::GoalAchieved { goal };
         self.broadcast = manner;
         self.sampler = sampler;
@@ -146,7 +230,10 @@ impl FlConfig {
         manner: BroadcastManner,
         sampler: SamplerKind,
     ) -> Self {
-        self.rule = AggregationRule::TimeUp { budget_secs, min_feedback };
+        self.rule = AggregationRule::TimeUp {
+            budget_secs,
+            min_feedback,
+        };
         self.broadcast = manner;
         self.sampler = sampler;
         self
@@ -159,15 +246,27 @@ mod tests {
 
     #[test]
     fn sample_target_includes_over_selection() {
-        let cfg = FlConfig { concurrency: 100, over_selection: 0.3, ..Default::default() };
+        let cfg = FlConfig {
+            concurrency: 100,
+            over_selection: 0.3,
+            ..Default::default()
+        };
         assert_eq!(cfg.sample_target(), 130);
-        let cfg = FlConfig { concurrency: 10, over_selection: 0.0, ..Default::default() };
+        let cfg = FlConfig {
+            concurrency: 10,
+            over_selection: 0.0,
+            ..Default::default()
+        };
         assert_eq!(cfg.sample_target(), 10);
     }
 
     #[test]
     fn sync_os_is_goal_with_zero_tolerance() {
-        let cfg = FlConfig { concurrency: 100, ..Default::default() }.sync_over_selection(0.3);
+        let cfg = FlConfig {
+            concurrency: 100,
+            ..Default::default()
+        }
+        .sync_over_selection(0.3);
         assert_eq!(cfg.rule, AggregationRule::GoalAchieved { goal: 100 });
         assert_eq!(cfg.staleness_tolerance, 0);
         assert_eq!(cfg.sample_target(), 130);
@@ -175,13 +274,22 @@ mod tests {
 
     #[test]
     fn builders_set_strategy_fields() {
-        let cfg = FlConfig::default().async_goal(40, BroadcastManner::AfterReceiving, SamplerKind::Group);
+        let cfg =
+            FlConfig::default().async_goal(40, BroadcastManner::AfterReceiving, SamplerKind::Group);
         assert_eq!(cfg.rule, AggregationRule::GoalAchieved { goal: 40 });
         assert_eq!(cfg.broadcast, BroadcastManner::AfterReceiving);
         assert_eq!(cfg.sampler, SamplerKind::Group);
-        let cfg = FlConfig::default().async_time(60.0, 5, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+        let cfg = FlConfig::default().async_time(
+            60.0,
+            5,
+            BroadcastManner::AfterAggregating,
+            SamplerKind::Uniform,
+        );
         match cfg.rule {
-            AggregationRule::TimeUp { budget_secs, min_feedback } => {
+            AggregationRule::TimeUp {
+                budget_secs,
+                min_feedback,
+            } => {
                 assert_eq!(budget_secs, 60.0);
                 assert_eq!(min_feedback, 5);
             }

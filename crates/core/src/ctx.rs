@@ -57,12 +57,21 @@ pub struct Ctx {
 impl Ctx {
     /// Creates a context at the given virtual time.
     pub fn at(now: VirtualTime) -> Self {
-        Self { now, outbox: Vec::new(), timers: Vec::new(), raised: VecDeque::new(), finished: false }
+        Self {
+            now,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            raised: VecDeque::new(),
+            finished: false,
+        }
     }
 
     /// Queues a message with zero local compute work.
     pub fn send(&mut self, msg: Message) {
-        self.outbox.push(Outgoing { msg, compute_work: 0.0 });
+        self.outbox.push(Outgoing {
+            msg,
+            compute_work: 0.0,
+        });
     }
 
     /// Queues a message preceded by `compute_work` examples of local
@@ -79,7 +88,11 @@ impl Ctx {
 
     /// Arms a timer that will raise `condition` after `delay_secs`.
     pub fn arm_timer(&mut self, delay_secs: f64, condition: Condition, round: u64) {
-        self.timers.push(Timer { delay_secs, condition, round });
+        self.timers.push(Timer {
+            delay_secs,
+            condition,
+            round,
+        });
     }
 }
 
@@ -92,7 +105,10 @@ mod tests {
     fn intents_accumulate() {
         let mut ctx = Ctx::at(VirtualTime::ZERO);
         ctx.send(Message::new(0, 1, MessageKind::Finish, 3, Payload::Empty));
-        ctx.send_after_compute(Message::new(1, 0, MessageKind::Updates, 3, Payload::Empty), 2.5);
+        ctx.send_after_compute(
+            Message::new(1, 0, MessageKind::Updates, 3, Payload::Empty),
+            2.5,
+        );
         ctx.raise(Condition::GoalAchieved);
         ctx.arm_timer(10.0, Condition::TimeUp, 3);
         assert_eq!(ctx.outbox.len(), 2);

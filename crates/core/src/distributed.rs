@@ -53,7 +53,10 @@ fn drain_ctx(bus: &Bus, ctx: Ctx) -> Result<bool, BusError> {
         bus.send(&out.msg)?;
     }
     // timers are unsupported here; the config check rejects time_up courses
-    debug_assert!(ctx.timers.is_empty(), "timers require the standalone runner");
+    debug_assert!(
+        ctx.timers.is_empty(),
+        "timers require the standalone runner"
+    );
     Ok(ctx.finished)
 }
 
@@ -138,31 +141,37 @@ pub fn run_distributed_tcp(
         return Err(DistributedError::UnsupportedRule("time_up"));
     }
     let pending = TcpHub::bind("127.0.0.1:0").map_err(|_| DistributedError::Timeout)?;
-    let addr = pending.local_addr().map_err(|_| DistributedError::Timeout)?;
+    let addr = pending
+        .local_addr()
+        .map_err(|_| DistributedError::Timeout)?;
     let n_clients = clients.len();
     let mut handles = Vec::new();
     for mut client in clients {
-        handles.push(std::thread::spawn(move || -> Result<(), fs_net::tcp::TcpError> {
-            let mut peer = TcpPeer::connect(addr)?;
-            let mut ctx = Ctx::at(VirtualTime::ZERO);
-            client.start(&mut ctx);
-            for out in std::mem::take(&mut ctx.outbox) {
-                peer.send(&out.msg)?;
-            }
-            loop {
-                let msg = peer.recv()?;
+        handles.push(std::thread::spawn(
+            move || -> Result<(), fs_net::tcp::TcpError> {
+                let mut peer = TcpPeer::connect(addr)?;
                 let mut ctx = Ctx::at(VirtualTime::ZERO);
-                client.handle(&msg, &mut ctx);
-                for out in ctx.outbox {
+                client.start(&mut ctx);
+                for out in std::mem::take(&mut ctx.outbox) {
                     peer.send(&out.msg)?;
                 }
-                if ctx.finished {
-                    return Ok(());
+                loop {
+                    let msg = peer.recv()?;
+                    let mut ctx = Ctx::at(VirtualTime::ZERO);
+                    client.handle(&msg, &mut ctx);
+                    for out in ctx.outbox {
+                        peer.send(&out.msg)?;
+                    }
+                    if ctx.finished {
+                        return Ok(());
+                    }
                 }
-            }
-        }));
+            },
+        ));
     }
-    let hub = pending.accept(n_clients).map_err(|_| DistributedError::Timeout)?;
+    let hub = pending
+        .accept(n_clients)
+        .map_err(|_| DistributedError::Timeout)?;
     let deadline = std::time::Instant::now() + wall_budget;
     let mut finished = false;
     loop {
@@ -182,7 +191,10 @@ pub fn run_distributed_tcp(
         };
         let mut ctx = Ctx::at(VirtualTime::ZERO);
         server.handle(&msg, &mut ctx);
-        debug_assert!(ctx.timers.is_empty(), "timers require the standalone runner");
+        debug_assert!(
+            ctx.timers.is_empty(),
+            "timers require the standalone runner"
+        );
         for out in ctx.outbox {
             hub.send(&out.msg).map_err(|_| DistributedError::Timeout)?;
         }

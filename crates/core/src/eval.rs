@@ -72,13 +72,19 @@ mod tests {
         assert_eq!(ev.len(), 2);
         // identity weights solve the problem perfectly
         let mut good = ParamMap::new();
-        good.insert("fc.weight", Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]));
+        good.insert(
+            "fc.weight",
+            Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]),
+        );
         good.insert("fc.bias", Tensor::zeros(&[2]));
         let m = ev.eval(&good);
         assert_eq!(m.accuracy, 1.0);
         // inverted weights get everything wrong
         let mut bad = ParamMap::new();
-        bad.insert("fc.weight", Tensor::from_vec(vec![2, 2], vec![0.0, 1.0, 1.0, 0.0]));
+        bad.insert(
+            "fc.weight",
+            Tensor::from_vec(vec![2, 2], vec![0.0, 1.0, 1.0, 0.0]),
+        );
         bad.insert("fc.bias", Tensor::zeros(&[2]));
         let m = ev.eval(&bad);
         assert_eq!(m.accuracy, 0.0);

@@ -75,7 +75,10 @@ mod tests {
         assert_eq!(Condition::AllReceived.to_string(), "all_received");
         assert_eq!(Condition::GoalAchieved.to_string(), "goal_achieved");
         assert_eq!(Condition::TimeUp.to_string(), "time_up");
-        assert_eq!(Event::Message(MessageKind::ModelParams).to_string(), "receiving_ModelParams");
+        assert_eq!(
+            Event::Message(MessageKind::ModelParams).to_string(),
+            "receiving_ModelParams"
+        );
     }
 
     #[test]

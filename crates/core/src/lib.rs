@@ -47,7 +47,9 @@ pub mod trainer;
 
 pub use aggregator::{Aggregator, ReceivedUpdate};
 pub use client::{Client, ClientState};
-pub use config::{AggregationRule, BroadcastManner, FlConfig, SamplerKind};
+pub use config::{
+    AggregationRule, BroadcastManner, CodecSpec, CompressionConfig, FlConfig, SamplerKind,
+};
 pub use course::CourseBuilder;
 pub use ctx::Ctx;
 pub use event::{Condition, Event};

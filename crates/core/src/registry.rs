@@ -40,7 +40,10 @@ impl<S> Default for Registry<S> {
 impl<S> Registry<S> {
     /// Creates an empty registry.
     pub fn new() -> Self {
-        Self { entries: BTreeMap::new(), warnings: Vec::new() }
+        Self {
+            entries: BTreeMap::new(),
+            warnings: Vec::new(),
+        }
     }
 
     /// Links `handler` (named `name`, declaring the events it may emit) to
@@ -60,7 +63,14 @@ impl<S> Registry<S> {
                 old.name, name
             ));
         }
-        self.entries.insert(event, Entry { name, emits, handler });
+        self.entries.insert(
+            event,
+            Entry {
+                name,
+                emits,
+                handler,
+            },
+        );
     }
 
     /// Removes the handler for `event`, if any (the paper: "users can remove
@@ -93,7 +103,10 @@ impl<S> Registry<S> {
     /// The effective `<event, handler-name>` pairs — what the paper prints
     /// into the experimental logs.
     pub fn effective_handlers(&self) -> Vec<(Event, &str)> {
-        self.entries.iter().map(|(e, en)| (*e, en.name.as_str())).collect()
+        self.entries
+            .iter()
+            .map(|(e, en)| (*e, en.name.as_str()))
+            .collect()
     }
 
     /// The declared message-flow edges `(event, emitted-event)`, consumed by
@@ -128,9 +141,19 @@ mod tests {
         );
         let mut state = 0u32;
         let mut ctx = Ctx::at(VirtualTime::ZERO);
-        assert!(reg.dispatch(&mut state, Event::Message(MessageKind::JoinIn), &msg(), &mut ctx));
+        assert!(reg.dispatch(
+            &mut state,
+            Event::Message(MessageKind::JoinIn),
+            &msg(),
+            &mut ctx
+        ));
         assert_eq!(state, 1);
-        assert!(!reg.dispatch(&mut state, Event::Condition(Condition::TimeUp), &msg(), &mut ctx));
+        assert!(!reg.dispatch(
+            &mut state,
+            Event::Condition(Condition::TimeUp),
+            &msg(),
+            &mut ctx
+        ));
     }
 
     #[test]

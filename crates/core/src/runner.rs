@@ -10,8 +10,8 @@
 
 use crate::client::Client;
 use crate::ctx::Ctx;
-use crate::event::Condition;
 use crate::eval::EvalRecord;
+use crate::event::Condition;
 use crate::server::Server;
 use fs_net::{Message, MessageKind, ParticipantId, SERVER_ID};
 use fs_sim::{EventQueue, Fleet, VirtualTime};
@@ -53,6 +53,18 @@ pub struct CourseReport {
     pub crashed_deliveries: u64,
     /// Remedial-measure activations.
     pub remedial_count: u64,
+    /// Total payload bytes sent client → server (exact wire sizes, so
+    /// compressed uploads show their real savings).
+    pub uploaded_bytes: u64,
+    /// Total payload bytes sent server → clients.
+    pub downloaded_bytes: u64,
+}
+
+impl CourseReport {
+    /// Total payload bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.uploaded_bytes + self.downloaded_bytes
+    }
 }
 
 /// Runs an FL course under virtual time.
@@ -67,6 +79,10 @@ pub struct StandaloneRunner {
     pub now: VirtualTime,
     /// Broadcast deliveries dropped by simulated device crashes.
     pub crashed_deliveries: u64,
+    /// Payload bytes sent toward the server so far.
+    pub uploaded_bytes: u64,
+    /// Payload bytes sent toward clients so far.
+    pub downloaded_bytes: u64,
     queue: EventQueue<SimEvent>,
     crash_rng: StdRng,
     max_events: u64,
@@ -89,6 +105,8 @@ impl StandaloneRunner {
             fleet,
             now: VirtualTime::ZERO,
             crashed_deliveries: 0,
+            uploaded_bytes: 0,
+            downloaded_bytes: 0,
             queue: EventQueue::new(),
             crash_rng: StdRng::seed_from_u64(seed ^ 0xc4a5),
             max_events: 50_000_000,
@@ -105,14 +123,18 @@ impl StandaloneRunner {
         let now = ctx.now;
         for out in ctx.outbox {
             let mut msg = out.msg;
+            if msg.receiver == SERVER_ID {
+                self.uploaded_bytes += msg.payload_bytes() as u64;
+            } else {
+                self.downloaded_bytes += msg.payload_bytes() as u64;
+            }
             let delay = if from == SERVER_ID {
                 // server time is negligible; the receiver pays the download
                 let p = self.fleet.profile(msg.receiver);
                 p.comm_secs(msg.payload_bytes())
             } else {
                 let p = self.fleet.profile(from);
-                p.compute_secs(out.compute_work.round() as usize)
-                    + p.comm_secs(msg.payload_bytes())
+                p.compute_secs(out.compute_work.round() as usize) + p.comm_secs(msg.payload_bytes())
             };
             msg.timestamp = (now + delay).as_secs();
             self.queue.push(now + delay, SimEvent::Deliver(msg));
@@ -120,7 +142,11 @@ impl StandaloneRunner {
         for t in ctx.timers {
             self.queue.push(
                 now + t.delay_secs,
-                SimEvent::Timer { to: from, condition: t.condition, round: t.round },
+                SimEvent::Timer {
+                    to: from,
+                    condition: t.condition,
+                    round: t.round,
+                },
             );
         }
     }
@@ -132,7 +158,10 @@ impl StandaloneRunner {
         let ids: Vec<ParticipantId> = self.clients.keys().copied().collect();
         for id in ids {
             let mut ctx = Ctx::at(VirtualTime::ZERO);
-            self.clients.get_mut(&id).expect("client exists").start(&mut ctx);
+            self.clients
+                .get_mut(&id)
+                .expect("client exists")
+                .start(&mut ctx);
             self.enqueue_intents(id, ctx);
         }
         let mut events = 0u64;
@@ -166,7 +195,11 @@ impl StandaloneRunner {
                         }
                     }
                 }
-                SimEvent::Timer { to, condition, round } => {
+                SimEvent::Timer {
+                    to,
+                    condition,
+                    round,
+                } => {
                     if to == SERVER_ID {
                         let mut ctx = Ctx::at(at);
                         self.server.handle_timer(condition, round, &mut ctx);
@@ -185,11 +218,16 @@ impl StandaloneRunner {
             final_time_secs: self.now.as_secs(),
             rounds: s.round,
             history: s.history.clone(),
-            finish_reason: s.finish_reason.clone().unwrap_or_else(|| "queue drained".to_string()),
+            finish_reason: s
+                .finish_reason
+                .clone()
+                .unwrap_or_else(|| "queue drained".to_string()),
             dropped_updates: s.dropped_updates,
             total_updates: s.total_updates,
             crashed_deliveries: self.crashed_deliveries,
             remedial_count: s.remedial_count,
+            uploaded_bytes: self.uploaded_bytes,
+            downloaded_bytes: self.downloaded_bytes,
         }
     }
 

@@ -61,12 +61,22 @@ impl Sampler {
                 while out.len() < k && !pool.is_empty() {
                     let total: f64 = pool
                         .iter()
-                        .map(|&c| speeds.get((c - 1) as usize).copied().unwrap_or(1.0).max(1e-12))
+                        .map(|&c| {
+                            speeds
+                                .get((c - 1) as usize)
+                                .copied()
+                                .unwrap_or(1.0)
+                                .max(1e-12)
+                        })
                         .sum();
                     let mut u: f64 = rng.gen::<f64>() * total;
                     let mut pick = pool.len() - 1;
                     for (i, &c) in pool.iter().enumerate() {
-                        let w = speeds.get((c - 1) as usize).copied().unwrap_or(1.0).max(1e-12);
+                        let w = speeds
+                            .get((c - 1) as usize)
+                            .copied()
+                            .unwrap_or(1.0)
+                            .max(1e-12);
                         if u < w {
                             pick = i;
                             break;
@@ -85,8 +95,11 @@ impl Sampler {
                 for _ in 0..groups.len() {
                     let g = &groups[*cursor % groups.len()];
                     *cursor = (*cursor + 1) % groups.len();
-                    let mut pool: Vec<ParticipantId> =
-                        g.iter().copied().filter(|c| candidates.contains(c)).collect();
+                    let mut pool: Vec<ParticipantId> = g
+                        .iter()
+                        .copied()
+                        .filter(|c| candidates.contains(c))
+                        .collect();
                     if pool.is_empty() {
                         continue;
                     }
@@ -132,7 +145,9 @@ mod tests {
     #[test]
     fn responsiveness_prefers_fast_clients() {
         // client 1 is 50x faster than client 2
-        let mut s = Sampler::Responsiveness { speeds: vec![50.0, 1.0] };
+        let mut s = Sampler::Responsiveness {
+            speeds: vec![50.0, 1.0],
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let mut count1 = 0;
         for _ in 0..200 {
@@ -146,7 +161,9 @@ mod tests {
 
     #[test]
     fn responsiveness_without_replacement() {
-        let mut s = Sampler::Responsiveness { speeds: vec![1.0, 1.0, 1.0] };
+        let mut s = Sampler::Responsiveness {
+            speeds: vec![1.0, 1.0, 1.0],
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut picked = s.sample(&[1, 2, 3], 3, &mut rng);
         picked.sort_unstable();

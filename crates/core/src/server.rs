@@ -11,10 +11,11 @@
 use crate::aggregator::{Aggregator, ReceivedUpdate};
 use crate::config::{AggregationRule, BroadcastManner, FlConfig};
 use crate::ctx::Ctx;
-use crate::event::{Condition, Event};
 use crate::eval::{EvalRecord, GlobalEvaluator};
+use crate::event::{Condition, Event};
 use crate::registry::Registry;
 use crate::sampler::Sampler;
+use fs_compress::{decompress, CompressedBlock, Compressor};
 use fs_net::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};
 use fs_tensor::model::Metrics;
 use fs_tensor::ParamMap;
@@ -74,13 +75,65 @@ pub struct ServerState {
     pub finish_reason: Option<String>,
     /// Per-client final metrics reported at Finish.
     pub client_reports: BTreeMap<ParticipantId, Metrics>,
+    /// Download codec: when set, broadcasts leave as
+    /// `Payload::CompressedModel`.
+    pub download_codec: Option<Box<dyn Compressor>>,
+    /// Compressed broadcast for the current version, so one aggregation's
+    /// fan-out encodes (and advances codec state) exactly once.
+    pub broadcast_cache: Option<(u64, CompressedBlock)>,
+    /// Past global models kept to reconstruct delta-encoded uploads, pruned
+    /// to the staleness tolerance (anything older would be dropped anyway).
+    pub global_history: BTreeMap<u64, ParamMap>,
+    /// Whether `global_history` is maintained (only needed for delta uploads).
+    pub track_history: bool,
     /// Whether the course has been terminated by the server.
     pub done: bool,
 }
 
 impl ServerState {
     fn idle_clients(&self) -> Vec<ParticipantId> {
-        self.roster.iter().copied().filter(|c| !self.busy.contains(c)).collect()
+        self.roster
+            .iter()
+            .copied()
+            .filter(|c| !self.busy.contains(c))
+            .collect()
+    }
+
+    /// The broadcast payload for the current global model, compressed when a
+    /// download codec is configured. The compressed block is cached per
+    /// version so every recipient of one aggregation gets identical bytes.
+    fn broadcast_payload(&mut self) -> Payload {
+        match self.download_codec.as_mut() {
+            Some(codec) => {
+                let block = match &self.broadcast_cache {
+                    Some((v, block)) if *v == self.version => block.clone(),
+                    _ => {
+                        let block = codec.compress(&self.global);
+                        self.broadcast_cache = Some((self.version, block.clone()));
+                        block
+                    }
+                };
+                Payload::CompressedModel {
+                    block,
+                    version: self.version,
+                }
+            }
+            None => Payload::Model {
+                params: self.global.clone(),
+                version: self.version,
+            },
+        }
+    }
+
+    /// Records the current global model for delta-upload reconstruction.
+    fn record_history(&mut self) {
+        if !self.track_history {
+            return;
+        }
+        self.global_history
+            .insert(self.version, self.global.clone());
+        let oldest = self.version.saturating_sub(self.cfg.staleness_tolerance);
+        self.global_history.retain(|&v, _| v >= oldest);
     }
 
     /// Broadcasts the current global model to `targets`, marking them busy.
@@ -88,12 +141,13 @@ impl ServerState {
         for &c in targets {
             self.busy.insert(c);
             self.outstanding.insert(c);
+            let payload = self.broadcast_payload();
             ctx.send(Message::new(
                 SERVER_ID,
                 c,
                 MessageKind::ModelParams,
                 self.round,
-                Payload::Model { params: self.global.clone(), version: self.version },
+                payload,
             ));
             self.models_sent += 1;
         }
@@ -134,6 +188,7 @@ impl ServerState {
         let buffer = std::mem::take(&mut self.buffer);
         self.global = self.aggregator.aggregate(&self.global, &buffer);
         self.version += 1;
+        self.record_history();
         self.round += 1;
         self.received_this_round = 0;
         self.outstanding.clear();
@@ -149,8 +204,10 @@ impl ServerState {
                 });
                 if let Some(target) = self.cfg.target_accuracy {
                     if metrics.accuracy >= target {
-                        self.finish_reason =
-                            Some(format!("target accuracy {target} reached at round {}", self.round));
+                        self.finish_reason = Some(format!(
+                            "target accuracy {target} reached at round {}",
+                            self.round
+                        ));
                         ctx.raise(Condition::EarlyStop);
                         return;
                     }
@@ -209,6 +266,8 @@ impl Server {
         evaluator: Option<GlobalEvaluator>,
     ) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+        let download_codec = cfg.compression.build_download();
+        let track_history = cfg.compression.upload.is_some() && cfg.compression.upload_delta;
         let state = ServerState {
             cfg,
             global,
@@ -235,9 +294,17 @@ impl Server {
             evals_since_best: 0,
             finish_reason: None,
             client_reports: BTreeMap::new(),
+            download_codec,
+            broadcast_cache: None,
+            global_history: BTreeMap::new(),
+            track_history,
             done: false,
         };
-        let mut s = Self { state, registry: Registry::new() };
+        let mut s = Self {
+            state,
+            registry: Registry::new(),
+        };
+        s.state.record_history(); // version 0 is a valid delta reference
         s.install_default_handlers();
         s
     }
@@ -264,20 +331,33 @@ impl Server {
 
     /// Dispatches a message event, then drains raised condition events.
     pub fn handle(&mut self, msg: &Message, ctx: &mut Ctx) {
-        self.registry.dispatch(&mut self.state, Event::Message(msg.kind), msg, ctx);
+        self.registry
+            .dispatch(&mut self.state, Event::Message(msg.kind), msg, ctx);
         self.drain_conditions(msg, ctx);
     }
 
     /// Delivers a timer-raised condition event (e.g. `time_up`).
     pub fn handle_timer(&mut self, condition: Condition, round: u64, ctx: &mut Ctx) {
-        let synthetic = Message::new(SERVER_ID, SERVER_ID, MessageKind::Custom(0xFFF), round, Payload::Empty);
-        self.registry.dispatch(&mut self.state, Event::Condition(condition), &synthetic, ctx);
+        let synthetic = Message::new(
+            SERVER_ID,
+            SERVER_ID,
+            MessageKind::Custom(0xFFF),
+            round,
+            Payload::Empty,
+        );
+        self.registry.dispatch(
+            &mut self.state,
+            Event::Condition(condition),
+            &synthetic,
+            ctx,
+        );
         self.drain_conditions(&synthetic, ctx);
     }
 
     fn drain_conditions(&mut self, msg: &Message, ctx: &mut Ctx) {
         while let Some(cond) = ctx.raised.pop_front() {
-            self.registry.dispatch(&mut self.state, Event::Condition(cond), msg, ctx);
+            self.registry
+                .dispatch(&mut self.state, Event::Condition(cond), msg, ctx);
         }
         if self.state.done {
             ctx.finished = true;
@@ -346,9 +426,29 @@ impl Server {
             "save_update_check_condition",
             update_emits,
             Box::new(|state, msg, ctx| {
+                // `params` stays None when a delta upload's reference model
+                // has been pruned from history — such an update is over-stale
+                // by construction and falls through to the drop path below
                 let (params, start_version, n_samples, n_steps) = match &msg.payload {
-                    Payload::Update { params, start_version, n_samples, n_steps } => {
-                        (params.clone(), *start_version, *n_samples, *n_steps)
+                    Payload::Update {
+                        params,
+                        start_version,
+                        n_samples,
+                        n_steps,
+                    } => (Some(params.clone()), *start_version, *n_samples, *n_steps),
+                    Payload::CompressedUpdate {
+                        block,
+                        start_version,
+                        n_samples,
+                        n_steps,
+                    } => {
+                        let reference = if block.delta {
+                            state.global_history.get(&block.ref_version)
+                        } else {
+                            None
+                        };
+                        let params = decompress(block, reference).ok();
+                        (params, *start_version, *n_samples, *n_steps)
                     }
                     other => {
                         debug_assert!(false, "Updates carried {other:?}");
@@ -366,16 +466,17 @@ impl Server {
                     state.received_this_round += 1;
                 }
                 let staleness = state.version.saturating_sub(start_version);
-                if staleness > state.cfg.staleness_tolerance {
-                    state.dropped_updates += 1;
-                } else {
-                    state.buffer.push(ReceivedUpdate {
-                        client: msg.sender,
-                        params,
-                        staleness,
-                        n_samples,
-                        n_steps,
-                    });
+                match params {
+                    Some(params) if staleness <= state.cfg.staleness_tolerance => {
+                        state.buffer.push(ReceivedUpdate {
+                            client: msg.sender,
+                            params,
+                            staleness,
+                            n_samples,
+                            n_steps,
+                        });
+                    }
+                    _ => state.dropped_updates += 1,
                 }
                 let mut aggregating = false;
                 match state.cfg.rule {
@@ -447,22 +548,26 @@ impl Server {
                     if msg.round != state.round {
                         return; // stale timer from a finished round
                     }
-                    if let AggregationRule::TimeUp { budget_secs, min_feedback } = state.cfg.rule {
+                    if let AggregationRule::TimeUp {
+                        budget_secs,
+                        min_feedback,
+                    } = state.cfg.rule
+                    {
                         if state.buffer.len() >= min_feedback.max(1) {
                             state.aggregate_and_continue(ctx);
                         } else {
                             state.remedial_count += 1;
                             if state.remedial_count > 10_000 {
-                                state.finish_reason =
-                                    Some("remedial limit exceeded (no client feedback)".to_string());
+                                state.finish_reason = Some(
+                                    "remedial limit exceeded (no client feedback)".to_string(),
+                                );
                                 ctx.raise(Condition::EarlyStop);
                             } else {
                                 // remedial measures (§3.3.2): sample additional
                                 // clients (crashed ones never leave `busy`) and
                                 // extend the time budget
                                 let target = state.cfg.sample_target();
-                                let need =
-                                    target.saturating_sub(state.busy.len()).max(1);
+                                let need = target.saturating_sub(state.busy.len()).max(1);
                                 state.sample_and_broadcast(need, ctx);
                                 ctx.arm_timer(budget_secs, Condition::TimeUp, state.round);
                             }
@@ -485,13 +590,16 @@ impl Server {
                 if state.finish_reason.is_none() {
                     state.finish_reason = Some("early stop".to_string());
                 }
+                // ships the final model compressed when a download codec is
+                // configured, like any other broadcast
+                let payload = state.broadcast_payload();
                 for &c in &state.roster {
                     ctx.send(Message::new(
                         SERVER_ID,
                         c,
                         MessageKind::Finish,
                         state.round,
-                        Payload::Model { params: state.global.clone(), version: state.version },
+                        payload.clone(),
                     ));
                 }
             }),
@@ -525,7 +633,14 @@ mod tests {
     }
 
     fn make_server(cfg: FlConfig, n: usize) -> Server {
-        Server::new(cfg, global(), n, Box::new(FedAvg::new(0.0)), Sampler::Uniform, None)
+        Server::new(
+            cfg,
+            global(),
+            n,
+            Box::new(FedAvg::new(0.0)),
+            Sampler::Uniform,
+            None,
+        )
     }
 
     fn join_all(s: &mut Server, n: u32, ctx: &mut Ctx) {
@@ -538,30 +653,56 @@ mod tests {
     fn update_msg(id: u32, v: &[f32], start_version: u64) -> Message {
         let mut p = ParamMap::new();
         p.insert("w", Tensor::from_vec(vec![v.len()], v.to_vec()));
-        Message::new(id, SERVER_ID, MessageKind::Updates, 0, Payload::Update {
-            params: p,
-            start_version,
-            n_samples: 10,
-            n_steps: 4,
-        })
+        Message::new(
+            id,
+            SERVER_ID,
+            MessageKind::Updates,
+            0,
+            Payload::Update {
+                params: p,
+                start_version,
+                n_samples: 10,
+                n_steps: 4,
+            },
+        )
     }
 
     #[test]
     fn join_in_assigns_and_starts_when_full() {
-        let cfg = FlConfig { concurrency: 2, total_rounds: 5, ..Default::default() };
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            ..Default::default()
+        };
         let mut s = make_server(cfg, 3);
         let mut ctx = Ctx::at(VirtualTime::ZERO);
         join_all(&mut s, 3, &mut ctx);
         // 3 id assignments + 2 model broadcasts (concurrency 2)
         let kinds: Vec<MessageKind> = ctx.outbox.iter().map(|o| o.msg.kind).collect();
-        assert_eq!(kinds.iter().filter(|&&k| k == MessageKind::IdAssignment).count(), 3);
-        assert_eq!(kinds.iter().filter(|&&k| k == MessageKind::ModelParams).count(), 2);
+        assert_eq!(
+            kinds
+                .iter()
+                .filter(|&&k| k == MessageKind::IdAssignment)
+                .count(),
+            3
+        );
+        assert_eq!(
+            kinds
+                .iter()
+                .filter(|&&k| k == MessageKind::ModelParams)
+                .count(),
+            2
+        );
         assert_eq!(s.state.busy.len(), 2);
     }
 
     #[test]
     fn all_received_aggregates_and_rebroadcasts() {
-        let cfg = FlConfig { concurrency: 2, total_rounds: 5, ..Default::default() };
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            ..Default::default()
+        };
         let mut s = make_server(cfg, 2);
         let mut ctx = Ctx::at(VirtualTime::ZERO);
         join_all(&mut s, 2, &mut ctx);
@@ -572,7 +713,11 @@ mod tests {
         assert_eq!(s.state.version, 1);
         assert_eq!(s.state.global.get("w").unwrap().data(), &[2.0, 2.0]);
         // next round broadcast happened
-        let models = ctx.outbox.iter().filter(|o| o.msg.kind == MessageKind::ModelParams).count();
+        let models = ctx
+            .outbox
+            .iter()
+            .filter(|o| o.msg.kind == MessageKind::ModelParams)
+            .count();
         assert_eq!(models, 2);
     }
 
@@ -636,7 +781,10 @@ mod tests {
         let cfg = FlConfig {
             concurrency: 2,
             total_rounds: 5,
-            rule: AggregationRule::TimeUp { budget_secs: 60.0, min_feedback: 1 },
+            rule: AggregationRule::TimeUp {
+                budget_secs: 60.0,
+                min_feedback: 1,
+            },
             ..Default::default()
         };
         let mut s = make_server(cfg, 2);
@@ -655,7 +803,10 @@ mod tests {
         let cfg = FlConfig {
             concurrency: 2,
             total_rounds: 5,
-            rule: AggregationRule::TimeUp { budget_secs: 60.0, min_feedback: 1 },
+            rule: AggregationRule::TimeUp {
+                budget_secs: 60.0,
+                min_feedback: 1,
+            },
             ..Default::default()
         };
         let mut s = make_server(cfg, 2);
@@ -673,7 +824,10 @@ mod tests {
         let cfg = FlConfig {
             concurrency: 2,
             total_rounds: 5,
-            rule: AggregationRule::TimeUp { budget_secs: 60.0, min_feedback: 1 },
+            rule: AggregationRule::TimeUp {
+                budget_secs: 60.0,
+                min_feedback: 1,
+            },
             ..Default::default()
         };
         let mut s = make_server(cfg, 2);
@@ -704,14 +858,22 @@ mod tests {
         s.handle(&update_msg(sampled, &[1.0, 1.0], 0), &mut ctx);
         // no aggregation (goal 5), but exactly one new model handed out
         assert_eq!(s.state.version, 0);
-        let models = ctx.outbox.iter().filter(|o| o.msg.kind == MessageKind::ModelParams).count();
+        let models = ctx
+            .outbox
+            .iter()
+            .filter(|o| o.msg.kind == MessageKind::ModelParams)
+            .count();
         assert_eq!(models, 1);
         assert_eq!(s.state.busy.len(), 1, "concurrency maintained");
     }
 
     #[test]
     fn round_limit_terminates_with_finish() {
-        let cfg = FlConfig { concurrency: 1, total_rounds: 1, ..Default::default() };
+        let cfg = FlConfig {
+            concurrency: 1,
+            total_rounds: 1,
+            ..Default::default()
+        };
         let mut s = make_server(cfg, 1);
         let mut ctx = Ctx::at(VirtualTime::ZERO);
         join_all(&mut s, 1, &mut ctx);
@@ -719,14 +881,27 @@ mod tests {
         s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
         assert!(s.state.done);
         assert!(ctx.finished);
-        let finishes = ctx.outbox.iter().filter(|o| o.msg.kind == MessageKind::Finish).count();
+        let finishes = ctx
+            .outbox
+            .iter()
+            .filter(|o| o.msg.kind == MessageKind::Finish)
+            .count();
         assert_eq!(finishes, 1);
-        assert!(s.state.finish_reason.as_deref().unwrap().contains("round limit"));
+        assert!(s
+            .state
+            .finish_reason
+            .as_deref()
+            .unwrap()
+            .contains("round limit"));
     }
 
     #[test]
     fn duplicate_join_in_does_not_restart_course() {
-        let cfg = FlConfig { concurrency: 2, total_rounds: 5, ..Default::default() };
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            ..Default::default()
+        };
         let mut s = make_server(cfg, 2);
         let mut ctx = Ctx::at(VirtualTime::ZERO);
         join_all(&mut s, 2, &mut ctx);
@@ -740,35 +915,207 @@ mod tests {
 
     #[test]
     fn duplicate_update_not_double_counted() {
-        let cfg = FlConfig { concurrency: 2, total_rounds: 5, ..Default::default() };
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            ..Default::default()
+        };
         let mut s = make_server(cfg, 2);
         let mut ctx = Ctx::at(VirtualTime::ZERO);
         join_all(&mut s, 2, &mut ctx);
         // the same client replying twice must not satisfy all_received
         s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
         s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
-        assert_eq!(s.state.version, 0, "duplicate reply must not trigger aggregation");
+        assert_eq!(
+            s.state.version, 0,
+            "duplicate reply must not trigger aggregation"
+        );
         s.handle(&update_msg(2, &[3.0, 3.0], 0), &mut ctx);
         assert_eq!(s.state.version, 1);
     }
 
     #[test]
     fn metrics_reports_recorded() {
-        let cfg = FlConfig { concurrency: 1, total_rounds: 1, ..Default::default() };
+        let cfg = FlConfig {
+            concurrency: 1,
+            total_rounds: 1,
+            ..Default::default()
+        };
         let mut s = make_server(cfg, 1);
         let mut ctx = Ctx::at(VirtualTime::ZERO);
-        let m = Message::new(1, SERVER_ID, MessageKind::MetricsReport, 0, Payload::Report {
-            metrics: Metrics { loss: 0.3, accuracy: 0.8, n: 10 },
-        });
+        let m = Message::new(
+            1,
+            SERVER_ID,
+            MessageKind::MetricsReport,
+            0,
+            Payload::Report {
+                metrics: Metrics {
+                    loss: 0.3,
+                    accuracy: 0.8,
+                    n: 10,
+                },
+            },
+        );
         s.handle(&m, &mut ctx);
         assert_eq!(s.state.client_reports.len(), 1);
         assert!((s.state.client_reports[&1].accuracy - 0.8).abs() < 1e-6);
     }
 
     #[test]
+    fn compressed_update_is_decompressed_before_aggregation() {
+        let cfg = FlConfig {
+            concurrency: 1,
+            total_rounds: 5,
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 1);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 1, &mut ctx);
+        let mut p = ParamMap::new();
+        p.insert("w", Tensor::from_vec(vec![2], vec![4.0, -4.0]));
+        let block = fs_compress::Identity.compress(&p);
+        let m = Message::new(
+            1,
+            SERVER_ID,
+            MessageKind::Updates,
+            0,
+            Payload::CompressedUpdate {
+                block,
+                start_version: 0,
+                n_samples: 10,
+                n_steps: 4,
+            },
+        );
+        s.handle(&m, &mut ctx);
+        assert_eq!(s.state.version, 1);
+        assert_eq!(s.state.global.get("w").unwrap().data(), &[4.0, -4.0]);
+    }
+
+    #[test]
+    fn delta_upload_reconstructed_from_history() {
+        let cfg = FlConfig {
+            concurrency: 1,
+            total_rounds: 5,
+            compression: crate::config::CompressionConfig {
+                upload: Some(crate::config::CodecSpec::Identity),
+                upload_delta: true,
+                download: None,
+            },
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 1);
+        assert!(s.state.track_history);
+        assert!(s.state.global_history.contains_key(&0));
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 1, &mut ctx);
+        // client-side: delta-encode an update of [5, 7] against global [0, 0]
+        let mut codec = fs_compress::DeltaEncode::new(Box::new(fs_compress::Identity));
+        codec.set_reference(&s.state.global, 0);
+        let mut p = ParamMap::new();
+        p.insert("w", Tensor::from_vec(vec![2], vec![5.0, 7.0]));
+        let block = codec.compress(&p);
+        assert!(block.delta);
+        let m = Message::new(
+            1,
+            SERVER_ID,
+            MessageKind::Updates,
+            0,
+            Payload::CompressedUpdate {
+                block,
+                start_version: 0,
+                n_samples: 10,
+                n_steps: 4,
+            },
+        );
+        s.handle(&m, &mut ctx);
+        assert_eq!(s.state.version, 1);
+        assert_eq!(s.state.global.get("w").unwrap().data(), &[5.0, 7.0]);
+        // history advanced to the new version and pruned nothing in-tolerance
+        assert!(s.state.global_history.contains_key(&1));
+    }
+
+    #[test]
+    fn delta_upload_with_pruned_reference_is_dropped() {
+        let cfg = FlConfig {
+            concurrency: 1,
+            total_rounds: 100,
+            rule: AggregationRule::GoalAchieved { goal: 1 },
+            staleness_tolerance: 0,
+            compression: crate::config::CompressionConfig {
+                upload: Some(crate::config::CodecSpec::Identity),
+                upload_delta: true,
+                download: None,
+            },
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx); // version -> 1, prunes v0
+        assert_eq!(s.state.version, 1);
+        assert!(!s.state.global_history.contains_key(&0));
+        // straggler delta-encoded against the now-pruned version 0
+        let mut codec = fs_compress::DeltaEncode::new(Box::new(fs_compress::Identity));
+        codec.set_reference(&global(), 0);
+        let mut p = ParamMap::new();
+        p.insert("w", Tensor::from_vec(vec![2], vec![9.0, 9.0]));
+        let m = Message::new(
+            2,
+            SERVER_ID,
+            MessageKind::Updates,
+            0,
+            Payload::CompressedUpdate {
+                block: codec.compress(&p),
+                start_version: 0,
+                n_samples: 10,
+                n_steps: 4,
+            },
+        );
+        s.handle(&m, &mut ctx);
+        assert_eq!(s.state.dropped_updates, 1);
+        assert_eq!(s.state.version, 1, "dropped update must not aggregate");
+    }
+
+    #[test]
+    fn download_codec_broadcasts_compressed_models() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            compression: crate::config::CompressionConfig {
+                upload: None,
+                upload_delta: false,
+                download: Some(crate::config::CodecSpec::UniformQuant { bits: 8 }),
+            },
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        let blocks: Vec<_> = ctx
+            .outbox
+            .iter()
+            .filter(|o| o.msg.kind == MessageKind::ModelParams)
+            .map(|o| match &o.msg.payload {
+                Payload::CompressedModel { block, version } => {
+                    assert_eq!(*version, 0);
+                    block.clone()
+                }
+                other => panic!("expected compressed broadcast, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(blocks.len(), 2);
+        // the per-version cache guarantees identical bytes for every recipient
+        assert_eq!(blocks[0], blocks[1]);
+    }
+
+    #[test]
     fn over_selection_samples_extra_clients() {
-        let cfg = FlConfig { concurrency: 2, total_rounds: 5, ..Default::default() }
-            .sync_over_selection(0.5);
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            ..Default::default()
+        }
+        .sync_over_selection(0.5);
         let mut s = make_server(cfg, 4);
         let mut ctx = Ctx::at(VirtualTime::ZERO);
         join_all(&mut s, 4, &mut ctx);

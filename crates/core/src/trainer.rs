@@ -84,7 +84,11 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { local_steps: 4, batch_size: 20, sgd: SgdConfig::with_lr(0.1) }
+        Self {
+            local_steps: 4,
+            batch_size: 20,
+            sgd: SgdConfig::with_lr(0.1),
+        }
     }
 }
 
@@ -110,7 +114,14 @@ impl LocalTrainer {
         seed: u64,
     ) -> Self {
         let opt = Sgd::new(cfg.sgd);
-        Self { model, data, cfg, share, opt, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            model,
+            data,
+            cfg,
+            share,
+            opt,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Read access to the local model (for inspection in tests/attacks).
@@ -139,7 +150,10 @@ impl LocalTrainer {
     pub fn run_sgd(&mut self, steps: usize, anchor: Option<&ParamMap>) -> f32 {
         let mut total = 0.0f32;
         for _ in 0..steps {
-            let batch = self.data.train.sample_batch(self.cfg.batch_size, &mut self.rng);
+            let batch = self
+                .data
+                .train
+                .sample_batch(self.cfg.batch_size, &mut self.rng);
             if batch.is_empty() {
                 break;
             }
@@ -178,7 +192,11 @@ impl Trainer for LocalTrainer {
 
     fn local_train(&mut self, global: &ParamMap, _round: u64) -> LocalUpdate {
         self.incorporate(global);
-        let anchor = if self.cfg.sgd.prox_mu > 0.0 { Some(global.clone()) } else { None };
+        let anchor = if self.cfg.sgd.prox_mu > 0.0 {
+            Some(global.clone())
+        } else {
+            None
+        };
         let steps = self.cfg.local_steps;
         self.run_sgd(steps, anchor.as_ref());
         let share = self.share.clone();
@@ -223,10 +241,7 @@ pub fn flatten_features(x: &Tensor) -> Tensor {
 
 /// Builds a pooled evaluation set from every client's split (used by the
 /// central global-model evaluator).
-pub fn pooled_test_set(
-    dataset: &fs_data::FedDataset,
-    max_per_client: usize,
-) -> (Tensor, Target) {
+pub fn pooled_test_set(dataset: &fs_data::FedDataset, max_per_client: usize) -> (Tensor, Target) {
     let mut xs: Vec<f32> = Vec::new();
     let mut classes: Vec<usize> = Vec::new();
     let mut values: Vec<f32> = Vec::new();
@@ -252,7 +267,11 @@ pub fn pooled_test_set(
     let mut shape = vec![n];
     shape.extend_from_slice(&dataset.feature_shape);
     let x = Tensor::from_vec(shape, xs);
-    let y = if is_classes { Target::Classes(classes) } else { Target::Values(values) };
+    let y = if is_classes {
+        Target::Classes(classes)
+    } else {
+        Target::Values(values)
+    };
     (x, y)
 }
 
@@ -263,13 +282,21 @@ mod tests {
     use fs_tensor::model::logistic_regression;
 
     fn make_trainer() -> LocalTrainer {
-        let d = twitter_like(&TwitterConfig { num_clients: 3, per_client: 20, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 3,
+            per_client: 20,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(0);
         let model = logistic_regression(d.input_dim(), 2, &mut rng);
         LocalTrainer::new(
             Box::new(model),
             d.clients[0].clone(),
-            TrainConfig { local_steps: 8, batch_size: 4, sgd: SgdConfig::with_lr(0.5) },
+            TrainConfig {
+                local_steps: 8,
+                batch_size: 4,
+                sgd: SgdConfig::with_lr(0.5),
+            },
             share_all(),
             1,
         )
@@ -293,7 +320,11 @@ mod tests {
 
     #[test]
     fn share_filter_restricts_update_keys() {
-        let d = twitter_like(&TwitterConfig { num_clients: 1, per_client: 20, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 1,
+            per_client: 20,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(0);
         let model = logistic_regression(d.input_dim(), 2, &mut rng);
         let mut t = LocalTrainer::new(
@@ -313,7 +344,14 @@ mod tests {
     fn incorporate_overwrites_shared_keys_only() {
         let mut t = make_trainer();
         let mut global = ParamMap::new();
-        global.insert("fc.weight", t.model().get_params().get("fc.weight").unwrap().zeros_like());
+        global.insert(
+            "fc.weight",
+            t.model()
+                .get_params()
+                .get("fc.weight")
+                .unwrap()
+                .zeros_like(),
+        );
         t.incorporate(&global);
         let p = t.model().get_params();
         assert_eq!(p.get("fc.weight").unwrap().sum(), 0.0);
@@ -331,7 +369,11 @@ mod tests {
 
     #[test]
     fn pooled_test_set_concatenates() {
-        let d = twitter_like(&TwitterConfig { num_clients: 4, per_client: 10, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 4,
+            per_client: 10,
+            ..Default::default()
+        });
         let (x, y) = pooled_test_set(&d, 2);
         assert_eq!(x.shape()[0], y.len());
         assert!(x.shape()[0] <= 8);

@@ -22,7 +22,10 @@ impl ClientData {
     pub fn empty(feature_shape: &[usize]) -> Self {
         let mut shape = vec![0usize];
         shape.extend_from_slice(feature_shape);
-        Self { x: Tensor::zeros(&shape), y: Target::Classes(Vec::new()) }
+        Self {
+            x: Tensor::zeros(&shape),
+            y: Target::Classes(Vec::new()),
+        }
     }
 
     /// Number of examples.
@@ -58,7 +61,10 @@ impl ClientData {
             Target::Classes(c) => Target::Classes(idx.iter().map(|&i| c[i]).collect()),
             Target::Values(v) => Target::Values(idx.iter().map(|&i| v[i]).collect()),
         };
-        ClientData { x: Tensor::from_vec(shape, data), y }
+        ClientData {
+            x: Tensor::from_vec(shape, data),
+            y,
+        }
     }
 
     /// Samples a random minibatch of up to `size` examples.
@@ -181,7 +187,10 @@ mod tests {
 
     fn toy() -> ClientData {
         let x = Tensor::from_vec(vec![4, 2], vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1, 3.0, 3.1]);
-        ClientData { x, y: Target::Classes(vec![0, 1, 0, 1]) }
+        ClientData {
+            x,
+            y: Target::Classes(vec![0, 1, 0, 1]),
+        }
     }
 
     #[test]
@@ -223,7 +232,10 @@ mod tests {
     #[test]
     fn values_targets_batch() {
         let x = Tensor::from_vec(vec![3, 1], vec![1.0, 2.0, 3.0]);
-        let d = ClientData { x, y: Target::Values(vec![10.0, 20.0, 30.0]) };
+        let d = ClientData {
+            x,
+            y: Target::Values(vec![10.0, 20.0, 30.0]),
+        };
         let b = d.batch(&[1]);
         match b.y {
             Target::Values(v) => assert_eq!(v, vec![20.0]),

@@ -35,13 +35,22 @@ impl LabelPartition {
     /// IID: every client draws labels uniformly.
     pub fn iid(num_clients: usize, num_classes: usize) -> Self {
         let row = vec![1.0 / num_classes as f64; num_classes];
-        Self { dist: vec![row; num_clients] }
+        Self {
+            dist: vec![row; num_clients],
+        }
     }
 
     /// Dirichlet(α) label skew: each client's label distribution is an
     /// independent Dirichlet draw. Smaller α means more skew.
-    pub fn dirichlet(num_clients: usize, num_classes: usize, alpha: f64, rng: &mut impl Rng) -> Self {
-        let dist = (0..num_clients).map(|_| dirichlet(alpha, num_classes, rng)).collect();
+    pub fn dirichlet(
+        num_clients: usize,
+        num_classes: usize,
+        alpha: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let dist = (0..num_clients)
+            .map(|_| dirichlet(alpha, num_classes, rng))
+            .collect();
         Self { dist }
     }
 
@@ -130,7 +139,11 @@ mod tests {
             .sum::<f64>()
             / 50.0;
         let max_large: f64 = (0..50)
-            .map(|_| dirichlet(10.0, 10, &mut rng).into_iter().fold(0.0, f64::max))
+            .map(|_| {
+                dirichlet(10.0, 10, &mut rng)
+                    .into_iter()
+                    .fold(0.0, f64::max)
+            })
             .sum::<f64>()
             / 50.0;
         assert!(
@@ -143,7 +156,10 @@ mod tests {
     fn iid_partition_uniform() {
         let p = LabelPartition::iid(3, 4);
         assert_eq!(p.num_clients(), 3);
-        assert!(p.dist.iter().all(|r| r.iter().all(|&v| (v - 0.25).abs() < 1e-12)));
+        assert!(p
+            .dist
+            .iter()
+            .all(|r| r.iter().all(|&v| (v - 0.25).abs() < 1e-12)));
     }
 
     #[test]

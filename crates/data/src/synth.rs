@@ -90,15 +90,16 @@ fn build_image_dataset(
         let (contrast, brightness, offset): (f32, f32, Vec<f32>) = if writer_style {
             let contrast = 0.6 + rng.gen::<f32>() * 0.8;
             let brightness = (rng.gen::<f32>() - 0.5) * 0.6;
-            let offset: Vec<f32> =
-                (0..d).map(|_| (rng.gen::<f32>() - 0.5) * 0.5).collect();
+            let offset: Vec<f32> = (0..d).map(|_| (rng.gen::<f32>() - 0.5) * 0.5).collect();
             (contrast, brightness, offset)
         } else {
             (1.0, 0.0, vec![0.0; d])
         };
         let n = if cfg.size_skew > 0.0 {
             let ln = rand_distr::LogNormal::new(0.0, cfg.size_skew).expect("valid skew");
-            ((cfg.per_client as f64) * ln.sample(&mut rng)).round().max(6.0) as usize
+            ((cfg.per_client as f64) * ln.sample(&mut rng))
+                .round()
+                .max(6.0) as usize
         } else {
             cfg.per_client
         };
@@ -109,15 +110,16 @@ fn build_image_dataset(
             labels.push(y);
             let proto = &protos[y];
             for i in 0..d {
-                let v = proto[i] * contrast
-                    + brightness
-                    + offset[i]
-                    + noise.sample(&mut rng) as f32;
+                let v =
+                    proto[i] * contrast + brightness + offset[i] + noise.sample(&mut rng) as f32;
                 data.push(v);
             }
         }
         let x = Tensor::from_vec(vec![n, 1, cfg.img, cfg.img], data);
-        let all = ClientData { x, y: Target::Classes(labels) };
+        let all = ClientData {
+            x,
+            y: Target::Classes(labels),
+        };
         clients.push(ClientSplit::from_fractions(&all, 0.7, 0.15));
     }
     FedDataset {
@@ -156,8 +158,13 @@ pub fn cifar_like_biased(
     rare_labels: &[usize],
     slow_start: usize,
 ) -> FedDataset {
-    let partition =
-        LabelPartition::biased(cfg.num_clients, cfg.num_classes, rare_labels, slow_start, 0.6);
+    let partition = LabelPartition::biased(
+        cfg.num_clients,
+        cfg.num_classes,
+        rare_labels,
+        slow_start,
+        0.6,
+    );
     build_image_dataset(cfg, &partition, false, "bias-cifar-like")
 }
 
@@ -179,7 +186,13 @@ pub struct TwitterConfig {
 
 impl Default for TwitterConfig {
     fn default() -> Self {
-        Self { num_clients: 200, vocab: 60, words_per_text: 12, per_client: 10, seed: 11 }
+        Self {
+            num_clients: 200,
+            vocab: 60,
+            words_per_text: 12,
+            per_client: 10,
+            seed: 11,
+        }
     }
 }
 
@@ -228,7 +241,10 @@ pub fn twitter_like(cfg: &TwitterConfig) -> FedDataset {
             }
         }
         let x = Tensor::from_vec(vec![n, cfg.vocab], data);
-        let all = ClientData { x, y: Target::Classes(labels) };
+        let all = ClientData {
+            x,
+            y: Target::Classes(labels),
+        };
         clients.push(ClientSplit::from_fractions(&all, 0.6, 0.2));
     }
     FedDataset {
@@ -245,7 +261,11 @@ mod tests {
 
     #[test]
     fn femnist_shapes_and_determinism() {
-        let cfg = ImageConfig { num_clients: 4, per_client: 10, ..Default::default() };
+        let cfg = ImageConfig {
+            num_clients: 4,
+            per_client: 10,
+            ..Default::default()
+        };
         let a = femnist_like(&cfg);
         let b = femnist_like(&cfg);
         assert_eq!(a.num_clients(), 4);
@@ -257,7 +277,12 @@ mod tests {
 
     #[test]
     fn cifar_dirichlet_skews_labels() {
-        let cfg = ImageConfig { num_clients: 8, per_client: 60, seed: 3, ..Default::default() };
+        let cfg = ImageConfig {
+            num_clients: 8,
+            per_client: 60,
+            seed: 3,
+            ..Default::default()
+        };
         let iid = cifar_like(&cfg, None);
         let skew = cifar_like(&cfg, Some(0.1));
         let peak = |d: &FedDataset| -> f32 {
@@ -280,7 +305,11 @@ mod tests {
 
     #[test]
     fn biased_split_rare_labels_only_on_slow() {
-        let cfg = ImageConfig { num_clients: 10, per_client: 40, ..Default::default() };
+        let cfg = ImageConfig {
+            num_clients: 10,
+            per_client: 40,
+            ..Default::default()
+        };
         let d = cifar_like_biased(&cfg, &[8, 9], 7);
         for c in 0..7 {
             let h = d.clients[c].train.label_histogram(10);
@@ -297,7 +326,10 @@ mod tests {
 
     #[test]
     fn twitter_binary_sparse() {
-        let cfg = TwitterConfig { num_clients: 6, ..Default::default() };
+        let cfg = TwitterConfig {
+            num_clients: 6,
+            ..Default::default()
+        };
         let d = twitter_like(&cfg);
         assert_eq!(d.num_classes, 2);
         assert_eq!(d.num_clients(), 6);
@@ -313,7 +345,12 @@ mod tests {
         // sanity: a centralized logistic regression should beat chance easily
         use fs_tensor::model::{logistic_regression, Model};
         use fs_tensor::optim::{Sgd, SgdConfig};
-        let cfg = TwitterConfig { num_clients: 20, per_client: 20, seed: 5, ..Default::default() };
+        let cfg = TwitterConfig {
+            num_clients: 20,
+            per_client: 20,
+            seed: 5,
+            ..Default::default()
+        };
         let d = twitter_like(&cfg);
         let mut rng = StdRng::seed_from_u64(0);
         let mut m = logistic_regression(d.input_dim(), 2, &mut rng);
@@ -323,7 +360,10 @@ mod tests {
                 if c.train.is_empty() {
                     continue;
                 }
-                let (_, g) = m.loss_grad(&c.train.x.reshape(&[c.train.len(), d.input_dim()]), &c.train.y);
+                let (_, g) = m.loss_grad(
+                    &c.train.x.reshape(&[c.train.len(), d.input_dim()]),
+                    &c.train.y,
+                );
                 let mut p = m.get_params();
                 opt.step(&mut p, &g, None);
                 m.set_params(&p);

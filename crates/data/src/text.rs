@@ -32,7 +32,12 @@ pub struct ShakespeareConfig {
 
 impl Default for ShakespeareConfig {
     fn default() -> Self {
-        Self { num_clients: 20, alphabet: 12, text_len: 120, seed: 29 }
+        Self {
+            num_clients: 20,
+            alphabet: 12,
+            text_len: 120,
+            seed: 29,
+        }
     }
 }
 
@@ -152,7 +157,11 @@ mod tests {
     #[test]
     fn next_char_is_learnable() {
         use fs_tensor::model::{logistic_regression, Model};
-        let cfg = ShakespeareConfig { num_clients: 8, text_len: 400, ..Default::default() };
+        let cfg = ShakespeareConfig {
+            num_clients: 8,
+            text_len: 400,
+            ..Default::default()
+        };
         let d = shakespeare_like(&cfg);
         let mut rng = StdRng::seed_from_u64(1);
         let mut m = logistic_regression(d.input_dim(), d.num_classes, &mut rng);
@@ -184,6 +193,9 @@ mod tests {
         let sizes: Vec<usize> = d.clients.iter().map(|c| c.len()).collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
-        assert!(max > min, "size skew must produce heterogeneous sizes: {sizes:?}");
+        assert!(
+            max > min,
+            "size skew must produce heterogeneous sizes: {sizes:?}"
+        );
     }
 }

@@ -16,8 +16,20 @@
 
 use crate::wire::{decode_params, encode_params, CodecError};
 use bytes::Bytes;
+use fs_compress::{decompress, CompressedBlock, DecompressError};
 use fs_tensor::{ParamMap, Tensor};
 use std::collections::BTreeMap;
+
+fn decompress_to_params(
+    block: &CompressedBlock,
+    reference: Option<&ParamMap>,
+) -> Result<ParamMap, CodecError> {
+    decompress(block, reference).map_err(|e| match e {
+        DecompressError::MissingReference(v) => CodecError::MissingReference(v),
+        DecompressError::UnknownName(_) => CodecError::BadName,
+        DecompressError::ShapeMismatch(_) => CodecError::BadShape,
+    })
+}
 
 /// A backend-native parameter store that can translate to/from the neutral
 /// wire format.
@@ -31,6 +43,16 @@ pub trait Backend {
     /// Decodes neutral wire bytes into the native representation, replacing
     /// matching entries.
     fn decode(&mut self, wire: &[u8]) -> Result<(), CodecError>;
+
+    /// Decodes a compressed payload block (dense, quantized, sparse, or a
+    /// delta against `reference`) into the native representation. Every
+    /// backend must accept every block variant — compression happens in the
+    /// neutral format, so it is backend-agnostic by construction.
+    fn decode_compressed(
+        &mut self,
+        block: &CompressedBlock,
+        reference: Option<&ParamMap>,
+    ) -> Result<(), CodecError>;
 }
 
 /// Row-major `f32` store ("torch-like") — native layout equals the wire
@@ -68,6 +90,15 @@ impl Backend for RowMajorF32Store {
 
     fn decode(&mut self, wire: &[u8]) -> Result<(), CodecError> {
         self.params = decode_params(wire)?;
+        Ok(())
+    }
+
+    fn decode_compressed(
+        &mut self,
+        block: &CompressedBlock,
+        reference: Option<&ParamMap>,
+    ) -> Result<(), CodecError> {
+        self.params = decompress_to_params(block, reference)?;
         Ok(())
     }
 }
@@ -111,7 +142,8 @@ impl ColMajorF64Store {
             } else {
                 t.data().iter().map(|&v| v as f64).collect()
             };
-            self.entries.insert(name.to_string(), (t.shape().to_vec(), data));
+            self.entries
+                .insert(name.to_string(), (t.shape().to_vec(), data));
         }
     }
 
@@ -156,6 +188,16 @@ impl Backend for ColMajorF64Store {
         self.load(&params);
         Ok(())
     }
+
+    fn decode_compressed(
+        &mut self,
+        block: &CompressedBlock,
+        reference: Option<&ParamMap>,
+    ) -> Result<(), CodecError> {
+        let params = decompress_to_params(block, reference)?;
+        self.load(&params);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +206,10 @@ mod tests {
 
     fn sample() -> ParamMap {
         let mut p = ParamMap::new();
-        p.insert("w", Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        p.insert(
+            "w",
+            Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        );
         p.insert("b", Tensor::from_vec(vec![3], vec![0.1, 0.2, 0.3]));
         p
     }
@@ -192,12 +237,58 @@ mod tests {
 
     #[test]
     fn names_identify_backends() {
-        assert_ne!(RowMajorF32Store::default().name(), ColMajorF64Store::new().name());
+        assert_ne!(
+            RowMajorF32Store::default().name(),
+            ColMajorF64Store::new().name()
+        );
     }
 
     #[test]
     fn decode_error_propagates() {
         let mut tf = ColMajorF64Store::new();
         assert!(tf.decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn both_backends_decode_every_compressed_variant() {
+        use fs_compress::{Compressor, DeltaEncode, Identity, TopK, UniformQuant};
+        let p = sample();
+        let codecs: Vec<Box<dyn Compressor>> = vec![
+            Box::new(Identity),
+            Box::new(UniformQuant::new(8)),
+            Box::new(UniformQuant::new(4)),
+            Box::new(TopK::new(0.5)),
+            Box::new(DeltaEncode::new(Box::new(UniformQuant::new(8)))),
+        ];
+        for mut codec in codecs {
+            codec.set_reference(&p, 3); // no-op for non-delta codecs
+            let block = codec.compress(&p);
+            let reference = block.delta.then_some(&p);
+            let mut torch = RowMajorF32Store::default();
+            torch.decode_compressed(&block, reference).unwrap();
+            let mut tf = ColMajorF64Store::new();
+            tf.decode_compressed(&block, reference).unwrap();
+            // both backends must reconstruct the same parameters, reachable
+            // only through the neutral compressed format
+            assert_eq!(
+                torch.params(),
+                &tf.to_params(),
+                "backend disagreement under codec {}",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_without_reference_reports_missing_version() {
+        use fs_compress::{Compressor, DeltaEncode, Identity};
+        let mut codec = DeltaEncode::new(Box::new(Identity));
+        codec.set_reference(&sample(), 42);
+        let block = codec.compress(&sample());
+        let mut torch = RowMajorF32Store::default();
+        assert_eq!(
+            torch.decode_compressed(&block, None),
+            Err(CodecError::MissingReference(42))
+        );
     }
 }

@@ -66,7 +66,8 @@ impl Bus {
             .senders
             .get(&msg.receiver)
             .ok_or(BusError::UnknownReceiver(msg.receiver))?;
-        tx.send(encode_message(msg)).map_err(|_| BusError::Disconnected(msg.receiver))
+        tx.send(encode_message(msg))
+            .map_err(|_| BusError::Disconnected(msg.receiver))
     }
 
     /// Registered participant count.
@@ -94,7 +95,10 @@ impl Mailbox {
 
     /// Blocks until a message arrives, decoding it.
     pub fn recv(&self) -> Result<Message, BusError> {
-        let bytes = self.rx.recv().map_err(|_| BusError::Disconnected(self.id))?;
+        let bytes = self
+            .rx
+            .recv()
+            .map_err(|_| BusError::Disconnected(self.id))?;
         Ok(decode_message(&bytes)?)
     }
 

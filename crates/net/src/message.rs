@@ -1,5 +1,6 @@
 //! The message envelope exchanged by FL participants.
 
+use fs_compress::CompressedBlock;
 use fs_tensor::model::Metrics;
 use fs_tensor::ParamMap;
 
@@ -54,7 +55,11 @@ impl MessageKind {
             MessageKind::MetricsReport => 6,
             MessageKind::Finish => 7,
             MessageKind::Custom(c) => {
-                assert!(c <= Self::MAX_CUSTOM, "custom message tag {c} exceeds {}", Self::MAX_CUSTOM);
+                assert!(
+                    c <= Self::MAX_CUSTOM,
+                    "custom message tag {c} exceeds {}",
+                    Self::MAX_CUSTOM
+                );
                 256 + c
             }
         }
@@ -108,6 +113,24 @@ pub enum Payload {
     },
     /// Opaque bytes for custom protocols (encrypted frames, HPO feedback, ...).
     Bytes(Vec<u8>),
+    /// A compressed model broadcast (quantized / sparsified / delta-encoded).
+    CompressedModel {
+        /// Encoded parameters; the receiver decompresses with `fs-compress`.
+        block: CompressedBlock,
+        /// Global model version, as in [`Payload::Model`].
+        version: u64,
+    },
+    /// A compressed client update.
+    CompressedUpdate {
+        /// Encoded parameters (possibly a delta against `block.ref_version`).
+        block: CompressedBlock,
+        /// Global model version the client started from.
+        start_version: u64,
+        /// Number of local training examples (FedAvg weighting).
+        n_samples: u64,
+        /// Number of local SGD steps actually taken (FedNova weighting).
+        n_steps: u64,
+    },
 }
 
 /// A message in flight between participants.
@@ -136,18 +159,27 @@ impl Message {
         round: u64,
         payload: Payload,
     ) -> Self {
-        Self { sender, receiver, kind, round, timestamp: 0.0, payload }
+        Self {
+            sender,
+            receiver,
+            kind,
+            round,
+            timestamp: 0.0,
+            payload,
+        }
     }
 
-    /// Approximate payload size in bytes, used by the device latency model.
+    /// Exact serialized payload size in bytes (tag byte + body), as produced
+    /// by the wire codec. The simulator's cost model charges this, so the
+    /// virtual clock reflects what actually crosses the network — compressed
+    /// payloads are charged their compressed size, not `4 × numel`.
     pub fn payload_bytes(&self) -> usize {
-        match &self.payload {
-            Payload::Empty => 16,
-            Payload::Model { params, .. } => 4 * params.numel() + 64,
-            Payload::Update { params, .. } => 4 * params.numel() + 64,
-            Payload::Report { .. } => 32,
-            Payload::Bytes(b) => b.len() + 16,
-        }
+        crate::wire::payload_wire_len(&self.payload)
+    }
+
+    /// Exact serialized size of the whole message (header + payload).
+    pub fn wire_bytes(&self) -> usize {
+        crate::wire::HEADER_LEN + self.payload_bytes()
     }
 }
 
@@ -180,12 +212,18 @@ mod tests {
     fn payload_bytes_scales_with_params() {
         let mut p = ParamMap::new();
         p.insert("w", Tensor::zeros(&[100]));
-        let m = Message::new(1, 0, MessageKind::Updates, 0, Payload::Update {
-            params: p,
-            start_version: 0,
-            n_samples: 10,
-            n_steps: 4,
-        });
+        let m = Message::new(
+            1,
+            0,
+            MessageKind::Updates,
+            0,
+            Payload::Update {
+                params: p,
+                start_version: 0,
+                n_samples: 10,
+                n_steps: 4,
+            },
+        );
         assert!(m.payload_bytes() >= 400);
         let e = Message::new(1, 0, MessageKind::JoinIn, 0, Payload::Empty);
         assert!(e.payload_bytes() < 64);

@@ -119,7 +119,9 @@ impl TcpHub {
     /// Binds `addr` without accepting yet (use with port 0 to learn the
     /// ephemeral port before clients connect).
     pub fn bind(addr: impl ToSocketAddrs) -> Result<PendingHub, TcpError> {
-        Ok(PendingHub { listener: TcpListener::bind(addr)? })
+        Ok(PendingHub {
+            listener: TcpListener::bind(addr)?,
+        })
     }
 
     /// Binds `addr` and accepts exactly `expected_clients` connections.
@@ -158,7 +160,11 @@ impl TcpHub {
                 }
             });
         }
-        Ok(TcpHub { streams, incoming, local_addr })
+        Ok(TcpHub {
+            streams,
+            incoming,
+            local_addr,
+        })
     }
 
     /// The bound address (useful with port 0).
@@ -183,14 +189,20 @@ impl TcpHub {
     /// Sends a message to its receiver's connection.
     pub fn send(&self, msg: &Message) -> Result<(), TcpError> {
         let mut streams = self.streams.lock().expect("streams lock");
-        let stream =
-            streams.get_mut(&msg.receiver).ok_or(TcpError::UnknownReceiver(msg.receiver))?;
+        let stream = streams
+            .get_mut(&msg.receiver)
+            .ok_or(TcpError::UnknownReceiver(msg.receiver))?;
         write_frame(stream, msg)
     }
 
     /// Ids of currently registered client connections.
     pub fn connected(&self) -> Vec<ParticipantId> {
-        self.streams.lock().expect("streams lock").keys().copied().collect()
+        self.streams
+            .lock()
+            .expect("streams lock")
+            .keys()
+            .copied()
+            .collect()
     }
 }
 
@@ -202,7 +214,9 @@ pub struct TcpPeer {
 impl TcpPeer {
     /// Connects to a hub.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpPeer, TcpError> {
-        Ok(TcpPeer { stream: TcpStream::connect(addr)? })
+        Ok(TcpPeer {
+            stream: TcpStream::connect(addr)?,
+        })
     }
 
     /// Sends one message.
@@ -237,12 +251,18 @@ mod tests {
         let mut client = TcpStream::connect(addr).unwrap();
         let mut p = ParamMap::new();
         p.insert("w", Tensor::from_vec(vec![3], vec![1.0, -2.0, 3.0]));
-        let msg = Message::new(4, SERVER_ID, MessageKind::Updates, 7, Payload::Update {
-            params: p,
-            start_version: 6,
-            n_samples: 11,
-            n_steps: 2,
-        });
+        let msg = Message::new(
+            4,
+            SERVER_ID,
+            MessageKind::Updates,
+            7,
+            Payload::Update {
+                params: p,
+                start_version: 6,
+                n_samples: 11,
+                n_steps: 2,
+            },
+        );
         write_frame(&mut client, &msg).unwrap();
         let got = h.join().unwrap();
         assert_eq!(got, msg);
@@ -269,8 +289,14 @@ mod tests {
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 2]);
         for id in [1u32, 2] {
-            hub.send(&Message::new(SERVER_ID, id, MessageKind::IdAssignment, 0, Payload::Empty))
-                .unwrap();
+            hub.send(&Message::new(
+                SERVER_ID,
+                id,
+                MessageKind::IdAssignment,
+                0,
+                Payload::Empty,
+            ))
+            .unwrap();
         }
         assert_eq!(hub.connected().len(), 2);
         for h in handles {

@@ -18,9 +18,14 @@
 
 use crate::message::{Message, MessageKind, Payload};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fs_compress::{put_block, take_block, BlockCodecError};
 use fs_tensor::model::Metrics;
 use fs_tensor::{ParamMap, Tensor};
 use std::fmt;
+
+/// Serialized size of the fixed message header
+/// (sender + receiver + kind + round + timestamp).
+pub const HEADER_LEN: usize = 4 + 4 + 2 + 8 + 8;
 
 /// Errors raised while decoding wire bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +38,9 @@ pub enum CodecError {
     BadTag(u16),
     /// A declared shape does not match the number of values present.
     BadShape,
+    /// A delta-encoded payload referenced a model version the receiver does
+    /// not hold.
+    MissingReference(u64),
 }
 
 impl fmt::Display for CodecError {
@@ -42,11 +50,47 @@ impl fmt::Display for CodecError {
             CodecError::BadName => write!(f, "parameter name is not valid UTF-8"),
             CodecError::BadTag(t) => write!(f, "unknown wire tag {t}"),
             CodecError::BadShape => write!(f, "shape/value-count mismatch"),
+            CodecError::MissingReference(v) => {
+                write!(f, "delta payload references unavailable model version {v}")
+            }
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+impl From<BlockCodecError> for CodecError {
+    fn from(e: BlockCodecError) -> Self {
+        match e {
+            BlockCodecError::Truncated => CodecError::Truncated,
+            BlockCodecError::BadName => CodecError::BadName,
+            BlockCodecError::BadTag(t) => CodecError::BadTag(t as u16),
+            BlockCodecError::BadShape => CodecError::BadShape,
+        }
+    }
+}
+
+/// Exact serialized size of a [`ParamMap`] in the neutral format.
+pub fn params_wire_len(params: &ParamMap) -> usize {
+    4 + params
+        .iter()
+        .map(|(name, t)| 2 + name.len() + 1 + 4 * t.shape().len() + 4 * t.numel())
+        .sum::<usize>()
+}
+
+/// Exact serialized size of a payload (tag byte + body), matching
+/// [`encode_message`] byte for byte.
+pub fn payload_wire_len(payload: &Payload) -> usize {
+    1 + match payload {
+        Payload::Empty => 0,
+        Payload::Model { params, .. } => 8 + params_wire_len(params),
+        Payload::Update { params, .. } => 24 + params_wire_len(params),
+        Payload::Report { .. } => 16,
+        Payload::Bytes(b) => 4 + b.len(),
+        Payload::CompressedModel { block, .. } => 8 + block.encoded_len(),
+        Payload::CompressedUpdate { block, .. } => 24 + block.encoded_len(),
+    }
+}
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
     if buf.remaining() < n {
@@ -134,7 +178,12 @@ pub fn encode_message(msg: &Message) -> Bytes {
             buf.put_u64_le(*version);
             put_params(&mut buf, params);
         }
-        Payload::Update { params, start_version, n_samples, n_steps } => {
+        Payload::Update {
+            params,
+            start_version,
+            n_samples,
+            n_steps,
+        } => {
             buf.put_u8(2);
             buf.put_u64_le(*start_version);
             buf.put_u64_le(*n_samples);
@@ -151,6 +200,23 @@ pub fn encode_message(msg: &Message) -> Bytes {
             buf.put_u8(4);
             buf.put_u32_le(b.len() as u32);
             buf.put_slice(b);
+        }
+        Payload::CompressedModel { block, version } => {
+            buf.put_u8(5);
+            buf.put_u64_le(*version);
+            put_block(&mut buf, block);
+        }
+        Payload::CompressedUpdate {
+            block,
+            start_version,
+            n_samples,
+            n_steps,
+        } => {
+            buf.put_u8(6);
+            buf.put_u64_le(*start_version);
+            buf.put_u64_le(*n_samples);
+            buf.put_u64_le(*n_steps);
+            put_block(&mut buf, block);
         }
     }
     buf.freeze()
@@ -180,14 +246,21 @@ pub fn decode_message(mut buf: &[u8]) -> Result<Message, CodecError> {
             let n_samples = buf.get_u64_le();
             let n_steps = buf.get_u64_le();
             let params = take_params(&mut buf)?;
-            Payload::Update { params, start_version, n_samples, n_steps }
+            Payload::Update {
+                params,
+                start_version,
+                n_samples,
+                n_steps,
+            }
         }
         3 => {
             need(&buf, 16)?;
             let loss = buf.get_f32_le();
             let accuracy = buf.get_f32_le();
             let n = buf.get_u64_le() as usize;
-            Payload::Report { metrics: Metrics { loss, accuracy, n } }
+            Payload::Report {
+                metrics: Metrics { loss, accuracy, n },
+            }
         }
         4 => {
             need(&buf, 4)?;
@@ -197,18 +270,75 @@ pub fn decode_message(mut buf: &[u8]) -> Result<Message, CodecError> {
             buf.advance(len);
             Payload::Bytes(b)
         }
+        5 => {
+            need(&buf, 8)?;
+            let version = buf.get_u64_le();
+            let block = take_block(&mut buf)?;
+            Payload::CompressedModel { block, version }
+        }
+        6 => {
+            need(&buf, 24)?;
+            let start_version = buf.get_u64_le();
+            let n_samples = buf.get_u64_le();
+            let n_steps = buf.get_u64_le();
+            let block = take_block(&mut buf)?;
+            Payload::CompressedUpdate {
+                block,
+                start_version,
+                n_samples,
+                n_steps,
+            }
+        }
         t => return Err(CodecError::BadTag(t as u16)),
     };
-    Ok(Message { sender, receiver, kind, round, timestamp, payload })
+    Ok(Message {
+        sender,
+        receiver,
+        kind,
+        round,
+        timestamp,
+        payload,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fs_compress::{CompressedBlock, CompressedTensor, Encoding};
+
+    fn sample_block() -> CompressedBlock {
+        CompressedBlock {
+            delta: true,
+            ref_version: 11,
+            tensors: vec![
+                CompressedTensor {
+                    name: "w".into(),
+                    shape: vec![2, 2],
+                    encoding: Encoding::Quantized {
+                        bits: 8,
+                        min: -1.0,
+                        max: 1.0,
+                        packed: vec![0, 128, 255, 64],
+                    },
+                },
+                CompressedTensor {
+                    name: "b".into(),
+                    shape: vec![4],
+                    encoding: Encoding::Sparse {
+                        indices: vec![1, 3],
+                        values: vec![0.5, -0.25],
+                    },
+                },
+            ],
+        }
+    }
 
     fn sample_params() -> ParamMap {
         let mut p = ParamMap::new();
-        p.insert("fc.weight", Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 3.5, 0.0, 4.25, -1.5]));
+        p.insert(
+            "fc.weight",
+            Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 3.5, 0.0, 4.25, -1.5]),
+        );
         p.insert("fc.bias", Tensor::from_vec(vec![3], vec![0.1, 0.2, 0.3]));
         p
     }
@@ -240,15 +370,34 @@ mod tests {
     fn message_roundtrip_all_payloads() {
         let payloads = vec![
             Payload::Empty,
-            Payload::Model { params: sample_params(), version: 9 },
+            Payload::Model {
+                params: sample_params(),
+                version: 9,
+            },
             Payload::Update {
                 params: sample_params(),
                 start_version: 7,
                 n_samples: 123,
                 n_steps: 4,
             },
-            Payload::Report { metrics: Metrics { loss: 0.5, accuracy: 0.9, n: 42 } },
+            Payload::Report {
+                metrics: Metrics {
+                    loss: 0.5,
+                    accuracy: 0.9,
+                    n: 42,
+                },
+            },
             Payload::Bytes(vec![1, 2, 3, 4, 5]),
+            Payload::CompressedModel {
+                block: sample_block(),
+                version: 9,
+            },
+            Payload::CompressedUpdate {
+                block: sample_block(),
+                start_version: 7,
+                n_samples: 123,
+                n_steps: 4,
+            },
         ];
         for payload in payloads {
             let mut m = Message::new(3, 0, MessageKind::Updates, 5, payload);
@@ -256,6 +405,33 @@ mod tests {
             let bytes = encode_message(&m);
             let d = decode_message(&bytes).unwrap();
             assert_eq!(m, d);
+            // payload_bytes must be the exact serialized size, not an estimate
+            assert_eq!(bytes.len(), HEADER_LEN + m.payload_bytes());
+            assert_eq!(bytes.len(), m.wire_bytes());
+        }
+    }
+
+    #[test]
+    fn truncated_compressed_payload_rejected() {
+        let m = Message::new(
+            1,
+            0,
+            MessageKind::Updates,
+            2,
+            Payload::CompressedUpdate {
+                block: sample_block(),
+                start_version: 1,
+                n_samples: 8,
+                n_steps: 2,
+            },
+        );
+        let bytes = encode_message(&m);
+        for cut in [HEADER_LEN + 1, HEADER_LEN + 25, bytes.len() - 1] {
+            assert_eq!(
+                decode_message(&bytes[..cut]),
+                Err(CodecError::Truncated),
+                "cut={cut}"
+            );
         }
     }
 

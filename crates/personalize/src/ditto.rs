@@ -42,7 +42,10 @@ impl DittoTrainer {
     ) -> Self {
         let personal = model.clone_model();
         let opt_global = Sgd::new(cfg.sgd);
-        let personal_cfg = SgdConfig { prox_mu: lambda, ..cfg.sgd };
+        let personal_cfg = SgdConfig {
+            prox_mu: lambda,
+            ..cfg.sgd
+        };
         let opt_personal = Sgd::new(personal_cfg);
         Self {
             global_track: model,
@@ -144,7 +147,10 @@ impl Trainer for DittoTrainer {
     fn set_sgd_config(&mut self, cfg: SgdConfig) {
         self.cfg.sgd = cfg;
         self.opt_global.set_config(cfg);
-        self.opt_personal.set_config(SgdConfig { prox_mu: self.lambda, ..cfg });
+        self.opt_personal.set_config(SgdConfig {
+            prox_mu: self.lambda,
+            ..cfg
+        });
     }
 }
 
@@ -156,13 +162,21 @@ mod tests {
     use fs_tensor::model::logistic_regression;
 
     fn setup() -> DittoTrainer {
-        let d = twitter_like(&TwitterConfig { num_clients: 2, per_client: 30, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 2,
+            per_client: 30,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(0);
         let model = logistic_regression(d.input_dim(), 2, &mut rng);
         DittoTrainer::new(
             Box::new(model),
             d.clients[0].clone(),
-            TrainConfig { local_steps: 6, batch_size: 4, sgd: SgdConfig::with_lr(0.5) },
+            TrainConfig {
+                local_steps: 6,
+                batch_size: 4,
+                sgd: SgdConfig::with_lr(0.5),
+            },
             0.5,
             share_all(),
             3,
@@ -191,13 +205,21 @@ mod tests {
 
     #[test]
     fn personal_model_stays_near_global_with_large_lambda() {
-        let d = twitter_like(&TwitterConfig { num_clients: 1, per_client: 30, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 1,
+            per_client: 30,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(0);
         let model = logistic_regression(d.input_dim(), 2, &mut rng);
         let mut strong = DittoTrainer::new(
             model.clone_model(),
             d.clients[0].clone(),
-            TrainConfig { local_steps: 10, batch_size: 4, sgd: SgdConfig::with_lr(0.1) },
+            TrainConfig {
+                local_steps: 10,
+                batch_size: 4,
+                sgd: SgdConfig::with_lr(0.1),
+            },
             2.0,
             share_all(),
             3,
@@ -205,7 +227,11 @@ mod tests {
         let mut weak = DittoTrainer::new(
             Box::new(model),
             d.clients[0].clone(),
-            TrainConfig { local_steps: 10, batch_size: 4, sgd: SgdConfig::with_lr(0.1) },
+            TrainConfig {
+                local_steps: 10,
+                batch_size: 4,
+                sgd: SgdConfig::with_lr(0.1),
+            },
             0.0,
             share_all(),
             3,

@@ -57,7 +57,12 @@ mod tests {
         .share_filter(fedbn_share_filter())
         .build();
         // the global model must not contain any bn keys
-        assert!(runner.server.state.global.names().all(|n| !n.starts_with("bn")));
+        assert!(runner
+            .server
+            .state
+            .global
+            .names()
+            .all(|n| !n.starts_with("bn")));
         let report = runner.run();
         assert_eq!(report.rounds, 3);
         // every client reported final metrics from its personalized model

@@ -32,9 +32,15 @@ pub struct MixtureModel {
 impl MixtureModel {
     /// Builds a mixture from component models (weights start uniform).
     pub fn new(components: Vec<Box<dyn Model>>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         let k = components.len();
-        Self { components, weights: vec![1.0 / k as f32; k] }
+        Self {
+            components,
+            weights: vec![1.0 / k as f32; k],
+        }
     }
 
     /// Number of components.
@@ -48,7 +54,10 @@ impl MixtureModel {
 
     /// Per-component mean losses on a batch (no gradients).
     pub fn component_losses(&mut self, x: &Tensor, y: &Target) -> Vec<f32> {
-        self.components.iter_mut().map(|c| c.evaluate(x, y).loss).collect()
+        self.components
+            .iter_mut()
+            .map(|c| c.evaluate(x, y).loss)
+            .collect()
     }
 
     /// Posterior responsibilities `gamma_k ∝ pi_k * exp(-n * loss_k)`:
@@ -173,7 +182,15 @@ impl FedEmTrainer {
         seed: u64,
     ) -> Self {
         let opt = Sgd::new(cfg.sgd);
-        Self { mixture, data, cfg, pi_momentum: 0.5, share, opt, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            mixture,
+            data,
+            cfg,
+            pi_momentum: 0.5,
+            share,
+            opt,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The client's private mixture weights.
@@ -193,7 +210,9 @@ impl Trainer for FedEmTrainer {
         self.incorporate(global);
         // E-step on the full training split: update private pi
         if !self.data.train.is_empty() {
-            let gamma = self.mixture.responsibilities(&self.data.train.x, &self.data.train.y);
+            let gamma = self
+                .mixture
+                .responsibilities(&self.data.train.x, &self.data.train.y);
             let m = self.pi_momentum;
             for (w, g) in self.mixture.weights.iter_mut().zip(&gamma) {
                 *w = m * *w + (1.0 - m) * g;
@@ -205,7 +224,10 @@ impl Trainer for FedEmTrainer {
         }
         // M-step: responsibility-weighted SGD on all components
         for _ in 0..self.cfg.local_steps {
-            let b = self.data.train.sample_batch(self.cfg.batch_size, &mut self.rng);
+            let b = self
+                .data
+                .train
+                .sample_batch(self.cfg.batch_size, &mut self.rng);
             if b.is_empty() {
                 break;
             }
@@ -287,7 +309,11 @@ mod tests {
 
     #[test]
     fn responsibilities_sum_to_one_and_favour_better_component() {
-        let d = twitter_like(&TwitterConfig { num_clients: 1, per_client: 30, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 1,
+            per_client: 30,
+            ..Default::default()
+        });
         let mut m = mixture(2, d.input_dim());
         // train component 0 on this client's data so it clearly wins
         let train = &d.clients[0].train;
@@ -304,12 +330,20 @@ mod tests {
 
     #[test]
     fn trainer_adapts_pi_toward_better_component() {
-        let d = twitter_like(&TwitterConfig { num_clients: 1, per_client: 40, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 1,
+            per_client: 40,
+            ..Default::default()
+        });
         let m = mixture(2, d.input_dim());
         let mut t = FedEmTrainer::new(
             m,
             d.clients[0].clone(),
-            TrainConfig { local_steps: 6, batch_size: 8, sgd: SgdConfig::with_lr(0.5) },
+            TrainConfig {
+                local_steps: 6,
+                batch_size: 8,
+                sgd: SgdConfig::with_lr(0.5),
+            },
             share_all(),
             11,
         );
@@ -337,7 +371,8 @@ mod tests {
         let mut data = twitter_like(&TwitterConfig {
             num_clients: 8,
             per_client: 40,
-            seed: 31,
+            words_per_text: 24,
+            seed: 7,
             ..Default::default()
         });
         // flip labels for the second half of the clients (cluster B)
@@ -361,16 +396,19 @@ mod tests {
             ..Default::default()
         };
         let mean_acc = |runner: &fs_core::StandaloneRunner| -> f32 {
-            let accs: Vec<f32> =
-                runner.server.state.client_reports.values().map(|m| m.accuracy).collect();
+            let accs: Vec<f32> = runner
+                .server
+                .state
+                .client_reports
+                .values()
+                .map(|m| m.accuracy)
+                .collect();
             accs.iter().sum::<f32>() / accs.len() as f32
         };
         // single shared model (FedAvg)
         let mut fedavg = CourseBuilder::new(
             data.clone(),
-            Box::new(move |rng| {
-                Box::new(logistic_regression(dim, 2, rng)) as Box<dyn Model>
-            }),
+            Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng)) as Box<dyn Model>),
             cfg.clone(),
         )
         .no_central_eval()
@@ -417,7 +455,11 @@ mod tests {
 
     #[test]
     fn mixture_predict_is_valid_distribution() {
-        let d = twitter_like(&TwitterConfig { num_clients: 1, per_client: 10, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 1,
+            per_client: 10,
+            ..Default::default()
+        });
         let mut m = mixture(3, d.input_dim());
         let x = &d.clients[0].train.x;
         let logp = m.predict(x);

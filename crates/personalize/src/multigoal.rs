@@ -26,7 +26,11 @@ pub fn encoder_share_filter() -> ShareFilter {
 /// Builds a multi-goal FL course over the synthetic graph tasks: each client
 /// gets a [`Gcn`] whose head matches its own goal (classification or
 /// regression), and only the encoder is federated.
-pub fn multi_goal_course(graph_cfg: &GraphConfig, data: FedDataset, cfg: FlConfig) -> StandaloneRunner {
+pub fn multi_goal_course(
+    graph_cfg: &GraphConfig,
+    data: FedDataset,
+    cfg: FlConfig,
+) -> StandaloneRunner {
     assert_eq!(
         data.num_clients(),
         graph_cfg.tasks.len(),
@@ -41,7 +45,14 @@ pub fn multi_goal_course(graph_cfg: &GraphConfig, data: FedDataset, cfg: FlConfi
         // the template (defines the shared global init) is a classifier; only
         // its gconv keys matter because of the share filter
         Box::new(move |rng| {
-            Box::new(Gcn::new(nodes, feats, hidden, 2, LossKind::SoftmaxCrossEntropy, rng))
+            Box::new(Gcn::new(
+                nodes,
+                feats,
+                hidden,
+                2,
+                LossKind::SoftmaxCrossEntropy,
+                rng,
+            ))
         }),
         cfg,
     )
@@ -131,7 +142,11 @@ mod tests {
         // should reach a lower or equal validation loss on classification
         let gcfg = GraphConfig {
             per_client: 40,
-            tasks: vec![GraphTask::Classification, GraphTask::Classification, GraphTask::Regression],
+            tasks: vec![
+                GraphTask::Classification,
+                GraphTask::Classification,
+                GraphTask::Regression,
+            ],
             ..Default::default()
         };
         let data = graph_multitask(&gcfg);

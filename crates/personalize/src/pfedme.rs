@@ -47,7 +47,10 @@ impl PFedMeTrainer {
         seed: u64,
     ) -> Self {
         let w = model.get_params();
-        let inner_cfg = SgdConfig { prox_mu: lambda, ..cfg.sgd };
+        let inner_cfg = SgdConfig {
+            prox_mu: lambda,
+            ..cfg.sgd
+        };
         Self {
             personal: model,
             w,
@@ -87,7 +90,10 @@ impl Trainer for PFedMeTrainer {
             // inner: approximately solve argmin f(theta) + lambda/2 ||theta-w||^2
             let anchor = self.w.clone();
             for _ in 0..self.k_inner {
-                let b = self.data.train.sample_batch(self.cfg.batch_size, &mut self.rng);
+                let b = self
+                    .data
+                    .train
+                    .sample_batch(self.cfg.batch_size, &mut self.rng);
                 if b.is_empty() {
                     break;
                 }
@@ -132,7 +138,10 @@ impl Trainer for PFedMeTrainer {
 
     fn set_sgd_config(&mut self, cfg: SgdConfig) {
         self.cfg.sgd = cfg;
-        self.inner_opt.set_config(SgdConfig { prox_mu: self.lambda, ..cfg });
+        self.inner_opt.set_config(SgdConfig {
+            prox_mu: self.lambda,
+            ..cfg
+        });
     }
 }
 
@@ -144,13 +153,21 @@ mod tests {
     use fs_tensor::model::logistic_regression;
 
     fn setup(lambda: f32) -> PFedMeTrainer {
-        let d = twitter_like(&TwitterConfig { num_clients: 1, per_client: 30, ..Default::default() });
+        let d = twitter_like(&TwitterConfig {
+            num_clients: 1,
+            per_client: 30,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(0);
         let model = logistic_regression(d.input_dim(), 2, &mut rng);
         PFedMeTrainer::new(
             Box::new(model),
             d.clients[0].clone(),
-            TrainConfig { local_steps: 3, batch_size: 4, sgd: SgdConfig::with_lr(0.3) },
+            TrainConfig {
+                local_steps: 3,
+                batch_size: 4,
+                sgd: SgdConfig::with_lr(0.3),
+            },
             lambda,
             1.0,
             5,

@@ -167,7 +167,11 @@ impl BigUint {
     /// Left shift by `n` bits.
     pub fn shl(&self, n: usize) -> BigUint {
         if self.is_zero() || n == 0 {
-            return if n == 0 { self.clone() } else { BigUint::zero() };
+            return if n == 0 {
+                self.clone()
+            } else {
+                BigUint::zero()
+            };
         }
         let (limb_shift, bit_shift) = (n / 64, n % 64);
         let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
@@ -339,7 +343,9 @@ impl BigUint {
             return false;
         }
         // trial division by small primes
-        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67] {
+        for p in [
+            3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+        ] {
             let pb = BigUint::from_u64(p);
             if self == &pb {
                 return true;
@@ -447,7 +453,10 @@ mod tests {
         assert_eq!(sum.sub(&BigUint::one()), max);
         let sq = max.mul(&max);
         // (2^64-1)^2 = 2^128 - 2^65 + 1
-        assert_eq!(sq.add(&max.shl(1)), BigUint::one().shl(128).sub(&BigUint::one()));
+        assert_eq!(
+            sq.add(&max.shl(1)),
+            BigUint::one().shl(128).sub(&BigUint::one())
+        );
     }
 
     #[test]

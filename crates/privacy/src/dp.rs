@@ -111,7 +111,11 @@ impl PrivacyAccountant {
             return Some((0.0, 0.0));
         }
         let (e0, d0) = self.events[0];
-        if !self.events.iter().all(|&(e, d)| (e - e0).abs() < 1e-12 && (d - d0).abs() < 1e-12) {
+        if !self
+            .events
+            .iter()
+            .all(|&(e, d)| (e - e0).abs() < 1e-12 && (d - d0).abs() < 1e-12)
+        {
             return None; // heterogeneous events: use basic composition
         }
         let k = self.events.len() as f64;
@@ -138,7 +142,10 @@ mod tests {
     fn gaussian_clips_then_noises() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut p = params(&[30.0, 40.0]); // norm 50
-        let cfg = DpConfig { clip_norm: 1.0, sigma: 0.0 };
+        let cfg = DpConfig {
+            clip_norm: 1.0,
+            sigma: 0.0,
+        };
         let scale = gaussian_mechanism(&mut p, &cfg, &mut rng);
         assert!((scale - 0.02).abs() < 1e-6);
         assert!((p.norm() - 1.0).abs() < 1e-5);
@@ -148,7 +155,10 @@ mod tests {
     fn gaussian_noise_has_expected_scale() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut p = params(&vec![0.0; 20_000]);
-        let cfg = DpConfig { clip_norm: 1.0, sigma: 0.5 };
+        let cfg = DpConfig {
+            clip_norm: 1.0,
+            sigma: 0.5,
+        };
         gaussian_mechanism(&mut p, &cfg, &mut rng);
         let t = p.get("w").unwrap();
         let std = (t.data().iter().map(|v| v * v).sum::<f32>() / t.numel() as f32).sqrt();

@@ -50,8 +50,15 @@ pub fn keygen(bits: usize, rng: &mut impl Rng) -> (PublicKey, PrivateKey) {
             continue;
         };
         let n_squared = n.mul(&n);
-        let public = PublicKey { n: n.clone(), n_squared };
-        let private = PrivateKey { lambda, mu, public: public.clone() };
+        let public = PublicKey {
+            n: n.clone(),
+            n_squared,
+        };
+        let private = PrivateKey {
+            lambda,
+            mu,
+            public: public.clone(),
+        };
         return (public, private);
     }
 }

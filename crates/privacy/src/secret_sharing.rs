@@ -78,7 +78,9 @@ pub fn secure_aggregate(client_params: &[ParamMap], rng: &mut impl Rng) -> Param
         // per-peer accumulated shares (what peer j would hold)
         let mut peer_sums = vec![vec![0u64; len]; n];
         for cp in client_params {
-            let t = cp.get(name).unwrap_or_else(|| panic!("client missing key {name}"));
+            let t = cp
+                .get(name)
+                .unwrap_or_else(|| panic!("client missing key {name}"));
             let shares = share(t.data(), n, rng);
             for (peer, sh) in peer_sums.iter_mut().zip(&shares) {
                 for (a, b) in peer.iter_mut().zip(sh) {
@@ -144,7 +146,10 @@ mod tests {
                 zero_hits += 1;
             }
         }
-        assert!(zero_hits < 10, "shares cluster around the secret: {zero_hits}");
+        assert!(
+            zero_hits < 10,
+            "shares cluster around the secret: {zero_hits}"
+        );
     }
 
     #[test]

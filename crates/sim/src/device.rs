@@ -158,7 +158,11 @@ impl Fleet {
 
     /// Number of distinct responsiveness groups present.
     pub fn num_groups(&self) -> usize {
-        self.profiles.iter().map(|p| p.group).max().map_or(0, |g| g + 1)
+        self.profiles
+            .iter()
+            .map(|p| p.group)
+            .max()
+            .map_or(0, |g| g + 1)
     }
 
     /// Mean response speed (1 / expected latency) of each client, used by the
@@ -177,7 +181,12 @@ mod tests {
 
     #[test]
     fn latency_decomposition() {
-        let p = DeviceProfile { compute_speed: 10.0, bandwidth: 1000.0, crash_prob: 0.0, group: 0 };
+        let p = DeviceProfile {
+            compute_speed: 10.0,
+            bandwidth: 1000.0,
+            crash_prob: 0.0,
+            group: 0,
+        };
         assert!((p.compute_secs(20) - 2.0).abs() < 1e-9);
         assert!((p.comm_secs(500) - 0.5).abs() < 1e-9);
         assert!((p.round_secs(20, 500) - 3.0).abs() < 1e-9);
@@ -185,7 +194,10 @@ mod tests {
 
     #[test]
     fn fleet_deterministic_and_heterogeneous() {
-        let cfg = FleetConfig { num_clients: 50, ..Default::default() };
+        let cfg = FleetConfig {
+            num_clients: 50,
+            ..Default::default()
+        };
         let a = Fleet::generate(&cfg);
         let b = Fleet::generate(&cfg);
         assert_eq!(a.len(), 50);
@@ -200,7 +212,11 @@ mod tests {
 
     #[test]
     fn groups_partition_fleet_by_speed() {
-        let cfg = FleetConfig { num_clients: 40, num_groups: 4, ..Default::default() };
+        let cfg = FleetConfig {
+            num_clients: 40,
+            num_groups: 4,
+            ..Default::default()
+        };
         let f = Fleet::generate(&cfg);
         let total: usize = (0..4).map(|g| f.group_members(g).len()).sum();
         assert_eq!(total, 40);
@@ -208,16 +224,34 @@ mod tests {
         // group 0 should be faster on average than group 3
         let avg = |g: usize| {
             let m = f.group_members(g);
-            m.iter().map(|&c| f.profile(c).round_secs(100, 100_000)).sum::<f64>() / m.len() as f64
+            m.iter()
+                .map(|&c| f.profile(c).round_secs(100, 100_000))
+                .sum::<f64>()
+                / m.len() as f64
         };
-        assert!(avg(0) < avg(3), "group 0 {} not faster than group 3 {}", avg(0), avg(3));
+        assert!(
+            avg(0) < avg(3),
+            "group 0 {} not faster than group 3 {}",
+            avg(0),
+            avg(3)
+        );
     }
 
     #[test]
     fn crash_probability_extremes() {
         let mut profiles = vec![
-            DeviceProfile { compute_speed: 1.0, bandwidth: 1.0, crash_prob: 0.0, group: 0 },
-            DeviceProfile { compute_speed: 1.0, bandwidth: 1.0, crash_prob: 1.0, group: 0 },
+            DeviceProfile {
+                compute_speed: 1.0,
+                bandwidth: 1.0,
+                crash_prob: 0.0,
+                group: 0,
+            },
+            DeviceProfile {
+                compute_speed: 1.0,
+                bandwidth: 1.0,
+                crash_prob: 1.0,
+                group: 0,
+            },
         ];
         profiles[0].group = 0;
         let f = Fleet::from_profiles(profiles);
@@ -229,8 +263,18 @@ mod tests {
     #[test]
     fn response_speeds_order_matches_latency() {
         let f = Fleet::from_profiles(vec![
-            DeviceProfile { compute_speed: 100.0, bandwidth: 1e6, crash_prob: 0.0, group: 0 },
-            DeviceProfile { compute_speed: 1.0, bandwidth: 1e3, crash_prob: 0.0, group: 1 },
+            DeviceProfile {
+                compute_speed: 100.0,
+                bandwidth: 1e6,
+                crash_prob: 0.0,
+                group: 0,
+            },
+            DeviceProfile {
+                compute_speed: 1.0,
+                bandwidth: 1e3,
+                crash_prob: 0.0,
+                group: 1,
+            },
         ]);
         let s = f.response_speeds(100, 10_000);
         assert!(s[0] > s[1]);

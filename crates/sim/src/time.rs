@@ -20,7 +20,10 @@ impl VirtualTime {
     /// # Panics
     /// Panics if `secs` is not finite or is negative.
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid virtual time {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid virtual time {secs}"
+        );
         VirtualTime(secs)
     }
 
@@ -40,7 +43,9 @@ impl Eq for VirtualTime {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for VirtualTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("virtual times are finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("virtual times are finite")
     }
 }
 

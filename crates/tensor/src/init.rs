@@ -17,7 +17,12 @@ pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Ten
 }
 
 /// Xavier/Glorot-uniform initialization: `U(-a, a)`, `a = sqrt(6/(fan_in+fan_out))`.
-pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
     let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
     let dist = Uniform::new_inclusive(-a, a);
     let numel: usize = shape.iter().product();

@@ -109,7 +109,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.x_cache.take().expect("Linear::backward without forward(train)");
+        let x = self
+            .x_cache
+            .take()
+            .expect("Linear::backward without forward(train)");
         // gw += grad_out^T x ; gb += column sums ; grad_in = grad_out W
         let gw = grad_out.t().matmul(&x);
         self.gw.add_scaled(1.0, &gw);
@@ -181,7 +184,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.take().expect("Relu::backward without forward(train)");
+        let mask = self
+            .mask
+            .take()
+            .expect("Relu::backward without forward(train)");
         let data = grad_out
             .data()
             .iter()
@@ -219,7 +225,10 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.out.take().expect("Tanh::backward without forward(train)");
+        let y = self
+            .out
+            .take()
+            .expect("Tanh::backward without forward(train)");
         // d tanh = 1 - tanh^2
         let data = grad_out
             .data()
@@ -258,7 +267,10 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.out.take().expect("Sigmoid::backward without forward(train)");
+        let y = self
+            .out
+            .take()
+            .expect("Sigmoid::backward without forward(train)");
         let data = grad_out
             .data()
             .iter()
@@ -316,8 +328,10 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let in_shape =
-            self.in_shape.take().expect("AvgPool2d::backward without forward(train)");
+        let in_shape = self
+            .in_shape
+            .take()
+            .expect("AvgPool2d::backward without forward(train)");
         let (b, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
         let (oh, ow) = (h / 2, w / 2);
         let gd = grad_out.data();
@@ -369,7 +383,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.in_shape.take().expect("Flatten::backward without forward(train)");
+        let shape = self
+            .in_shape
+            .take()
+            .expect("Flatten::backward without forward(train)");
         grad_out.reshape(&shape)
     }
 
@@ -393,7 +410,11 @@ impl Dropout {
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
-        Self { p, rng: StdRng::seed_from_u64(seed), mask: None }
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
     }
 }
 
@@ -404,7 +425,13 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let mask: Vec<f32> = (0..x.numel())
-            .map(|_| if self.rng.gen::<f32>() < self.p { 0.0 } else { 1.0 / keep })
+            .map(|_| {
+                if self.rng.gen::<f32>() < self.p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
             .collect();
         let data = x.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
         self.mask = Some(mask);
@@ -414,7 +441,12 @@ impl Layer for Dropout {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         match self.mask.take() {
             Some(mask) => {
-                let data = grad_out.data().iter().zip(&mask).map(|(&g, &m)| g * m).collect();
+                let data = grad_out
+                    .data()
+                    .iter()
+                    .zip(&mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
                 Tensor::from_vec(grad_out.shape().to_vec(), data)
             }
             None => grad_out.clone(),
@@ -422,7 +454,11 @@ impl Layer for Dropout {
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(Dropout { p: self.p, rng: self.rng.clone(), mask: None })
+        Box::new(Dropout {
+            p: self.p,
+            rng: self.rng.clone(),
+            mask: None,
+        })
     }
 }
 
@@ -522,8 +558,10 @@ impl Layer for BatchNorm1d {
 
     #[allow(clippy::needless_range_loop)]
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let BnCache { x_hat, inv_std } =
-            self.cache.take().expect("BatchNorm1d::backward without forward(train)");
+        let BnCache { x_hat, inv_std } = self
+            .cache
+            .take()
+            .expect("BatchNorm1d::backward without forward(train)");
         let (b, d) = (grad_out.rows(), grad_out.cols());
         let bf = b as f32;
         let mut grad_in = Tensor::zeros(&[b, d]);
@@ -677,8 +715,8 @@ impl Conv2d {
                                 let ix = ox as isize + kx as isize - pad;
                                 let dst = row + (ci * kk + ky) * kk + kx;
                                 if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                    cols[dst] = xd
-                                        [((bi * c + ci) * h + iy as usize) * w + ix as usize];
+                                    cols[dst] =
+                                        xd[((bi * c + ci) * h + iy as usize) * w + ix as usize];
                                 }
                             }
                         }
@@ -714,8 +752,7 @@ impl Conv2d {
                                     continue;
                                 }
                                 let src = row + (ci * kk + ky) * kk + kx;
-                                out[((bi * c + ci) * h + iy as usize) * w + ix as usize] +=
-                                    gd[src];
+                                out[((bi * c + ci) * h + iy as usize) * w + ix as usize] += gd[src];
                             }
                         }
                     }
@@ -741,7 +778,10 @@ impl Layer for Conv2d {
             }
         }
         if train {
-            self.cache = Some(ConvCache { cols, in_shape: x.shape().to_vec() });
+            self.cache = Some(ConvCache {
+                cols,
+                in_shape: x.shape().to_vec(),
+            });
         }
         // reorder [B*OH*OW, OC] -> [B, OC, OH, OW]
         let mut out = vec![0.0f32; b * self.out_ch * oh * ow];
@@ -759,8 +799,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let ConvCache { cols, in_shape } =
-            self.cache.take().expect("Conv2d::backward without forward(train)");
+        let ConvCache { cols, in_shape } = self
+            .cache
+            .take()
+            .expect("Conv2d::backward without forward(train)");
         let (b, oc, oh, ow) = (
             grad_out.shape()[0],
             grad_out.shape()[1],
@@ -887,8 +929,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (arg, in_shape) =
-            self.argmax.take().expect("MaxPool2d::backward without forward(train)");
+        let (arg, in_shape) = self
+            .argmax
+            .take()
+            .expect("MaxPool2d::backward without forward(train)");
         let mut grad_in = vec![0.0f32; in_shape.iter().product()];
         for (g, &idx) in grad_out.data().iter().zip(&arg) {
             grad_in[idx] += g;
@@ -1051,10 +1095,7 @@ mod tests {
 
     #[test]
     fn maxpool_forward_and_routing() {
-        let x = Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 5.0, 3.0, 2.0],
-        );
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
         let mut p = MaxPool2d::new();
         let y = p.forward(&x, true);
         assert_eq!(y.data(), &[5.0]);
@@ -1133,6 +1174,9 @@ mod tests {
     fn buffer_keys_report_bn_stats() {
         let mut net = Sequential::new();
         net.push("bn1", Box::new(BatchNorm1d::new(3)));
-        assert_eq!(net.buffer_keys(), vec!["bn1.running_mean", "bn1.running_var"]);
+        assert_eq!(
+            net.buffer_keys(),
+            vec!["bn1.running_mean", "bn1.running_var"]
+        );
     }
 }

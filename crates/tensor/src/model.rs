@@ -6,7 +6,9 @@
 //! CNN ("ConvNet2", FEMNIST / CIFAR-10), an MLP with batch-norm (the FedBN
 //! workhorse), and a dense GCN for the multi-goal graph scenarios (§3.4.2).
 
-use crate::layer::{BatchNorm1d, Conv2d, Dropout, Flatten, Layer, Linear, MaxPool2d, Relu, Sequential};
+use crate::layer::{
+    BatchNorm1d, Conv2d, Dropout, Flatten, Layer, Linear, MaxPool2d, Relu, Sequential,
+};
 use crate::loss::{accuracy, mse, softmax_cross_entropy, LossKind, Target};
 use crate::{init, ParamMap, Tensor};
 use rand::Rng;
@@ -64,11 +66,19 @@ pub trait Model: Send {
         match y {
             Target::Classes(c) => {
                 let (loss, _) = softmax_cross_entropy(&logits, c);
-                Metrics { loss, accuracy: accuracy(&logits, c), n: c.len() }
+                Metrics {
+                    loss,
+                    accuracy: accuracy(&logits, c),
+                    n: c.len(),
+                }
             }
             Target::Values(v) => {
                 let (loss, _) = mse(&logits, v);
-                Metrics { loss, accuracy: 0.0, n: v.len() }
+                Metrics {
+                    loss,
+                    accuracy: 0.0,
+                    n: v.len(),
+                }
             }
         }
     }
@@ -138,7 +148,10 @@ impl Model for NetModel {
     }
 
     fn clone_model(&self) -> Box<dyn Model> {
-        Box::new(NetModel { net: self.net.clone_net(), loss: self.loss })
+        Box::new(NetModel {
+            net: self.net.clone_net(),
+            loss: self.loss,
+        })
     }
 }
 
@@ -156,7 +169,10 @@ pub fn mlp(dims: &[usize], rng: &mut impl Rng) -> NetModel {
     assert!(dims.len() >= 2, "mlp needs at least input and output dims");
     let mut net = Sequential::new();
     for (i, w) in dims.windows(2).enumerate() {
-        net.push(format!("fc{}", i + 1), Box::new(Linear::new(w[0], w[1], rng)));
+        net.push(
+            format!("fc{}", i + 1),
+            Box::new(Linear::new(w[0], w[1], rng)),
+        );
         if i + 2 < dims.len() {
             net.push(format!("act{}", i + 1), Box::new(Relu::new()));
         }
@@ -168,10 +184,16 @@ pub fn mlp(dims: &[usize], rng: &mut impl Rng) -> NetModel {
 ///
 /// FedBN keeps the `bn*.*` keys local; everything else is shared.
 pub fn mlp_bn(dims: &[usize], rng: &mut impl Rng) -> NetModel {
-    assert!(dims.len() >= 2, "mlp_bn needs at least input and output dims");
+    assert!(
+        dims.len() >= 2,
+        "mlp_bn needs at least input and output dims"
+    );
     let mut net = Sequential::new();
     for (i, w) in dims.windows(2).enumerate() {
-        net.push(format!("fc{}", i + 1), Box::new(Linear::new(w[0], w[1], rng)));
+        net.push(
+            format!("fc{}", i + 1),
+            Box::new(Linear::new(w[0], w[1], rng)),
+        );
         if i + 2 < dims.len() {
             net.push(format!("bn{}", i + 1), Box::new(BatchNorm1d::new(w[1])));
             net.push(format!("act{}", i + 1), Box::new(Relu::new()));
@@ -316,7 +338,7 @@ impl Gcn {
             let h1 = z1.map(|v| v.max(0.0));
             let ah1 = a.matmul(&h1); // [n, hidden]
             let h2 = ah1.matmul(&self.w2); // [n, hidden]
-            // mean readout over nodes -> [hidden]
+                                           // mean readout over nodes -> [hidden]
             let mut pooled = vec![0.0f32; self.hidden];
             for r in 0..self.n {
                 for c in 0..self.hidden {
@@ -388,7 +410,7 @@ impl Model for Gcn {
             ghw.add_scaled(1.0, &pooled.t().matmul(&go));
             ghb.add_scaled(1.0, &go.reshape(&[self.out]));
             let gp = go.matmul(&self.head_w.t()); // [1, hidden]
-            // mean readout: each node row gets gp / n
+                                                  // mean readout: each node row gets gp / n
             let mut gh2 = Tensor::zeros(&[self.n, self.hidden]);
             for r in 0..self.n {
                 for c in 0..self.hidden {
@@ -398,7 +420,7 @@ impl Model for Gcn {
             // h2 = ah1 * w2
             gw2.add_scaled(1.0, &ah1.t().matmul(&gh2));
             let gah1 = gh2.matmul(&self.w2.t()); // [n, hidden]
-            // ah1 = a * h1, a symmetric normalized (a^T = a)
+                                                 // ah1 = a * h1, a symmetric normalized (a^T = a)
             let gh1 = a.t().matmul(&gah1);
             // h1 = relu(z1)
             let gz1_data: Vec<f32> = gh1
@@ -593,8 +615,16 @@ mod tests {
 
     #[test]
     fn metrics_weighted_merge() {
-        let a = Metrics { loss: 1.0, accuracy: 0.5, n: 10 };
-        let b = Metrics { loss: 3.0, accuracy: 1.0, n: 30 };
+        let a = Metrics {
+            loss: 1.0,
+            accuracy: 0.5,
+            n: 10,
+        };
+        let b = Metrics {
+            loss: 3.0,
+            accuracy: 1.0,
+            n: 30,
+        };
         let m = Metrics::weighted_merge(&[a, b]);
         assert!((m.loss - 2.5).abs() < 1e-6);
         assert!((m.accuracy - 0.875).abs() < 1e-6);

@@ -27,14 +27,23 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self { lr: 0.1, momentum: 0.0, weight_decay: 0.0, prox_mu: 0.0, max_grad_norm: None }
+        Self {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            prox_mu: 0.0,
+            max_grad_norm: None,
+        }
     }
 }
 
 impl SgdConfig {
     /// Plain SGD with the given learning rate.
     pub fn with_lr(lr: f32) -> Self {
-        Self { lr, ..Self::default() }
+        Self {
+            lr,
+            ..Self::default()
+        }
     }
 }
 
@@ -48,7 +57,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an optimizer with the given configuration.
     pub fn new(cfg: SgdConfig) -> Self {
-        Self { cfg, velocity: None }
+        Self {
+            cfg,
+            velocity: None,
+        }
     }
 
     /// The active configuration.
@@ -168,12 +180,26 @@ impl ServerOpt {
 
     /// FedAdam with standard betas.
     pub fn adam(lr: f32) -> Self {
-        ServerOpt::Adam { lr, beta1: 0.9, beta2: 0.99, eps: 1e-3, m: None, v: None }
+        ServerOpt::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-3,
+            m: None,
+            v: None,
+        }
     }
 
     /// FedYogi with standard betas.
     pub fn yogi(lr: f32) -> Self {
-        ServerOpt::Yogi { lr, beta1: 0.9, beta2: 0.99, eps: 1e-3, m: None, v: None }
+        ServerOpt::Yogi {
+            lr,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-3,
+            m: None,
+            v: None,
+        }
     }
 
     /// Applies the aggregated client delta to the global model.
@@ -182,7 +208,14 @@ impl ServerOpt {
             ServerOpt::Sgd { lr } => {
                 global.add_scaled(*lr, delta);
             }
-            ServerOpt::Adam { lr, beta1, beta2, eps, m, v } => {
+            ServerOpt::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                m,
+                v,
+            } => {
                 let m = m.get_or_insert_with(|| delta.zeros_like());
                 let v = v.get_or_insert_with(|| delta.zeros_like());
                 for (k, d) in delta.iter() {
@@ -196,15 +229,20 @@ impl ServerOpt {
                 }
                 for (k, g) in global.iter_mut() {
                     if let (Some(mk), Some(vk)) = (m.get(k), v.get(k)) {
-                        for ((p, mm), vv) in
-                            g.data_mut().iter_mut().zip(mk.data()).zip(vk.data())
-                        {
+                        for ((p, mm), vv) in g.data_mut().iter_mut().zip(mk.data()).zip(vk.data()) {
                             *p += *lr * mm / (vv.sqrt() + *eps);
                         }
                     }
                 }
             }
-            ServerOpt::Yogi { lr, beta1, beta2, eps, m, v } => {
+            ServerOpt::Yogi {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                m,
+                v,
+            } => {
                 let m = m.get_or_insert_with(|| delta.zeros_like());
                 let v = v.get_or_insert_with(|| delta.zeros_like());
                 for (k, d) in delta.iter() {
@@ -219,9 +257,7 @@ impl ServerOpt {
                 }
                 for (k, g) in global.iter_mut() {
                     if let (Some(mk), Some(vk)) = (m.get(k), v.get(k)) {
-                        for ((p, mm), vv) in
-                            g.data_mut().iter_mut().zip(mk.data()).zip(vk.data())
-                        {
+                        for ((p, mm), vv) in g.data_mut().iter_mut().zip(mk.data()).zip(vk.data()) {
                             *p += *lr * mm / (vv.abs().sqrt() + *eps);
                         }
                     }
@@ -253,7 +289,11 @@ mod tests {
 
     #[test]
     fn momentum_accumulates() {
-        let mut opt = Sgd::new(SgdConfig { lr: 1.0, momentum: 0.5, ..Default::default() });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 1.0,
+            momentum: 0.5,
+            ..Default::default()
+        });
         let mut params = p(&[0.0]);
         let grads = p(&[1.0]);
         opt.step(&mut params, &grads, None); // v=1, p=-1
@@ -263,8 +303,11 @@ mod tests {
 
     #[test]
     fn weight_decay_shrinks_params() {
-        let mut opt =
-            Sgd::new(SgdConfig { lr: 0.1, weight_decay: 1.0, ..Default::default() });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            weight_decay: 1.0,
+            ..Default::default()
+        });
         let mut params = p(&[1.0]);
         let grads = p(&[0.0]);
         opt.step(&mut params, &grads, None);
@@ -273,7 +316,11 @@ mod tests {
 
     #[test]
     fn proximal_pulls_toward_anchor() {
-        let mut opt = Sgd::new(SgdConfig { lr: 0.1, prox_mu: 1.0, ..Default::default() });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            prox_mu: 1.0,
+            ..Default::default()
+        });
         let mut params = p(&[2.0]);
         let grads = p(&[0.0]);
         let anchor = p(&[0.0]);

@@ -83,7 +83,11 @@ impl ParamMap {
 
     /// A map with the same keys/shapes, all zeros.
     pub fn zeros_like(&self) -> Self {
-        let entries = self.entries.iter().map(|(k, v)| (k.clone(), v.zeros_like())).collect();
+        let entries = self
+            .entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.zeros_like()))
+            .collect();
         Self { entries }
     }
 
@@ -118,7 +122,9 @@ impl ParamMap {
             .entries
             .iter()
             .map(|(k, v)| {
-                let other = rhs.get(k).unwrap_or_else(|| panic!("sub: missing key {k:?}"));
+                let other = rhs
+                    .get(k)
+                    .unwrap_or_else(|| panic!("sub: missing key {k:?}"));
                 (k.clone(), v.sub(other))
             })
             .collect();
@@ -133,7 +139,9 @@ impl ParamMap {
         self.entries
             .iter()
             .map(|(k, v)| {
-                let other = rhs.get(k).unwrap_or_else(|| panic!("dot: missing key {k:?}"));
+                let other = rhs
+                    .get(k)
+                    .unwrap_or_else(|| panic!("dot: missing key {k:?}"));
                 v.dot(other)
             })
             .sum()
@@ -141,10 +149,14 @@ impl ParamMap {
 
     /// Euclidean norm over all elements of all tensors.
     pub fn norm(&self) -> f32 {
-        self.entries.values().map(|t| {
-            let n = t.norm();
-            n * n
-        }).sum::<f32>().sqrt()
+        self.entries
+            .values()
+            .map(|t| {
+                let n = t.norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Squared Euclidean distance to `rhs` over the keys of `self`.
@@ -152,7 +164,9 @@ impl ParamMap {
         self.entries
             .iter()
             .map(|(k, v)| {
-                let other = rhs.get(k).unwrap_or_else(|| panic!("sq_dist: missing key {k:?}"));
+                let other = rhs
+                    .get(k)
+                    .unwrap_or_else(|| panic!("sq_dist: missing key {k:?}"));
                 v.sq_dist(other)
             })
             .sum()
@@ -201,7 +215,9 @@ impl ParamMap {
 
 impl FromIterator<(String, Tensor)> for ParamMap {
     fn from_iter<I: IntoIterator<Item = (String, Tensor)>>(iter: I) -> Self {
-        Self { entries: iter.into_iter().collect() }
+        Self {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -219,7 +235,10 @@ mod tests {
 
     fn sample() -> ParamMap {
         let mut p = ParamMap::new();
-        p.insert("fc.weight", Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]));
+        p.insert(
+            "fc.weight",
+            Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]),
+        );
         p.insert("fc.bias", Tensor::from_vec(vec![2], vec![0.5, -0.5]));
         p.insert("bn.gamma", Tensor::from_vec(vec![2], vec![1.0, 1.0]));
         p
@@ -295,7 +314,10 @@ mod tests {
     #[test]
     fn norm_matches_flat_norm() {
         let p = sample();
-        let flat: f32 = p.iter().flat_map(|(_, t)| t.data().iter().map(|v| v * v)).sum();
+        let flat: f32 = p
+            .iter()
+            .flat_map(|(_, t)| t.data().iter().map(|v| v * v))
+            .sum();
         assert!((p.norm() - flat.sqrt()).abs() < 1e-6);
     }
 }

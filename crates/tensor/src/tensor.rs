@@ -20,7 +20,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, ", data={:?})", self.data)
         } else {
-            write!(f, ", data=[{:.4}, {:.4}, .. {} values])", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                ", data=[{:.4}, {:.4}, .. {} values])",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -46,13 +52,19 @@ impl Tensor {
     /// All-zeros tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let numel = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; numel] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
     }
 
     /// All-`v` tensor of the given shape.
     pub fn full(shape: &[usize], v: f32) -> Self {
         let numel = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![v; numel] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![v; numel],
+        }
     }
 
     /// All-ones tensor of the given shape.
@@ -129,8 +141,17 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
-        Self { shape: shape.to_vec(), data: self.data.clone() }
+        assert_eq!(
+            numel,
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
+        Self {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// Matrix product of two 2-D tensors: `[m,k] x [k,n] -> [m,n]`.
@@ -141,7 +162,11 @@ impl Tensor {
         assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
-        assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", self.shape, rhs.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dims: {:?} x {:?}",
+            self.shape, rhs.shape
+        );
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -156,7 +181,10 @@ impl Tensor {
                 }
             }
         }
-        Tensor { shape: vec![m, n], data: out }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
     }
 
     /// Transpose of a 2-D tensor.
@@ -169,28 +197,55 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor { shape: vec![n, m], data: out }
+        Tensor {
+            shape: vec![n, m],
+            data: out,
+        }
     }
 
     /// Elementwise sum; shapes must match exactly.
     pub fn add(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Elementwise difference; shapes must match exactly.
     pub fn sub(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Elementwise (Hadamard) product; shapes must match exactly.
     pub fn mul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "mul shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// `self += alpha * rhs` in place; shapes must match exactly.
@@ -210,7 +265,10 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Sum of all elements.
@@ -241,7 +299,11 @@ impl Tensor {
     /// Squared Euclidean distance to `rhs`.
     pub fn sq_dist(&self, rhs: &Tensor) -> f32 {
         assert_eq!(self.shape, rhs.shape, "sq_dist shape mismatch");
-        self.data.iter().zip(&rhs.data).map(|(a, b)| (a - b) * (a - b)).sum()
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
     }
 
     /// Row `r` of a 2-D tensor as a slice.
@@ -261,7 +323,10 @@ impl Tensor {
             assert_eq!(r.len(), width, "stack_rows width mismatch");
             data.extend_from_slice(r);
         }
-        Tensor { shape: vec![rows.len(), width], data }
+        Tensor {
+            shape: vec![rows.len(), width],
+            data,
+        }
     }
 
     /// Argmax index of each row of a 2-D tensor.

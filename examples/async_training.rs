@@ -35,17 +35,28 @@ fn main() {
         seed: 2,
         ..Default::default()
     };
-    let fleet_cfg = FleetConfig { num_clients: 60, speed_sigma: 1.5, seed: 99, ..Default::default() };
+    let fleet_cfg = FleetConfig {
+        num_clients: 60,
+        speed_sigma: 1.5,
+        seed: 99,
+        ..Default::default()
+    };
 
     let strategies: Vec<(&str, FlConfig)> = vec![
         ("all_received (sync vanilla)", base.clone().sync_vanilla()),
         (
             "goal_achieved + after-receiving (FedBuff)",
-            base.clone().async_goal(8, BroadcastManner::AfterReceiving, SamplerKind::Uniform),
+            base.clone()
+                .async_goal(8, BroadcastManner::AfterReceiving, SamplerKind::Uniform),
         ),
         (
             "time_up + after-aggregating",
-            base.clone().async_time(2.0, 1, BroadcastManner::AfterAggregating, SamplerKind::Uniform),
+            base.clone().async_time(
+                2.0,
+                1,
+                BroadcastManner::AfterAggregating,
+                SamplerKind::Uniform,
+            ),
         ),
     ];
 

@@ -19,7 +19,11 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 fn main() {
-    let data = twitter_like(&TwitterConfig { num_clients: 40, per_client: 16, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 40,
+        per_client: 16,
+        ..Default::default()
+    });
     let dim = data.input_dim();
     let base = FlConfig {
         concurrency: 20,
@@ -29,7 +33,14 @@ fn main() {
         ..Default::default()
     };
     let space = SearchSpace::new()
-        .with("lr", Param::Float { lo: 0.01, hi: 2.0, log: true })
+        .with(
+            "lr",
+            Param::Float {
+                lo: 0.01,
+                hi: 2.0,
+                log: true,
+            },
+        )
         .with("local_steps", Param::Int { lo: 1, hi: 8 });
 
     // successive halving: 8 configurations, rungs of 3 rounds, keep half
@@ -44,9 +55,7 @@ fn main() {
     let outcome = successive_halving(&space, &mut obj, 8, 3, 2, &mut rng);
     println!(
         "SHA best config: lr={:.3}, local_steps={} -> val loss {:.4}",
-        outcome.best_config["lr"],
-        outcome.best_config["local_steps"],
-        outcome.best_result.val_loss
+        outcome.best_config["lr"], outcome.best_config["local_steps"], outcome.best_result.val_loss
     );
     println!("best-seen trace (rounds spent -> best val loss):");
     for p in outcome.trace.iter().step_by(4) {
@@ -64,7 +73,10 @@ fn main() {
     );
     obj.trainer_hook = Some(hook.clone());
     let (result, _) = obj.run(&outcome.best_config, 15, None);
-    println!("\nFedEx run: val loss {:.4}, test acc {:.4}", result.val_loss, result.test_accuracy);
+    println!(
+        "\nFedEx run: val loss {:.4}, test acc {:.4}",
+        result.val_loss, result.test_accuracy
+    );
     let policy = hook.last_policy.lock().unwrap().clone();
     if let Some(policy) = policy {
         let probs = policy.lock().unwrap().probabilities();

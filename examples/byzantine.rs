@@ -17,7 +17,11 @@ use fedscope::tensor::model::logistic_regression;
 use fedscope::tensor::optim::SgdConfig;
 
 fn run(use_krum: bool) -> f32 {
-    let data = twitter_like(&TwitterConfig { num_clients: 12, per_client: 40, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 12,
+        per_client: 40,
+        ..Default::default()
+    });
     let dim = data.input_dim();
     let cfg = FlConfig {
         total_rounds: 20,
@@ -69,7 +73,11 @@ fn run(use_krum: bool) -> f32 {
     }
     let mut runner = builder.build();
     let report = runner.run();
-    report.history.last().map(|r| r.metrics.accuracy).unwrap_or(0.0)
+    report
+        .history
+        .last()
+        .map(|r| r.metrics.accuracy)
+        .unwrap_or(0.0)
 }
 
 fn main() {

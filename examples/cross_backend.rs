@@ -32,7 +32,10 @@ fn main() {
     tf_like.decode(&wire).expect("decode");
     println!("participant B backend: {}", tf_like.name());
     let (_, native) = tf_like.native("fc.weight").expect("entry");
-    println!("B's native column-major copy holds {} f64 values", native.len());
+    println!(
+        "B's native column-major copy holds {} f64 values",
+        native.len()
+    );
 
     // round-trip equality proves translation is lossless for f32 values
     let mut back = RowMajorF32Store::default();
@@ -41,7 +44,11 @@ fn main() {
     println!("A -> wire -> B -> wire -> A round-trip: lossless\n");
 
     // --- the distributed runner: same workers, real threads --------------
-    let data = twitter_like(&TwitterConfig { num_clients: 8, per_client: 12, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 8,
+        per_client: 12,
+        ..Default::default()
+    });
     let dim = data.input_dim();
     let cfg = FlConfig {
         total_rounds: 5,
@@ -59,7 +66,8 @@ fn main() {
     // split the assembled course into its participants and run distributed
     let server = runner.server;
     let clients: Vec<_> = runner.clients.into_values().collect();
-    let server = run_distributed(server, clients, Duration::from_secs(30)).expect("distributed run");
+    let server =
+        run_distributed(server, clients, Duration::from_secs(30)).expect("distributed run");
     println!(
         "distributed course finished: {} rounds, {} client reports, reason: {}",
         server.state.round,

@@ -39,11 +39,19 @@ fn main() {
     let report = runner.run();
     println!("course finished after {} rounds\n", report.rounds);
     for (id, m) in &runner.server.state.client_reports {
-        let task = if *id == 3 { "regression " } else { "classification" };
+        let task = if *id == 3 {
+            "regression "
+        } else {
+            "classification"
+        };
         println!(
             "client {id} ({task}): loss={:.4}{}",
             m.loss,
-            if *id == 3 { String::new() } else { format!("  accuracy={:.3}", m.accuracy) }
+            if *id == 3 {
+                String::new()
+            } else {
+                format!("  accuracy={:.3}", m.accuracy)
+            }
         );
     }
 }

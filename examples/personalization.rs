@@ -16,7 +16,13 @@ use fedscope::tensor::model::mlp_bn;
 use fedscope::tensor::optim::SgdConfig;
 
 fn summarize(name: &str, runner: &StandaloneRunner) {
-    let accs: Vec<f32> = runner.server.state.client_reports.values().map(|m| m.accuracy).collect();
+    let accs: Vec<f32> = runner
+        .server
+        .state
+        .client_reports
+        .values()
+        .map(|m| m.accuracy)
+        .collect();
     let n = accs.len() as f32;
     let mean = accs.iter().sum::<f32>() / n;
     let std = (accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n).sqrt();

@@ -18,7 +18,13 @@ use fedscope::tensor::optim::SgdConfig;
 
 fn main() {
     // 1. data: 120 users, each with a handful of bag-of-words texts
-    let data = twitter_like(&TwitterConfig { num_clients: 120, ..Default::default() });
+    // seed 21 draws a topic pair separable enough to learn well under the
+    // in-repo RNG (same choice as the fs-core course tests)
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 120,
+        seed: 21,
+        ..Default::default()
+    });
     let dim = data.input_dim();
 
     // 2. course configuration: vanilla synchronous FedAvg
@@ -27,7 +33,7 @@ fn main() {
         concurrency: 40,
         local_steps: 4,
         batch_size: 2,
-        sgd: SgdConfig::with_lr(0.3),
+        sgd: SgdConfig::with_lr(0.5),
         seed: 1,
         ..Default::default()
     };
@@ -56,7 +62,13 @@ fn main() {
     let report = runner.run();
     println!("\nlearning curve (virtual time -> accuracy):");
     for r in report.history.iter().step_by(4) {
-        println!("  round {:>3}  t={:>7.1}s  acc={:.3}", r.round, r.time_secs, r.metrics.accuracy);
+        println!(
+            "  round {:>3}  t={:>7.1}s  acc={:.3}",
+            r.round, r.time_secs, r.metrics.accuracy
+        );
     }
-    println!("\nfinished: {} after {:.1} virtual seconds", report.finish_reason, report.final_time_secs);
+    println!(
+        "\nfinished: {} after {:.1} virtual seconds",
+        report.finish_reason, report.final_time_secs
+    );
 }

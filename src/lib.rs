@@ -9,6 +9,8 @@
 //! * [`tensor`] — ML substrate (tensors, layers, models, optimizers)
 //! * [`data`] — DataZoo: synthetic federated datasets and partitioners
 //! * [`net`] — messages, wire codec (message translation), backends
+//! * [`compress`] — update compression: quantization, top-k sparsification
+//!   with error feedback, and delta encoding
 //! * [`sim`] — virtual time, device profiles, discrete-event queue
 //! * [`core`] — the event-driven FL engine (workers, events, handlers,
 //!   aggregators, samplers, runners, completeness checking)
@@ -24,6 +26,7 @@
 
 pub use fs_attack as attack;
 pub use fs_autotune as autotune;
+pub use fs_compress as compress;
 pub use fs_core as core;
 pub use fs_data as data;
 pub use fs_net as net;

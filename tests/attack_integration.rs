@@ -29,7 +29,13 @@ fn image_cfg() -> ImageConfig {
 fn dba_course(n_mal: usize) -> (f32, f32) {
     let data = cifar_like(&image_cfg(), None);
     let clean_test = data.clients[7].test.clone();
-    let full = Trigger { row: 0, col: 0, h: 2, w: 4, value: 3.0 };
+    let full = Trigger {
+        row: 0,
+        col: 0,
+        h: 2,
+        w: 4,
+        value: 3.0,
+    };
     let frags = dba_fragments(&full, 2);
     let cfg = FlConfig {
         total_rounds: 12,
@@ -99,8 +105,11 @@ fn dba_fragments_assemble_into_a_backdoor() {
 #[test]
 fn krum_blunts_model_replacement() {
     let run = |use_krum: bool| -> f32 {
-        let data =
-            twitter_like(&TwitterConfig { num_clients: 10, per_client: 30, ..Default::default() });
+        let data = twitter_like(&TwitterConfig {
+            num_clients: 10,
+            per_client: 30,
+            ..Default::default()
+        });
         let dim = data.input_dim();
         let cfg = FlConfig {
             total_rounds: 12,
@@ -153,14 +162,21 @@ fn krum_blunts_model_replacement() {
     };
     let fedavg = run(false);
     let krum = run(true);
-    assert!(krum > fedavg, "Krum ({krum}) must beat FedAvg ({fedavg}) under replacement");
+    assert!(
+        krum > fedavg,
+        "Krum ({krum}) must beat FedAvg ({fedavg}) under replacement"
+    );
 }
 
 #[test]
 fn membership_attack_weakens_on_federated_model() {
     // FL's averaging regularizes: the global model should leak less about any
     // single client's training data than a locally overfit model does
-    let data = twitter_like(&TwitterConfig { num_clients: 12, per_client: 30, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 12,
+        per_client: 30,
+        ..Default::default()
+    });
     let dim = data.input_dim();
     // locally overfit model on client 0
     let mut rng = StdRng::seed_from_u64(2);

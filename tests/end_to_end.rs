@@ -10,7 +10,11 @@ use fedscope::tensor::optim::SgdConfig;
 use std::time::Duration;
 
 fn twitter_course(cfg: FlConfig) -> fedscope::core::StandaloneRunner {
-    let data = twitter_like(&TwitterConfig { num_clients: 16, per_client: 16, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 16,
+        per_client: 16,
+        ..Default::default()
+    });
     let dim = data.input_dim();
     CourseBuilder::new(
         data,
@@ -22,17 +26,27 @@ fn twitter_course(cfg: FlConfig) -> fedscope::core::StandaloneRunner {
 
 #[test]
 fn default_course_is_complete_and_terminates() {
-    let cfg = FlConfig { total_rounds: 4, concurrency: 8, seed: 1, ..Default::default() };
+    let cfg = FlConfig {
+        total_rounds: 4,
+        concurrency: 8,
+        seed: 1,
+        ..Default::default()
+    };
     let mut runner = twitter_course(cfg);
     let clients: Vec<&fedscope::core::Client> = runner.clients.values().collect();
     let check = FlowGraph::from_course(&runner.server, &clients).check();
-    assert!(check.complete, "default course must have a start-to-finish path");
+    assert!(
+        check.complete,
+        "default course must have a start-to-finish path"
+    );
     // the default client carries an EvalRequest handler that nothing triggers
     // in a plain FedAvg course — the checker flags exactly that node as
     // redundant (the paper's Appendix-E warning for unreachable nodes)
     assert_eq!(
         check.redundant,
-        vec![fedscope::core::Event::Message(fedscope::net::MessageKind::EvalRequest)],
+        vec![fedscope::core::Event::Message(
+            fedscope::net::MessageKind::EvalRequest
+        )],
         "unexpected redundancy report"
     );
     let report = runner.run();
@@ -53,12 +67,29 @@ fn every_strategy_family_terminates_with_same_protocol() {
     let variants = vec![
         base.clone().sync_vanilla(),
         base.clone().sync_over_selection(0.25),
-        base.clone().async_goal(3, BroadcastManner::AfterAggregating, SamplerKind::Uniform),
-        base.clone().async_goal(3, BroadcastManner::AfterReceiving, SamplerKind::Uniform),
-        base.clone().async_goal(3, BroadcastManner::AfterAggregating, SamplerKind::Group),
-        base.clone().async_goal(3, BroadcastManner::AfterAggregating, SamplerKind::Responsiveness),
-        base.clone().async_time(5.0, 1, BroadcastManner::AfterAggregating, SamplerKind::Uniform),
-        base.async_time(5.0, 1, BroadcastManner::AfterReceiving, SamplerKind::Uniform),
+        base.clone()
+            .async_goal(3, BroadcastManner::AfterAggregating, SamplerKind::Uniform),
+        base.clone()
+            .async_goal(3, BroadcastManner::AfterReceiving, SamplerKind::Uniform),
+        base.clone()
+            .async_goal(3, BroadcastManner::AfterAggregating, SamplerKind::Group),
+        base.clone().async_goal(
+            3,
+            BroadcastManner::AfterAggregating,
+            SamplerKind::Responsiveness,
+        ),
+        base.clone().async_time(
+            5.0,
+            1,
+            BroadcastManner::AfterAggregating,
+            SamplerKind::Uniform,
+        ),
+        base.async_time(
+            5.0,
+            1,
+            BroadcastManner::AfterReceiving,
+            SamplerKind::Uniform,
+        ),
     ];
     for (i, cfg) in variants.into_iter().enumerate() {
         let mut runner = twitter_course(cfg);
@@ -75,22 +106,39 @@ fn every_strategy_family_terminates_with_same_protocol() {
 
 #[test]
 fn virtual_time_is_monotone_and_deterministic() {
-    let cfg = FlConfig { total_rounds: 6, concurrency: 8, seed: 3, ..Default::default() };
+    let cfg = FlConfig {
+        total_rounds: 6,
+        concurrency: 8,
+        seed: 3,
+        ..Default::default()
+    };
     let r1 = twitter_course(cfg.clone()).run();
     let r2 = twitter_course(cfg).run();
     assert_eq!(r1.final_time_secs, r2.final_time_secs);
     for w in r1.history.windows(2) {
-        assert!(w[1].time_secs >= w[0].time_secs, "virtual time went backwards");
+        assert!(
+            w[1].time_secs >= w[0].time_secs,
+            "virtual time went backwards"
+        );
     }
     // distinct seeds give distinct courses
-    let cfg2 = FlConfig { total_rounds: 6, concurrency: 8, seed: 4, ..Default::default() };
+    let cfg2 = FlConfig {
+        total_rounds: 6,
+        concurrency: 8,
+        seed: 4,
+        ..Default::default()
+    };
     let r3 = twitter_course(cfg2).run();
     assert_ne!(r1.final_time_secs, r3.final_time_secs);
 }
 
 #[test]
 fn crashing_clients_are_absorbed_by_time_up() {
-    let data = twitter_like(&TwitterConfig { num_clients: 12, per_client: 12, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 12,
+        per_client: 12,
+        ..Default::default()
+    });
     let dim = data.input_dim();
     let cfg = FlConfig {
         total_rounds: 3,
@@ -98,7 +146,12 @@ fn crashing_clients_are_absorbed_by_time_up() {
         seed: 5,
         ..Default::default()
     }
-    .async_time(10.0, 1, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+    .async_time(
+        10.0,
+        1,
+        BroadcastManner::AfterAggregating,
+        SamplerKind::Uniform,
+    );
     let mut runner = CourseBuilder::new(
         data,
         Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
@@ -112,7 +165,10 @@ fn crashing_clients_are_absorbed_by_time_up() {
     .build();
     let report = runner.run();
     assert_eq!(report.rounds, 3, "time_up must push through crashes");
-    assert!(report.crashed_deliveries > 0, "crash injection had no effect");
+    assert!(
+        report.crashed_deliveries > 0,
+        "crash injection had no effect"
+    );
 }
 
 #[test]
@@ -140,7 +196,11 @@ fn cnn_course_learns_on_images() {
     )
     .build();
     let report = runner.run();
-    let best = report.history.iter().map(|r| r.metrics.accuracy).fold(0.0f32, f32::max);
+    let best = report
+        .history
+        .iter()
+        .map(|r| r.metrics.accuracy)
+        .fold(0.0f32, f32::max);
     assert!(best > 0.6, "CNN course failed to learn: best {best}");
 }
 
@@ -156,15 +216,27 @@ fn target_accuracy_stops_early() {
     };
     let mut runner = twitter_course(cfg);
     let report = runner.run();
-    assert!(report.rounds < 100, "target accuracy should stop the course early");
+    assert!(
+        report.rounds < 100,
+        "target accuracy should stop the course early"
+    );
     assert!(report.finish_reason.contains("target accuracy"));
 }
 
 #[test]
 fn distributed_runner_matches_participant_counts() {
-    let data = twitter_like(&TwitterConfig { num_clients: 6, per_client: 12, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 6,
+        per_client: 12,
+        ..Default::default()
+    });
     let dim = data.input_dim();
-    let cfg = FlConfig { total_rounds: 3, concurrency: 4, seed: 8, ..Default::default() };
+    let cfg = FlConfig {
+        total_rounds: 3,
+        concurrency: 4,
+        seed: 8,
+        ..Default::default()
+    };
     let runner = CourseBuilder::new(
         data,
         Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
@@ -180,10 +252,24 @@ fn distributed_runner_matches_participant_counts() {
 
 #[test]
 fn distributed_rejects_time_up_rule() {
-    let data = twitter_like(&TwitterConfig { num_clients: 4, per_client: 12, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 4,
+        per_client: 12,
+        ..Default::default()
+    });
     let dim = data.input_dim();
-    let cfg = FlConfig { total_rounds: 2, concurrency: 2, seed: 9, ..Default::default() }
-        .async_time(5.0, 1, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+    let cfg = FlConfig {
+        total_rounds: 2,
+        concurrency: 2,
+        seed: 9,
+        ..Default::default()
+    }
+    .async_time(
+        5.0,
+        1,
+        BroadcastManner::AfterAggregating,
+        SamplerKind::Uniform,
+    );
     let runner = CourseBuilder::new(
         data,
         Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
@@ -193,14 +279,22 @@ fn distributed_rejects_time_up_rule() {
     let server = runner.server;
     let clients: Vec<_> = runner.clients.into_values().collect();
     let err = run_distributed(server, clients, Duration::from_secs(5));
-    assert!(err.is_err(), "time_up needs virtual time and must be rejected");
+    assert!(
+        err.is_err(),
+        "time_up needs virtual time and must be rejected"
+    );
 }
 
 #[test]
 fn handler_override_changes_course_behaviour() {
     use fedscope::core::{Condition, Event};
     use fedscope::net::MessageKind;
-    let cfg = FlConfig { total_rounds: 3, concurrency: 8, seed: 10, ..Default::default() };
+    let cfg = FlConfig {
+        total_rounds: 3,
+        concurrency: 8,
+        seed: 10,
+        ..Default::default()
+    };
     let mut runner = twitter_course(cfg);
     // overwrite the metrics handler: drop all reports
     runner.server.registry_mut().register(
@@ -214,15 +308,26 @@ fn handler_override_changes_course_behaviour() {
     assert!(runner.server.state.client_reports.is_empty());
     // condition events remain linked
     let eff = runner.server.effective_handlers();
-    assert!(eff.iter().any(|(e, _)| matches!(e, Event::Condition(Condition::EarlyStop))));
+    assert!(eff
+        .iter()
+        .any(|(e, _)| matches!(e, Event::Condition(Condition::EarlyStop))));
 }
 
 #[test]
 fn tcp_distributed_course_completes() {
     use fedscope::core::distributed::run_distributed_tcp;
-    let data = twitter_like(&TwitterConfig { num_clients: 5, per_client: 12, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 5,
+        per_client: 12,
+        ..Default::default()
+    });
     let dim = data.input_dim();
-    let cfg = FlConfig { total_rounds: 3, concurrency: 3, seed: 11, ..Default::default() };
+    let cfg = FlConfig {
+        total_rounds: 3,
+        concurrency: 3,
+        seed: 11,
+        ..Default::default()
+    };
     let runner = CourseBuilder::new(
         data,
         Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),

@@ -8,10 +8,13 @@ use fedscope::core::{Condition, Event};
 use fedscope::data::synth::{twitter_like, TwitterConfig};
 use fedscope::net::{Message, MessageKind, Payload, SERVER_ID};
 use fedscope::tensor::model::logistic_regression;
-use fedscope::tensor::optim::SgdConfig;
 
 fn course(cfg: FlConfig) -> fedscope::core::StandaloneRunner {
-    let data = twitter_like(&TwitterConfig { num_clients: 10, per_client: 16, ..Default::default() });
+    let data = twitter_like(&TwitterConfig {
+        num_clients: 10,
+        per_client: 16,
+        ..Default::default()
+    });
     let dim = data.input_dim();
     CourseBuilder::new(
         data,
@@ -28,7 +31,12 @@ fn course(cfg: FlConfig) -> fedscope::core::StandaloneRunner {
 #[test]
 fn custom_message_kind_flows_through_the_course() {
     const EMBEDDINGS: MessageKind = MessageKind::Custom(7);
-    let cfg = FlConfig { total_rounds: 3, concurrency: 5, seed: 21, ..Default::default() };
+    let cfg = FlConfig {
+        total_rounds: 3,
+        concurrency: 5,
+        seed: 21,
+        ..Default::default()
+    };
     let mut runner = course(cfg);
 
     // client side: wrap the default behaviour — we register a new handler for
@@ -37,18 +45,27 @@ fn custom_message_kind_flows_through_the_course() {
         client.registry_mut().register(
             Event::Message(MessageKind::ModelParams),
             "train_and_share_embeddings",
-            vec![Event::Message(MessageKind::Updates), Event::Message(EMBEDDINGS)],
+            vec![
+                Event::Message(MessageKind::Updates),
+                Event::Message(EMBEDDINGS),
+            ],
             Box::new(|state, msg, ctx| {
                 if let Payload::Model { params, version } = &msg.payload {
                     let update = state.trainer.local_train(params, msg.round);
                     state.rounds_trained += 1;
                     ctx.send_after_compute(
-                        Message::new(state.id, SERVER_ID, MessageKind::Updates, msg.round, Payload::Update {
-                            params: update.params,
-                            start_version: *version,
-                            n_samples: update.n_samples,
-                            n_steps: update.n_steps,
-                        }),
+                        Message::new(
+                            state.id,
+                            SERVER_ID,
+                            MessageKind::Updates,
+                            msg.round,
+                            Payload::Update {
+                                params: update.params,
+                                start_version: *version,
+                                n_samples: update.n_samples,
+                                n_steps: update.n_steps,
+                            },
+                        ),
                         update.examples_processed as f64,
                     );
                     // the new exchanged information: an opaque embedding blob
@@ -89,15 +106,23 @@ fn custom_message_kind_flows_through_the_course() {
 #[test]
 fn low_bandwidth_client_skips_rounds_without_stalling_goal_courses() {
     const LOW_BANDWIDTH: Condition = Condition::Custom(42);
-    let cfg = FlConfig { total_rounds: 4, concurrency: 5, seed: 22, ..Default::default() }
-        .async_goal(4, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+    let cfg = FlConfig {
+        total_rounds: 4,
+        concurrency: 5,
+        seed: 22,
+        ..Default::default()
+    }
+    .async_goal(4, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
     let mut runner = course(cfg);
     let constrained: u32 = 3;
     let client = runner.clients.get_mut(&constrained).expect("client 3");
     client.registry_mut().register(
         Event::Message(MessageKind::ModelParams),
         "maybe_skip_for_bandwidth",
-        vec![Event::Message(MessageKind::Updates), Event::Condition(LOW_BANDWIDTH)],
+        vec![
+            Event::Message(MessageKind::Updates),
+            Event::Condition(LOW_BANDWIDTH),
+        ],
         Box::new(|state, msg, ctx| {
             if let Payload::Model { params, version } = &msg.payload {
                 if state.rounds_trained % 2 == 1 {
@@ -109,12 +134,18 @@ fn low_bandwidth_client_skips_rounds_without_stalling_goal_courses() {
                 let update = state.trainer.local_train(params, msg.round);
                 state.rounds_trained += 1;
                 ctx.send_after_compute(
-                    Message::new(state.id, SERVER_ID, MessageKind::Updates, msg.round, Payload::Update {
-                        params: update.params,
-                        start_version: *version,
-                        n_samples: update.n_samples,
-                        n_steps: update.n_steps,
-                    }),
+                    Message::new(
+                        state.id,
+                        SERVER_ID,
+                        MessageKind::Updates,
+                        msg.round,
+                        Payload::Update {
+                            params: update.params,
+                            start_version: *version,
+                            n_samples: update.n_samples,
+                            n_steps: update.n_steps,
+                        },
+                    ),
                     update.examples_processed as f64,
                 );
             }
@@ -129,7 +160,10 @@ fn low_bandwidth_client_skips_rounds_without_stalling_goal_courses() {
         }),
     );
     let report = runner.run();
-    assert_eq!(report.rounds, 4, "goal course must absorb the silent client");
+    assert_eq!(
+        report.rounds, 4,
+        "goal course must absorb the silent client"
+    );
 }
 
 /// Removing a handler produces exactly the paper's incomplete-course error
@@ -137,7 +171,12 @@ fn low_bandwidth_client_skips_rounds_without_stalling_goal_courses() {
 #[test]
 fn removing_the_aggregation_handler_breaks_completeness() {
     use fedscope::core::completeness::FlowGraph;
-    let cfg = FlConfig { total_rounds: 2, concurrency: 5, seed: 23, ..Default::default() };
+    let cfg = FlConfig {
+        total_rounds: 2,
+        concurrency: 5,
+        seed: 23,
+        ..Default::default()
+    };
     let mut runner = course(cfg);
     runner
         .server
@@ -145,5 +184,8 @@ fn removing_the_aggregation_handler_breaks_completeness() {
         .unregister(Event::Condition(Condition::AllReceived));
     let clients: Vec<&fedscope::core::Client> = runner.clients.values().collect();
     let check = FlowGraph::from_course(&runner.server, &clients).check();
-    assert!(!check.complete, "no aggregation handler -> no path to Finish");
+    assert!(
+        !check.complete,
+        "no aggregation handler -> no path to Finish"
+    );
 }

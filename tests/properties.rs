@@ -1,5 +1,9 @@
 //! Property-based tests over the workspace's core invariants.
 
+use fedscope::compress::{
+    decode_block, decompress, encode_block, Compressor, DeltaEncode, Encoding, Identity, TopK,
+    UniformQuant,
+};
 use fedscope::net::wire::{decode_params, encode_params};
 use fedscope::privacy::bignum::BigUint;
 use fedscope::privacy::secret_sharing::{reconstruct, share};
@@ -112,6 +116,98 @@ proptest! {
             prop_assert!((s - 1.0).abs() < 1e-4);
             prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
+    }
+
+    #[test]
+    fn quant_roundtrip_error_bounded_by_step(p in arb_param_map()) {
+        // uniform quantization must reconstruct every value to within one
+        // quantization step: |x - dec(enc(x))| <= range / (2^bits - 1)
+        for bits in [4u8, 8] {
+            let block = UniformQuant::new(bits).compress(&p);
+            let q = decompress(&block, None).expect("decompress");
+            for (name, t) in p.iter() {
+                let data = t.data();
+                let min = data.iter().copied().fold(f32::INFINITY, f32::min);
+                let max = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let step = (max - min) / ((1u32 << bits) - 1) as f32;
+                let slack = step.abs() * 1e-3 + 1e-6;
+                let rec = q.get(name).expect("same names");
+                for (a, b) in data.iter().zip(rec.data()) {
+                    prop_assert!((a - b).abs() <= step + slack,
+                        "bits={} {}: |{} - {}| > step {}", bits, name, a, b, step);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_keeps_exactly_the_largest_magnitudes(
+        values in prop::collection::vec(-1e6f32..1e6, 1..64),
+        ratio in 0.05f32..1.0,
+    ) {
+        let numel = values.len();
+        let mut p = ParamMap::new();
+        p.insert("t", Tensor::from_vec(vec![numel], values.clone()));
+        // fresh compressor: no residual, so compensated == input
+        let block = TopK::new(ratio).compress(&p);
+        let k = ((ratio * numel as f32).ceil() as usize).clamp(1, numel);
+        let Encoding::Sparse { indices, values: kept } = &block.tensors[0].encoding else {
+            return Err(proptest::test_runner::TestCaseError::fail("expected sparse encoding"));
+        };
+        prop_assert_eq!(indices.len(), k);
+        // every transmitted value is the original at its index...
+        for (&i, &v) in indices.iter().zip(kept) {
+            prop_assert_eq!(v, values[i as usize]);
+        }
+        // ...and no dropped coordinate beats a kept one
+        let kept_min = kept.iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        for (i, v) in values.iter().enumerate() {
+            if !indices.contains(&(i as u32)) {
+                prop_assert!(v.abs() <= kept_min,
+                    "dropped |{}| at {} exceeds kept minimum {}", v, i, kept_min);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_identity_roundtrip_recovers_params(p in arb_param_map(), scale in -2.0f32..2.0) {
+        // reference = scale * p: same names/shapes, different values
+        let mut reference = p.clone();
+        reference.scale(scale);
+        let mut codec = DeltaEncode::new(Box::new(Identity));
+        codec.set_reference(&reference, 5);
+        let block = codec.compress(&p);
+        let q = decompress(&block, Some(&reference)).expect("decompress");
+        for (name, t) in p.iter() {
+            let rec = q.get(name).expect("same names");
+            for (a, b) in t.data().iter().zip(rec.data()) {
+                // (x - r) + r is exact up to one rounding of the subtraction
+                let tol = (a.abs() + scale.abs() * a.abs()) * f32::EPSILON * 4.0 + 1e-30;
+                prop_assert!((a - b).abs() <= tol, "{}: {} vs {}", name, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_block_codec_roundtrips(p in arb_param_map(), mode in 0u8..4) {
+        let mut codec: Box<dyn Compressor> = match mode {
+            0 => Box::new(Identity),
+            1 => Box::new(UniformQuant::new(8)),
+            2 => Box::new(UniformQuant::new(4)),
+            _ => Box::new(TopK::new(0.3)),
+        };
+        let block = codec.compress(&p);
+        let bytes = encode_block(&block);
+        prop_assert_eq!(bytes.len(), block.encoded_len());
+        let decoded = decode_block(&bytes).expect("well-formed block must decode");
+        prop_assert_eq!(&decoded, &block);
+    }
+
+    #[test]
+    fn compressed_block_decoder_never_panics_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_block(&bytes); // must return Err, not panic
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Minimal in-repo stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-definition API the workspace's benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`Throughput`], [`criterion_group!`]/
+//! [`criterion_main!`]) with a straightforward measurement loop: calibrate an
+//! iteration count to a ~5 ms sample, take `sample_size` samples, and report
+//! the median time per iteration (plus derived throughput) on stdout. No
+//! statistical analysis, HTML reports, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration; turns median times into rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical items handled per iteration.
+    Elements(u64),
+}
+
+/// A benchmark name with a parameter, rendered as `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self { label: format!("{}/{}", name.into(), param) }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self { label: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { label: name.to_owned() }
+    }
+}
+
+/// Benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_benchmark(name, sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the samples per benchmark for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how much data one iteration processes.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // calibration: grow the iteration count until one sample costs ~5 ms
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        iters = (iters * 4).min(1 << 20);
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let lo = per_iter_ns[0];
+    let hi = per_iter_ns[per_iter_ns.len() - 1];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(" {:>10.1} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64),
+        Throughput::Elements(n) => format!(" {:>10.1} Kelem/s", n as f64 / median * 1e9 / 1e3),
+    });
+    println!(
+        "{label:<48} time: [{} {} {}]{}",
+        format_ns(lo),
+        format_ns(median),
+        format_ns(hi),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            ran = true;
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher { iters: 100, elapsed: Duration::ZERO };
+        b.iter(|| black_box(21 * 2));
+        assert!(b.elapsed > Duration::ZERO || b.iters == 0);
+    }
+}

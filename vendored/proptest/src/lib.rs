@@ -1,0 +1,608 @@
+//! Minimal in-repo stand-in for the `proptest` crate.
+//!
+//! Keeps the property-test surface the workspace uses — the [`proptest!`]
+//! macro, `prop_assert*`/`prop_assume!`, range and regex-string strategies,
+//! `any::<T>()`, and `prop::collection::{vec, btree_map}` — backed by the
+//! vendored `rand`. Cases are generated from a fixed seed (deterministic runs,
+//! no failure-case shrinking); set `PROPTEST_CASES` to change the case count.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Applies `f` to every generated value.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy yielding one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_strategy_num_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_num_range!(
+        u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64
+    );
+
+    macro_rules! impl_strategy_int_range_from {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.start..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_int_range_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Regex-string strategies: `"[a-z]{1,8}(\\.[a-z]{1,8})?"` generates
+    /// matching strings. Supported subset: literals, `\x` escapes, `[...]`
+    /// classes with ranges, groups, and the `?`, `*`, `+`, `{n}`, `{m,n}`
+    /// quantifiers.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            let node = super::regex::parse(self);
+            let mut out = String::new();
+            node.generate(rng, &mut out);
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            self.as_str().sample(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_tuple!(A: 0, B: 1);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+}
+
+mod regex {
+    //! Tiny generator-oriented regex subset for string strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub(crate) enum Node {
+        Seq(Vec<Node>),
+        Lit(char),
+        /// Inclusive character ranges, e.g. `[a-z0-9_]`.
+        Class(Vec<(char, char)>),
+        Repeat {
+            inner: Box<Node>,
+            min: u32,
+            max: u32,
+        },
+    }
+
+    impl Node {
+        pub(crate) fn generate(&self, rng: &mut StdRng, out: &mut String) {
+            match self {
+                Node::Seq(items) => items.iter().for_each(|n| n.generate(rng, out)),
+                Node::Lit(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                    let mut pick = rng.gen_range(0..total);
+                    for (lo, hi) in ranges {
+                        let span = *hi as u32 - *lo as u32 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*lo as u32 + pick).expect("class range"));
+                            return;
+                        }
+                        pick -= span;
+                    }
+                }
+                Node::Repeat { inner, min, max } => {
+                    let n = rng.gen_range(*min..=*max);
+                    for _ in 0..n {
+                        inner.generate(rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn parse(pattern: &str) -> Node {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (node, used) = parse_seq(&chars, 0);
+        assert_eq!(used, chars.len(), "unsupported regex pattern: {pattern}");
+        node
+    }
+
+    /// Parses until end of input or an unmatched `)`.
+    fn parse_seq(chars: &[char], mut pos: usize) -> (Node, usize) {
+        let mut items = Vec::new();
+        while pos < chars.len() && chars[pos] != ')' {
+            let (atom, next) = parse_atom(chars, pos);
+            let (atom, next) = parse_quantifier(chars, next, atom);
+            items.push(atom);
+            pos = next;
+        }
+        (Node::Seq(items), pos)
+    }
+
+    fn parse_atom(chars: &[char], pos: usize) -> (Node, usize) {
+        match chars[pos] {
+            '\\' => (Node::Lit(chars[pos + 1]), pos + 2),
+            '[' => parse_class(chars, pos + 1),
+            '(' => {
+                let (inner, end) = parse_seq(chars, pos + 1);
+                assert_eq!(chars.get(end), Some(&')'), "unclosed group in regex");
+                (inner, end + 1)
+            }
+            '.' => (Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9')]), pos + 1),
+            c => (Node::Lit(c), pos + 1),
+        }
+    }
+
+    fn parse_class(chars: &[char], mut pos: usize) -> (Node, usize) {
+        let mut ranges = Vec::new();
+        while chars[pos] != ']' {
+            let lo = if chars[pos] == '\\' {
+                pos += 1;
+                chars[pos]
+            } else {
+                chars[pos]
+            };
+            pos += 1;
+            if chars[pos] == '-' && chars[pos + 1] != ']' {
+                ranges.push((lo, chars[pos + 1]));
+                pos += 2;
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        (Node::Class(ranges), pos + 1)
+    }
+
+    fn parse_quantifier(chars: &[char], pos: usize, atom: Node) -> (Node, usize) {
+        match chars.get(pos) {
+            Some('?') => {
+                (Node::Repeat { inner: Box::new(atom), min: 0, max: 1 }, pos + 1)
+            }
+            Some('*') => {
+                (Node::Repeat { inner: Box::new(atom), min: 0, max: 8 }, pos + 1)
+            }
+            Some('+') => {
+                (Node::Repeat { inner: Box::new(atom), min: 1, max: 8 }, pos + 1)
+            }
+            Some('{') => {
+                let close = chars[pos..].iter().position(|&c| c == '}').expect("unclosed {") + pos;
+                let body: String = chars[pos + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().expect("regex {m,n}"),
+                        n.parse().expect("regex {m,n}"),
+                    ),
+                    None => {
+                        let n: u32 = body.parse().expect("regex {n}");
+                        (n, n)
+                    }
+                };
+                (Node::Repeat { inner: Box::new(atom), min, max }, close + 1)
+            }
+            _ => (atom, pos),
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, StandardSample};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_standard!(
+        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool
+    );
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // finite full-range floats (NaN/inf excluded, as tests expect
+            // comparable values)
+            let x: f32 = StandardSample::from_rng(rng);
+            (x - 0.5) * 2.0 * f32::MAX.sqrt()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            let x: f64 = StandardSample::from_rng(rng);
+            (x - 0.5) * 2.0 * f64::MAX.sqrt()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// A size bound for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// exclusive
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self { min: r.start, max: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.min..self.max)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`; duplicate keys are retried, so maps may
+    /// come up slightly short when the key domain is nearly exhausted.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.sample(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0;
+            while map.len() < target && attempts < target * 10 + 16 {
+                attempts += 1;
+                map.insert(self.key.sample(rng), self.value.sample(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind [`proptest!`](crate::proptest).
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; try another case.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Number of accepted cases each property must pass.
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    }
+
+    /// Deterministic per-test RNG: fixed global seed mixed with the test name.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+
+    /// Runs one property until [`case_count`] cases pass.
+    ///
+    /// # Panics
+    /// Panics on the first failing case, or when rejection (via
+    /// `prop_assume!`) starves the run.
+    pub fn run(test_name: &str, mut one_case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>) {
+        let cases = case_count();
+        let mut rng = rng_for(test_name);
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        while accepted < cases {
+            match one_case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < cases.saturating_mul(100).max(1000),
+                        "{test_name}: too many prop_assume! rejections ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{test_name}: property failed after {accepted} passing cases: {msg}");
+                }
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }` item
+/// becomes a `#[test]` that samples the strategies and runs the body until
+/// the configured number of cases pass.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects (does not count) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn regex_strategy_matches_shape() {
+        let mut rng = rng_for("regex_strategy_matches_shape");
+        let strat = "[a-z]{1,8}(\\.[a-z]{1,8})?";
+        for _ in 0..200 {
+            let s = Strategy::sample(&strat, &mut rng);
+            let parts: Vec<&str> = s.split('.').collect();
+            assert!(parts.len() <= 2, "{s}");
+            for p in &parts {
+                assert!((1..=8).contains(&p.len()), "{s}");
+                assert!(p.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn collection_strategies_respect_sizes() {
+        let mut rng = rng_for("collection_strategies_respect_sizes");
+        let v = prop::collection::vec(0u8..10, 3..7);
+        let m = prop::collection::btree_map("[a-c]", any::<u8>(), 0..4);
+        for _ in 0..100 {
+            let xs = Strategy::sample(&v, &mut rng);
+            assert!((3..7).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 10));
+            let map = Strategy::sample(&m, &mut rng);
+            assert!(map.len() < 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_assertions_work(x in 0u32..100, y in 0u32..100) {
+            prop_assume!(x != 99);
+            prop_assert!(x < 100, "x was {}", x);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Minimal in-repo stand-in for the `rand_distr` crate.
+//!
+//! Provides exactly the distributions the workspace samples — [`Normal`],
+//! [`LogNormal`], [`Gamma`], and [`Uniform`] over `f64` — with the
+//! constructor-returns-`Result` shape of upstream `rand_distr` so call sites
+//! (`Normal::new(..).expect("valid")`) compile unchanged.
+
+use rand::{Rng, RngCore, StandardSample};
+use std::fmt;
+
+/// Invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types from which values can be sampled.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // uniform in (0, 1]: avoids ln(0)
+    1.0 - f64::from_rng(rng)
+}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; stateless (no cached spare) so `sample(&self)` stays pure
+    let u1 = unit_open(rng);
+    let u2 = f64::from_rng(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err(Error("Normal requires finite mean and std_dev >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates the distribution of `exp(X)` with `X ~ N(mu, sigma²)`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(Self { norm: Normal::new(mu, sigma)? })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Gamma distribution with the given shape and scale.
+#[derive(Clone, Copy, Debug)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates `Gamma(shape, scale)`; both must be positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        if shape > 0.0 && shape.is_finite() && scale > 0.0 && scale.is_finite() {
+            Ok(Self { shape, scale })
+        } else {
+            Err(Error("Gamma requires positive finite shape and scale"))
+        }
+    }
+
+    fn sample_shape_ge1<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        // Marsaglia–Tsang squeeze method
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = unit_open(rng);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let g = if self.shape >= 1.0 {
+            Self::sample_shape_ge1(self.shape, rng)
+        } else {
+            // boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+            let boosted = Self::sample_shape_ge1(self.shape + 1.0, rng);
+            boosted * unit_open(rng).powf(1.0 / self.shape)
+        };
+        g * self.scale
+    }
+}
+
+/// Uniform distribution over an interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "Uniform::new requires lo < hi");
+        Self { lo, hi }
+    }
+
+    /// Uniform over `[lo, hi]`.
+    pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+        Self { lo, hi }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + f64::from_rng(rng) * (self.hi - self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let s: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&s);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(50.0f64.ln(), 1.0).unwrap();
+        let mut s: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = s[s.len() / 2];
+        assert!((median / 50.0 - 1.0).abs() < 0.1, "median {median}");
+        assert!(s.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_mean_is_shape_times_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(shape, scale) in &[(0.5f64, 1.0f64), (2.0, 3.0), (9.0, 0.5)] {
+            let d = Gamma::new(shape, scale).unwrap();
+            let s: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+            let (mean, _) = moments(&s);
+            let expect = shape * scale;
+            assert!((mean / expect - 1.0).abs() < 0.05, "shape {shape}: mean {mean} vs {expect}");
+            assert!(s.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Uniform::new_inclusive(-2.0, 2.0);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.0..=2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal in-repo stand-in for the `serde_derive` crate.
+//!
+//! Implements `#[derive(Serialize)]` for structs with named fields — the only
+//! shape the workspace derives — by walking the raw `TokenStream` (no
+//! syn/quote in the offline registry) and emitting an impl of the in-repo
+//! `serde::Serialize` trait that builds a `serde::Value::Object` in field
+//! declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let name = struct_name(&tokens);
+    let fields = named_fields(&tokens);
+
+    let mut entries = String::new();
+    for field in &fields {
+        entries.push_str(&format!(
+            "(String::from(\"{field}\"), serde::Serialize::to_value(&self.{field})),"
+        ));
+    }
+    let output = format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> serde::Value {{\n\
+         \t\tserde::Value::Object(vec![{entries}])\n\
+         \t}}\n\
+         }}"
+    );
+    output.parse().expect("derive(Serialize): generated impl must parse")
+}
+
+/// Returns the identifier following the `struct` keyword.
+fn struct_name(tokens: &[TokenTree]) -> String {
+    let mut iter = tokens.iter();
+    while let Some(tree) = iter.next() {
+        if matches!(tree, TokenTree::Ident(i) if i.to_string() == "struct") {
+            if let Some(TokenTree::Ident(name)) = iter.next() {
+                return name.to_string();
+            }
+            panic!("derive(Serialize): expected an identifier after `struct`");
+        }
+    }
+    panic!("derive(Serialize): only structs are supported");
+}
+
+/// Returns the field names from the struct's brace-delimited body.
+fn named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let body = tokens
+        .iter()
+        .rev()
+        .find_map(|tree| match tree {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("derive(Serialize): only structs with named fields are supported");
+
+    let mut fields = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        // skip attributes (e.g. doc comments) and visibility before the name
+        match trees.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                trees.next();
+                trees.next(); // the bracketed attribute body
+                continue;
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                trees.next();
+                if matches!(trees.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    trees.next(); // pub(crate) and friends
+                }
+                continue;
+            }
+            _ => {}
+        }
+        match trees.next() {
+            Some(TokenTree::Ident(name)) => fields.push(name.to_string()),
+            Some(other) => panic!("derive(Serialize): unexpected token `{other}` in struct body"),
+            None => break,
+        }
+        // consume `: Type` up to the next top-level comma; groups nest angle
+        // brackets safely, but bare `<`/`>` need explicit depth tracking
+        let mut angle_depth = 0i32;
+        for tree in trees.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}

@@ -1,0 +1,176 @@
+//! Minimal in-repo stand-in for the `serde_json` crate.
+//!
+//! Renders the in-repo `serde::Value` tree as JSON. Only serialization is
+//! provided ([`to_string`] and [`to_string_pretty`]); nothing in the
+//! workspace parses JSON back.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization failure (non-finite float).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = Writer { out: String::new(), indent: None };
+    w.value(&value.to_value(), 0)?;
+    Ok(w.out)
+}
+
+/// Serializes to pretty JSON (two-space indent, `"key": value` spacing).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = Writer { out: String::new(), indent: Some("  ") };
+    w.value(&value.to_value(), 0)?;
+    Ok(w.out)
+}
+
+struct Writer {
+    out: String,
+    indent: Option<&'static str>,
+}
+
+impl Writer {
+    fn value(&mut self, value: &Value, depth: usize) -> Result<(), Error> {
+        match value {
+            Value::Null => self.out.push_str("null"),
+            Value::Bool(b) => self.out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => self.out.push_str(&i.to_string()),
+            Value::UInt(u) => self.out.push_str(&u.to_string()),
+            Value::F32(f) => self.float(f64::from(*f), &f.to_string())?,
+            Value::F64(f) => self.float(*f, &f.to_string())?,
+            Value::String(s) => self.string(s),
+            Value::Array(items) => {
+                self.delimited('[', ']', items.len(), depth, |w, idx, depth| {
+                    w.value(&items[idx], depth)
+                })?;
+            }
+            Value::Object(entries) => {
+                self.delimited('{', '}', entries.len(), depth, |w, idx, depth| {
+                    let (key, val) = &entries[idx];
+                    w.string(key);
+                    w.out.push(':');
+                    if w.indent.is_some() {
+                        w.out.push(' ');
+                    }
+                    w.value(val, depth)
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    fn delimited(
+        &mut self,
+        open: char,
+        close: char,
+        len: usize,
+        depth: usize,
+        mut item: impl FnMut(&mut Self, usize, usize) -> Result<(), Error>,
+    ) -> Result<(), Error> {
+        self.out.push(open);
+        if len == 0 {
+            self.out.push(close);
+            return Ok(());
+        }
+        for idx in 0..len {
+            if idx > 0 {
+                self.out.push(',');
+            }
+            self.newline_indent(depth + 1);
+            item(self, idx, depth + 1)?;
+        }
+        self.newline_indent(depth);
+        self.out.push(close);
+        Ok(())
+    }
+
+    fn newline_indent(&mut self, depth: usize) {
+        if let Some(pad) = self.indent {
+            self.out.push('\n');
+            for _ in 0..depth {
+                self.out.push_str(pad);
+            }
+        }
+    }
+
+    fn float(&mut self, value: f64, shortest: &str) -> Result<(), Error> {
+        if !value.is_finite() {
+            return Err(Error(format!("non-finite float {value} is not valid JSON")));
+        }
+        self.out.push_str(shortest);
+        // Rust's shortest form drops the fractional part for whole floats
+        // ("2"); JSON readers expect a float-typed literal, so match
+        // serde_json ("2.0").
+        if !shortest.contains(['.', 'e', 'E']) {
+            self.out.push_str(".0");
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_scalars() {
+        assert_eq!(to_string(&7u32).unwrap(), "7");
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&1.5f32).unwrap(), "1.5");
+        assert_eq!(to_string(&None::<u8>).unwrap(), "null");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn pretty_object_layout() {
+        #[derive(Serialize)]
+        struct S {
+            x: u32,
+            ys: Vec<f64>,
+        }
+        let s = S { x: 7, ys: vec![1.0, 2.5] };
+        let json = to_string_pretty(&s).unwrap();
+        assert_eq!(json, "{\n  \"x\": 7,\n  \"ys\": [\n    1.0,\n    2.5\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f32::INFINITY).is_err());
+    }
+}
