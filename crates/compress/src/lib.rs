@@ -23,6 +23,9 @@
 //! Everything here is deterministic: same inputs and same compressor state
 //! produce identical bytes, so seeded courses stay reproducible.
 
+// Library code must surface malformed input as typed errors, never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod block;
 mod compressors;
 

@@ -101,6 +101,21 @@ impl Client {
         self.registry.flow_edges()
     }
 
+    /// Registration-conflict warnings.
+    pub fn warnings(&self) -> &[String] {
+        self.registry.warnings()
+    }
+
+    /// Emit-conformance violations observed during dispatch.
+    pub fn violations(&self) -> &[String] {
+        self.registry.violations()
+    }
+
+    /// Handler specs for the static verifier.
+    pub fn specs(&self) -> Vec<fs_verify::HandlerSpec> {
+        self.registry.specs()
+    }
+
     /// Initial action: ask to join the FL course.
     pub fn start(&mut self, ctx: &mut Ctx) {
         ctx.send(Message::new(
@@ -222,7 +237,10 @@ impl Client {
         );
 
         // receiving_eval_request: evaluate the shipped model locally, report.
-        self.registry.register(
+        // Registered as auxiliary: no default server handler emits
+        // EvalRequest (it is operator/extension driven), and the verifier
+        // must not flag the responder as unreachable.
+        self.registry.register_aux(
             Event::Message(MessageKind::EvalRequest),
             "evaluate_and_report",
             vec![Event::Message(MessageKind::MetricsReport)],

@@ -6,18 +6,22 @@
 //! registration). A complete course has at least one path from the *start*
 //! node (the client join-in) to the *termination* node (the finish message);
 //! nodes unreachable from start are redundant and produce warnings.
+//!
+//! The graph machinery itself now lives in [`fs_verify::graph`], where the
+//! full static-analysis engine builds on it; this module keeps the original
+//! course-facing API and remains the quick yes/no completeness probe. For
+//! structured diagnostics use [`crate::verify`].
 
 use crate::client::Client;
 use crate::event::Event;
 use crate::server::Server;
 use fs_net::MessageKind;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 
 /// The combined message-flow graph of a course.
 #[derive(Clone, Debug, Default)]
 pub struct FlowGraph {
-    edges: BTreeMap<Event, BTreeSet<Event>>,
-    nodes: BTreeSet<Event>,
+    inner: fs_verify::FlowGraph,
 }
 
 impl FlowGraph {
@@ -37,29 +41,12 @@ impl FlowGraph {
 
     /// Adds an edge (and both nodes).
     pub fn add_edge(&mut self, from: Event, to: Event) {
-        self.nodes.insert(from);
-        self.nodes.insert(to);
-        self.edges.entry(from).or_default().insert(to);
+        self.inner.add_edge(from, to);
     }
 
     /// All nodes reachable from `start` (inclusive).
     pub fn reachable_from(&self, start: Event) -> BTreeSet<Event> {
-        let mut seen = BTreeSet::new();
-        if !self.nodes.contains(&start) {
-            return seen;
-        }
-        let mut q = VecDeque::from([start]);
-        seen.insert(start);
-        while let Some(e) = q.pop_front() {
-            if let Some(nexts) = self.edges.get(&e) {
-                for &n in nexts {
-                    if seen.insert(n) {
-                        q.push_back(n);
-                    }
-                }
-            }
-        }
-        seen
+        self.inner.reachable_from(start)
     }
 
     /// Verifies the course: the start node is the clients' `join_in` message,
@@ -70,9 +57,8 @@ impl FlowGraph {
         let reachable = self.reachable_from(start);
         let complete = reachable.contains(&terminal);
         let redundant: Vec<Event> = self
-            .nodes
-            .iter()
-            .copied()
+            .inner
+            .nodes()
             .filter(|n| !reachable.contains(n))
             .collect();
         CompletenessReport {
@@ -83,7 +69,7 @@ impl FlowGraph {
 
     /// Node count (for tests and logs).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.inner.num_nodes()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use fs_compress::{Compressor, DeltaEncode, Identity, TopK, UniformQuant};
 use fs_tensor::optim::SgdConfig;
+use fs_verify::{CodecFacts, ConfigFacts, RuleFacts, VerifyMode};
 
 /// Which codec compresses a parameter payload (see `fs-compress`).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -155,6 +156,8 @@ pub struct FlConfig {
     pub sgd: SgdConfig,
     /// Update compression (both directions disabled by default).
     pub compression: CompressionConfig,
+    /// What runners do with static verification before starting the course.
+    pub verify: VerifyMode,
     /// Course RNG seed.
     pub seed: u64,
 }
@@ -177,7 +180,18 @@ impl Default for FlConfig {
             batch_size: 20,
             sgd: SgdConfig::with_lr(0.1),
             compression: CompressionConfig::default(),
+            verify: VerifyMode::Enforce,
             seed: 42,
+        }
+    }
+}
+
+impl CodecSpec {
+    fn facts(self) -> CodecFacts {
+        match self {
+            CodecSpec::Identity => CodecFacts::Identity,
+            CodecSpec::UniformQuant { bits } => CodecFacts::Quantize { bits },
+            CodecSpec::TopK { ratio } => CodecFacts::TopK { ratio },
         }
     }
 }
@@ -187,6 +201,41 @@ impl FlConfig {
     /// including over-selection.
     pub fn sample_target(&self) -> usize {
         ((self.concurrency as f32) * (1.0 + self.over_selection)).round() as usize
+    }
+
+    /// Lowers the config into the verifier's backend-neutral facts.
+    /// `num_clients` is the population size when the course is assembled.
+    pub fn facts(&self, num_clients: Option<usize>) -> ConfigFacts {
+        ConfigFacts {
+            total_rounds: self.total_rounds,
+            concurrency: self.concurrency,
+            sample_target: self.sample_target(),
+            num_clients,
+            rule: match self.rule {
+                AggregationRule::AllReceived => RuleFacts::AllReceived,
+                AggregationRule::GoalAchieved { goal } => RuleFacts::GoalAchieved { goal },
+                AggregationRule::TimeUp {
+                    budget_secs,
+                    min_feedback,
+                } => RuleFacts::TimeUp {
+                    budget_secs,
+                    min_feedback,
+                },
+            },
+            after_receiving_broadcast: self.broadcast == BroadcastManner::AfterReceiving,
+            staleness_tolerance: self.staleness_tolerance,
+            staleness_discount: self.staleness_discount,
+            over_selection: self.over_selection,
+            eval_every: self.eval_every,
+            target_accuracy: self.target_accuracy,
+            patience: self.patience,
+            local_steps: self.local_steps,
+            batch_size: self.batch_size,
+            lr: self.sgd.lr,
+            upload: self.compression.upload.map(CodecSpec::facts),
+            upload_delta: self.compression.upload_delta,
+            download: self.compression.download.map(CodecSpec::facts),
+        }
     }
 
     /// Convenience: the paper's `Sync-vanilla` strategy.

@@ -6,7 +6,7 @@
 //! them. This keeps worker code identical between the virtual-time standalone
 //! runner and the threaded distributed runner.
 
-use crate::event::Condition;
+use crate::event::{Condition, Event};
 use fs_net::Message;
 use fs_sim::VirtualTime;
 use std::collections::VecDeque;
@@ -50,6 +50,11 @@ pub struct Ctx {
     /// Condition events raised during this dispatch, processed FIFO
     /// immediately after the current handler returns.
     pub raised: VecDeque<Condition>,
+    /// Every event emitted through this context, in order — sends, raises,
+    /// and timers alike. [`crate::registry::Registry::dispatch`] diffs this
+    /// log against the handler's declared `emits` to catch undeclared
+    /// emissions (`FSV040`).
+    pub emitted: Vec<Event>,
     /// Set when the participant considers the course finished.
     pub finished: bool,
 }
@@ -62,12 +67,14 @@ impl Ctx {
             outbox: Vec::new(),
             timers: Vec::new(),
             raised: VecDeque::new(),
+            emitted: Vec::new(),
             finished: false,
         }
     }
 
     /// Queues a message with zero local compute work.
     pub fn send(&mut self, msg: Message) {
+        self.emitted.push(Event::Message(msg.kind));
         self.outbox.push(Outgoing {
             msg,
             compute_work: 0.0,
@@ -77,17 +84,20 @@ impl Ctx {
     /// Queues a message preceded by `compute_work` examples of local
     /// computation (e.g. local training).
     pub fn send_after_compute(&mut self, msg: Message, compute_work: f64) {
+        self.emitted.push(Event::Message(msg.kind));
         self.outbox.push(Outgoing { msg, compute_work });
     }
 
     /// Raises a condition event, to be handled right after the current
     /// handler returns.
     pub fn raise(&mut self, condition: Condition) {
+        self.emitted.push(Event::Condition(condition));
         self.raised.push_back(condition);
     }
 
     /// Arms a timer that will raise `condition` after `delay_secs`.
     pub fn arm_timer(&mut self, delay_secs: f64, condition: Condition, round: u64) {
+        self.emitted.push(Event::Condition(condition));
         self.timers.push(Timer {
             delay_secs,
             condition,

@@ -14,6 +14,7 @@ use crate::server::Server;
 use fs_net::bus::{Bus, BusError};
 use fs_net::SERVER_ID;
 use fs_sim::VirtualTime;
+use fs_verify::{VerifyMode, VerifyReport};
 use std::fmt;
 use std::time::Duration;
 
@@ -22,6 +23,8 @@ use std::time::Duration;
 pub enum DistributedError {
     /// The configured rule needs virtual time (e.g. `time_up`).
     UnsupportedRule(&'static str),
+    /// The course failed static verification under [`VerifyMode::Enforce`].
+    Verification(Box<VerifyReport>),
     /// A bus operation failed.
     Bus(BusError),
     /// The course did not finish within the wall-clock budget.
@@ -34,10 +37,37 @@ impl fmt::Display for DistributedError {
             DistributedError::UnsupportedRule(r) => {
                 write!(f, "rule {r} requires the standalone (virtual-time) runner")
             }
+            DistributedError::Verification(report) => {
+                write!(f, "course rejected by static verification:\n{report}")
+            }
             DistributedError::Bus(e) => write!(f, "bus error: {e}"),
             DistributedError::Timeout => write!(f, "distributed course timed out"),
         }
     }
+}
+
+/// Runs static verification per the server's configured [`VerifyMode`]
+/// before any thread is spawned.
+fn preflight(server: &Server, clients: &[Client]) -> Result<(), DistributedError> {
+    let mode = server.state.cfg.verify;
+    if mode == VerifyMode::Skip {
+        return Ok(());
+    }
+    let refs: Vec<&Client> = clients.iter().collect();
+    let report = crate::verify::verify_assembled(server, &refs, Some(&server.state.cfg));
+    let verbose = std::env::var_os("FS_VERIFY_LOG").is_some();
+    if verbose {
+        for line in crate::verify::effective_handler_log(server, &refs) {
+            eprintln!("fs-verify: {line}");
+        }
+    }
+    if verbose || !report.is_clean() {
+        eprint!("{}", report.render_table());
+    }
+    if mode == VerifyMode::Enforce && report.has_errors() {
+        return Err(DistributedError::Verification(Box::new(report)));
+    }
+    Ok(())
 }
 
 impl std::error::Error for DistributedError {}
@@ -70,6 +100,7 @@ pub fn run_distributed(
     if matches!(server.state.cfg.rule, AggregationRule::TimeUp { .. }) {
         return Err(DistributedError::UnsupportedRule("time_up"));
     }
+    preflight(&server, &clients)?;
     let mut bus = Bus::new();
     let server_mb = bus.register(SERVER_ID);
     let mut handles = Vec::new();
@@ -140,6 +171,7 @@ pub fn run_distributed_tcp(
     if matches!(server.state.cfg.rule, AggregationRule::TimeUp { .. }) {
         return Err(DistributedError::UnsupportedRule("time_up"));
     }
+    preflight(&server, &clients)?;
     let pending = TcpHub::bind("127.0.0.1:0").map_err(|_| DistributedError::Timeout)?;
     let addr = pending
         .local_addr()

@@ -44,6 +44,7 @@ pub mod runner;
 pub mod sampler;
 pub mod server;
 pub mod trainer;
+pub mod verify;
 
 pub use aggregator::{Aggregator, ReceivedUpdate};
 pub use client::{Client, ClientState};
@@ -56,3 +57,4 @@ pub use event::{Condition, Event};
 pub use runner::{CourseReport, StandaloneRunner};
 pub use server::{Server, ServerState};
 pub use trainer::{LocalTrainer, ShareFilter, TrainConfig, Trainer};
+pub use verify::{course_ir, effective_handler_log, verify_assembled};

@@ -7,13 +7,16 @@
 //! course would be printed out and recorded in the experimental logs."*
 //!
 //! Registration also declares which events the handler may *emit*; the
-//! completeness checker (Appendix E) builds the message-flow graph from these
-//! declarations.
+//! completeness checker (Appendix E, `fs-verify`) builds the message-flow
+//! graph from these declarations. To keep the static graph honest, dispatch
+//! compares the events a handler *actually* put into the [`Ctx`] against its
+//! declaration and records any undeclared emission as a conformance
+//! violation (`FSV040`).
 
 use crate::ctx::Ctx;
 use crate::event::Event;
 use fs_net::Message;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A handler: mutates worker state `S`, reads the triggering message, and
 /// records intents in the [`Ctx`].
@@ -22,6 +25,7 @@ pub type Handler<S> = Box<dyn FnMut(&mut S, &Message, &mut Ctx) + Send>;
 struct Entry<S> {
     name: String,
     emits: Vec<Event>,
+    aux: bool,
     handler: Handler<S>,
 }
 
@@ -29,6 +33,8 @@ struct Entry<S> {
 pub struct Registry<S> {
     entries: BTreeMap<Event, Entry<S>>,
     warnings: Vec<String>,
+    violation_keys: BTreeSet<(Event, Event)>,
+    violations: Vec<String>,
 }
 
 impl<S> Default for Registry<S> {
@@ -43,7 +49,34 @@ impl<S> Registry<S> {
         Self {
             entries: BTreeMap::new(),
             warnings: Vec::new(),
+            violation_keys: BTreeSet::new(),
+            violations: Vec::new(),
         }
+    }
+
+    fn insert(
+        &mut self,
+        event: Event,
+        name: String,
+        emits: Vec<Event>,
+        aux: bool,
+        handler: Handler<S>,
+    ) {
+        if let Some(old) = self.entries.get(&event) {
+            self.warnings.push(format!(
+                "event {event} was linked to handler {:?}; overwritten by {:?}",
+                old.name, name
+            ));
+        }
+        self.entries.insert(
+            event,
+            Entry {
+                name,
+                emits,
+                aux,
+                handler,
+            },
+        );
     }
 
     /// Links `handler` (named `name`, declaring the events it may emit) to
@@ -56,21 +89,21 @@ impl<S> Registry<S> {
         emits: Vec<Event>,
         handler: Handler<S>,
     ) {
-        let name = name.into();
-        if let Some(old) = self.entries.get(&event) {
-            self.warnings.push(format!(
-                "event {event} was linked to handler {:?}; overwritten by {:?}",
-                old.name, name
-            ));
-        }
-        self.entries.insert(
-            event,
-            Entry {
-                name,
-                emits,
-                handler,
-            },
-        );
+        self.insert(event, name.into(), emits, false, handler);
+    }
+
+    /// Like [`Registry::register`], but marks the handler *auxiliary*: it
+    /// answers an externally driven event (e.g. an operator issuing
+    /// `EvalRequest`) that no in-course handler emits, so the verifier
+    /// exempts it from reachability checks.
+    pub fn register_aux(
+        &mut self,
+        event: Event,
+        name: impl Into<String>,
+        emits: Vec<Event>,
+        handler: Handler<S>,
+    ) {
+        self.insert(event, name.into(), emits, true, handler);
     }
 
     /// Removes the handler for `event`, if any (the paper: "users can remove
@@ -80,10 +113,21 @@ impl<S> Registry<S> {
     }
 
     /// Invokes the handler linked to `event`, if any. Returns `true` when a
-    /// handler ran.
+    /// handler ran. Any event the handler emits that is missing from its
+    /// declared `emits` list is recorded as a conformance violation.
     pub fn dispatch(&mut self, state: &mut S, event: Event, msg: &Message, ctx: &mut Ctx) -> bool {
         if let Some(e) = self.entries.get_mut(&event) {
+            let emitted_before = ctx.emitted.len();
             (e.handler)(state, msg, ctx);
+            for i in emitted_before..ctx.emitted.len() {
+                let em = ctx.emitted[i];
+                if !e.emits.contains(&em) && self.violation_keys.insert((event, em)) {
+                    self.violations.push(format!(
+                        "handler '{}' for {event} emitted undeclared {em}",
+                        e.name
+                    ));
+                }
+            }
             true
         } else {
             false
@@ -98,6 +142,13 @@ impl<S> Registry<S> {
     /// Warnings accumulated from conflicting registrations.
     pub fn warnings(&self) -> &[String] {
         &self.warnings
+    }
+
+    /// Conformance violations observed during dispatch: handlers that
+    /// emitted events absent from their declared `emits` list (deduplicated
+    /// per `(event, emission)` pair).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
     }
 
     /// The effective `<event, handler-name>` pairs — what the paper prints
@@ -115,6 +166,19 @@ impl<S> Registry<S> {
         self.entries
             .iter()
             .flat_map(|(e, en)| en.emits.iter().map(move |t| (*e, *t)))
+            .collect()
+    }
+
+    /// Lowers the registry into the verifier's handler specs.
+    pub fn specs(&self) -> Vec<fs_verify::HandlerSpec> {
+        self.entries
+            .iter()
+            .map(|(e, en)| fs_verify::HandlerSpec {
+                event: *e,
+                name: en.name.clone(),
+                emits: en.emits.clone(),
+                aux: en.aux,
+            })
             .collect()
     }
 }
@@ -190,5 +254,74 @@ mod tests {
         let b = Event::Condition(Condition::AllReceived);
         reg.register(a, "save", vec![b], Box::new(|_, _, _| {}));
         assert_eq!(reg.flow_edges(), vec![(a, b)]);
+    }
+
+    #[test]
+    fn specs_carry_aux_flag() {
+        let mut reg: Registry<u32> = Registry::new();
+        reg.register(
+            Event::Message(MessageKind::Updates),
+            "save",
+            vec![Event::Condition(Condition::AllReceived)],
+            Box::new(|_, _, _| {}),
+        );
+        reg.register_aux(
+            Event::Message(MessageKind::EvalRequest),
+            "evaluate",
+            vec![Event::Message(MessageKind::MetricsReport)],
+            Box::new(|_, _, _| {}),
+        );
+        let specs = reg.specs();
+        assert_eq!(specs.len(), 2);
+        let eval = specs
+            .iter()
+            .find(|s| s.event == Event::Message(MessageKind::EvalRequest))
+            .expect("eval spec");
+        assert!(eval.aux);
+        assert!(
+            !specs
+                .iter()
+                .find(|s| s.event == Event::Message(MessageKind::Updates))
+                .expect("save spec")
+                .aux
+        );
+    }
+
+    #[test]
+    fn undeclared_emission_is_a_violation() {
+        let mut reg: Registry<u32> = Registry::new();
+        let ev = Event::Message(MessageKind::JoinIn);
+        reg.register(
+            ev,
+            "sneaky",
+            vec![], // declares nothing...
+            Box::new(|_, _, ctx| {
+                // ...but raises a condition anyway
+                ctx.raise(Condition::AllJoinedIn);
+            }),
+        );
+        let mut state = 0u32;
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        reg.dispatch(&mut state, ev, &msg(), &mut ctx);
+        reg.dispatch(&mut state, ev, &msg(), &mut ctx);
+        assert_eq!(reg.violations().len(), 1, "violations are deduplicated");
+        assert!(reg.violations()[0].contains("sneaky"));
+        assert!(reg.violations()[0].contains("all_joined_in"));
+    }
+
+    #[test]
+    fn declared_emission_is_not_a_violation() {
+        let mut reg: Registry<u32> = Registry::new();
+        let ev = Event::Message(MessageKind::JoinIn);
+        reg.register(
+            ev,
+            "honest",
+            vec![Event::Condition(Condition::AllJoinedIn)],
+            Box::new(|_, _, ctx| ctx.raise(Condition::AllJoinedIn)),
+        );
+        let mut state = 0u32;
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        reg.dispatch(&mut state, ev, &msg(), &mut ctx);
+        assert!(reg.violations().is_empty());
     }
 }

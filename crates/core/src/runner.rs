@@ -15,6 +15,7 @@ use crate::event::Condition;
 use crate::server::Server;
 use fs_net::{Message, MessageKind, ParticipantId, SERVER_ID};
 use fs_sim::{EventQueue, Fleet, VirtualTime};
+use fs_verify::{VerifyMode, VerifyReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -58,6 +59,15 @@ pub struct CourseReport {
     pub uploaded_bytes: u64,
     /// Total payload bytes sent server → clients.
     pub downloaded_bytes: u64,
+    /// The effective `<event, handler>` pairs that took effect, per
+    /// participant group — "printed out and recorded in the experimental
+    /// logs" (§3.2).
+    pub effective_handlers: Vec<String>,
+    /// Registry overwrite warnings collected while assembling the course.
+    pub registry_warnings: Vec<String>,
+    /// Emit-conformance violations observed during dispatch (`FSV040`):
+    /// handlers that emitted events absent from their declared `emits` list.
+    pub conformance_violations: Vec<String>,
 }
 
 impl CourseReport {
@@ -151,9 +161,54 @@ impl StandaloneRunner {
         }
     }
 
+    /// Verifies the assembled course per the configured [`VerifyMode`].
+    /// Returns the report as an error under `Enforce` when it has Errors.
+    fn preflight(&self) -> Result<(), Box<VerifyReport>> {
+        let mode = self.server.state.cfg.verify;
+        if mode == VerifyMode::Skip {
+            return Ok(());
+        }
+        let clients: Vec<&Client> = self.clients.values().collect();
+        let report =
+            crate::verify::verify_assembled(&self.server, &clients, Some(&self.server.state.cfg));
+        let verbose = std::env::var_os("FS_VERIFY_LOG").is_some();
+        if verbose {
+            for line in crate::verify::effective_handler_log(&self.server, &clients) {
+                eprintln!("fs-verify: {line}");
+            }
+        }
+        if verbose || !report.is_clean() {
+            eprint!("{}", report.render_table());
+        }
+        if mode == VerifyMode::Enforce && report.has_errors() {
+            return Err(Box::new(report));
+        }
+        Ok(())
+    }
+
+    /// Runs the course to completion and returns the report, or the
+    /// verification report when the course fails static analysis under
+    /// [`VerifyMode::Enforce`].
+    pub fn try_run(&mut self) -> Result<CourseReport, Box<VerifyReport>> {
+        self.preflight()?;
+        Ok(self.run_unchecked())
+    }
+
     /// Runs the course to completion (queue drained or event cap reached) and
     /// returns the report.
+    ///
+    /// # Panics
+    /// Panics with the rendered diagnostic table when the course fails static
+    /// verification under [`VerifyMode::Enforce`]; use
+    /// [`StandaloneRunner::try_run`] to handle that case programmatically.
     pub fn run(&mut self) -> CourseReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(verify) => panic!("course rejected by static verification:\n{verify}"),
+        }
+    }
+
+    fn run_unchecked(&mut self) -> CourseReport {
         // kick off: every client asks to join at t = 0
         let ids: Vec<ParticipantId> = self.clients.keys().copied().collect();
         for id in ids {
@@ -213,6 +268,22 @@ impl StandaloneRunner {
 
     /// Builds the course report from the current state.
     pub fn report(&self) -> CourseReport {
+        let clients: Vec<&Client> = self.clients.values().collect();
+        let effective_handlers = crate::verify::effective_handler_log(&self.server, &clients);
+        let mut registry_warnings: Vec<String> = self.server.warnings().to_vec();
+        let mut conformance_violations: Vec<String> = self.server.violations().to_vec();
+        for c in &clients {
+            for w in c.warnings() {
+                if !registry_warnings.contains(w) {
+                    registry_warnings.push(w.clone());
+                }
+            }
+            for v in c.violations() {
+                if !conformance_violations.contains(v) {
+                    conformance_violations.push(v.clone());
+                }
+            }
+        }
         let s = &self.server.state;
         CourseReport {
             final_time_secs: self.now.as_secs(),
@@ -228,6 +299,9 @@ impl StandaloneRunner {
             remedial_count: s.remedial_count,
             uploaded_bytes: self.uploaded_bytes,
             downloaded_bytes: self.downloaded_bytes,
+            effective_handlers,
+            registry_warnings,
+            conformance_violations,
         }
     }
 

@@ -329,6 +329,16 @@ impl Server {
         self.registry.flow_edges()
     }
 
+    /// Emit-conformance violations observed during dispatch.
+    pub fn violations(&self) -> &[String] {
+        self.registry.violations()
+    }
+
+    /// Handler specs for the static verifier.
+    pub fn specs(&self) -> Vec<fs_verify::HandlerSpec> {
+        self.registry.specs()
+    }
+
     /// Dispatches a message event, then drains raised condition events.
     pub fn handle(&mut self, msg: &Message, ctx: &mut Ctx) {
         self.registry

@@ -1,0 +1,134 @@
+//! Lowering an assembled course into the `fs-verify` IR.
+//!
+//! The static-analysis engine lives in the `fs-verify` crate and knows
+//! nothing about `Server`/`Client`/`FlConfig`; this module bridges the gap:
+//! it collects handler specs from every participant (collapsing clients with
+//! identical handler tables into one group, so a 10k-client course lowers to
+//! a couple of specs), gathers registry overwrite warnings, projects the
+//! config into [`fs_verify::ConfigFacts`], and hands the result to
+//! [`fs_verify::verify_course`]. Runners call [`verify_assembled`] before
+//! starting a course.
+
+use crate::client::Client;
+use crate::config::FlConfig;
+use crate::server::Server;
+use fs_net::ParticipantId;
+use fs_verify::{CourseIr, HandlerSpec, ParticipantSpec, VerifyReport};
+
+/// Lowers a course into the verifier's IR. `config` is optional so callers
+/// can verify a hand-assembled server/client set without a full `FlConfig`.
+pub fn course_ir(server: &Server, clients: &[&Client], config: Option<&FlConfig>) -> CourseIr {
+    let mut groups: Vec<(Vec<HandlerSpec>, Vec<ParticipantId>)> = Vec::new();
+    for c in clients {
+        let specs = c.specs();
+        match groups.iter_mut().find(|(s, _)| *s == specs) {
+            Some((_, ids)) => ids.push(c.state.id),
+            None => groups.push((specs, vec![c.state.id])),
+        }
+    }
+    let client_groups = groups
+        .into_iter()
+        .map(|(handlers, ids)| {
+            let label = match (ids.first(), ids.last()) {
+                (Some(first), Some(last)) if ids.len() > 1 => {
+                    format!("clients {first}–{last} ({} of them)", ids.len())
+                }
+                (Some(only), _) => format!("client {only}"),
+                _ => "clients".to_string(),
+            };
+            ParticipantSpec { label, handlers }
+        })
+        .collect();
+
+    let mut registry_warnings: Vec<String> = server.warnings().to_vec();
+    for c in clients {
+        registry_warnings.extend(c.warnings().iter().cloned());
+    }
+
+    CourseIr {
+        server: ParticipantSpec {
+            label: "server".to_string(),
+            handlers: server.specs(),
+        },
+        client_groups,
+        registry_warnings,
+        config: config.map(|cfg| cfg.facts(Some(clients.len()))),
+    }
+}
+
+/// Runs the full static analysis over an assembled course.
+pub fn verify_assembled(
+    server: &Server,
+    clients: &[&Client],
+    config: Option<&FlConfig>,
+) -> VerifyReport {
+    fs_verify::verify_course(&course_ir(server, clients, config))
+}
+
+/// The effective-handler log the paper prints: one line per participant
+/// group, `<event> -> <handler>` pairs in registration-table order.
+pub fn effective_handler_log(server: &Server, clients: &[&Client]) -> Vec<String> {
+    let ir = course_ir(server, clients, None);
+    let mut lines = Vec::new();
+    for spec in std::iter::once(&ir.server).chain(ir.client_groups.iter()) {
+        for h in &spec.handlers {
+            lines.push(format!("{}: {} -> {}", spec.label, h.event, h.name));
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlConfig;
+    use crate::course::CourseBuilder;
+    use fs_data::synth::{twitter_like, TwitterConfig};
+    use fs_tensor::model::logistic_regression;
+
+    fn tiny_course() -> crate::runner::StandaloneRunner {
+        let data = twitter_like(&TwitterConfig {
+            num_clients: 6,
+            seed: 3,
+            ..Default::default()
+        });
+        let dim = data.input_dim();
+        let cfg = FlConfig {
+            total_rounds: 2,
+            concurrency: 3,
+            ..Default::default()
+        };
+        CourseBuilder::new(
+            data,
+            Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+            cfg,
+        )
+        .build()
+    }
+
+    #[test]
+    fn default_course_verifies_clean() {
+        let runner = tiny_course();
+        let clients: Vec<&Client> = runner.clients.values().collect();
+        let report = verify_assembled(&runner.server, &clients, None);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn identical_clients_collapse_to_one_group() {
+        let runner = tiny_course();
+        let clients: Vec<&Client> = runner.clients.values().collect();
+        let ir = course_ir(&runner.server, &clients, None);
+        assert_eq!(ir.client_groups.len(), 1);
+        assert!(ir.client_groups[0].label.contains("6 of them"));
+    }
+
+    #[test]
+    fn handler_log_covers_both_sides() {
+        let runner = tiny_course();
+        let clients: Vec<&Client> = runner.clients.values().collect();
+        let log = effective_handler_log(&runner.server, &clients);
+        assert!(log.iter().any(|l| l.starts_with("server:")));
+        assert!(log.iter().any(|l| l.contains("local_training")));
+    }
+}

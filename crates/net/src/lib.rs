@@ -1,4 +1,4 @@
-//! `fs-net` — messages, the neutral wire format, backends, and the bus.
+//! `fs-net` — messages, events, the neutral wire format, backends, the bus.
 //!
 //! FederatedScope abstracts all exchanged information as *messages* and makes
 //! cross-backend FL possible through *message translation* (§3.5): every
@@ -8,6 +8,10 @@
 //!
 //! * [`message`] — the typed [`message::Message`] envelope (sender, receiver,
 //!   kind, round, virtual timestamp, payload);
+//! * [`event`] — the event vocabulary (§3.2): message-passing events wrap a
+//!   [`message::MessageKind`]; condition-checking events name a predicate.
+//!   Living here (below both `fs-core` and `fs-verify`) lets the engine and
+//!   the static verifier share it without a dependency cycle;
 //! * [`wire`] — the neutral binary codec for parameters and whole messages
 //!   (the *encoding*/*decoding* procedures of §3.5), built on `bytes`;
 //! * [`backend`] — the [`backend::Backend`] trait plus two concrete parameter
@@ -19,10 +23,15 @@
 //! * [`tcp`] — the same wire frames over real sockets (`std::net`), so
 //!   participants can run as separate processes.
 
+// Library code must surface malformed input as typed errors, never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod backend;
 pub mod bus;
+pub mod event;
 pub mod message;
 pub mod tcp;
 pub mod wire;
 
+pub use event::{Condition, Event};
 pub use message::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};

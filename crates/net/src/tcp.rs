@@ -15,7 +15,15 @@ use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the data even if a writer thread panicked while
+/// holding it (a poisoned stream map is still a usable stream map).
+fn lock_streams(
+    m: &Mutex<HashMap<ParticipantId, TcpStream>>,
+) -> MutexGuard<'_, HashMap<ParticipantId, TcpStream>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Errors from the TCP transport.
 #[derive(Debug)]
@@ -147,7 +155,7 @@ impl TcpHub {
                         Ok(msg) => {
                             if !registered {
                                 if let Ok(s) = reader.try_clone() {
-                                    streams.lock().expect("streams lock").insert(msg.sender, s);
+                                    lock_streams(&streams).insert(msg.sender, s);
                                 }
                                 registered = true;
                             }
@@ -188,7 +196,7 @@ impl TcpHub {
 
     /// Sends a message to its receiver's connection.
     pub fn send(&self, msg: &Message) -> Result<(), TcpError> {
-        let mut streams = self.streams.lock().expect("streams lock");
+        let mut streams = lock_streams(&self.streams);
         let stream = streams
             .get_mut(&msg.receiver)
             .ok_or(TcpError::UnknownReceiver(msg.receiver))?;
@@ -197,12 +205,7 @@ impl TcpHub {
 
     /// Ids of currently registered client connections.
     pub fn connected(&self) -> Vec<ParticipantId> {
-        self.streams
-            .lock()
-            .expect("streams lock")
-            .keys()
-            .copied()
-            .collect()
+        lock_streams(&self.streams).keys().copied().collect()
     }
 }
 

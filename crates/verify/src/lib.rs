@@ -1,0 +1,52 @@
+//! # fs-verify — static course verification & config lints
+//!
+//! FederatedScope (§3.6, Appendix E) checks an FL course *before* running
+//! it: the framework builds a message-flow graph from the registered
+//! `<event, handler>` pairs and their declared emissions, verifies that a
+//! path exists from the course start to its termination, and prints the
+//! handlers that take effect. This crate is that checker, grown into a small
+//! static-analysis engine with structured diagnostics:
+//!
+//! * **protocol checks** ([`course::verify_course`]) — completeness
+//!   (join-in → Finish), unreachable handlers, dead-end events, reachable
+//!   cycles with no exit to termination, and cross-participant send/receive
+//!   matching;
+//! * **config lints** ([`config::lint_config`]) — range and consistency
+//!   checks over the course configuration (zero rounds, empty sample target,
+//!   inert staleness settings, codec parameters out of range, ...);
+//! * **declaration conformance** — the engine records what handlers *actually*
+//!   emit during dispatch and reports [`Code::UndeclaredEmit`] mismatches, so
+//!   the static graph provably matches runtime behaviour.
+//!
+//! Every finding is a [`Diagnostic`] with a stable `FSVnnn` [`Code`], a
+//! [`Severity`], a subject, and a suggested fix; a [`VerifyReport`] renders
+//! them as the diagnostic table the CLI prints. The crate deliberately
+//! depends only on `fs-net` (the event vocabulary): the engine lowers its
+//! courses into the [`course::CourseIr`] / [`config::ConfigFacts`] IR defined
+//! here, which keeps `fs-verify` usable from both the standalone and the
+//! distributed runners without a dependency cycle.
+
+// Library code must surface malformed input as typed errors, never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod config;
+pub mod course;
+pub mod diag;
+pub mod graph;
+
+pub use config::{lint_config, CodecFacts, ConfigFacts, RuleFacts};
+pub use course::{union_graph, verify_course, CourseIr, HandlerSpec, ParticipantSpec};
+pub use diag::{Code, Diagnostic, Severity, VerifyReport};
+pub use graph::FlowGraph;
+
+/// What runners do with verification results before starting a course.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Verify and refuse to start on Errors (the default).
+    #[default]
+    Enforce,
+    /// Verify, report, and run anyway.
+    Warn,
+    /// Skip verification entirely.
+    Skip,
+}

@@ -3,13 +3,13 @@
 //! Builds a Twitter-like sentiment federation (120 tiny clients), trains a
 //! logistic regression with FedAvg for 20 rounds under virtual time, and
 //! prints the learning curve, the effective `<event, handler>` pairs, and the
-//! completeness check of the constructed course.
+//! static-verification report (fs-verify, §3.6 / Appendix E) of the
+//! constructed course.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use fedscope::core::completeness::FlowGraph;
 use fedscope::core::config::FlConfig;
 use fedscope::core::course::CourseBuilder;
 use fedscope::data::synth::{twitter_like, TwitterConfig};
@@ -47,18 +47,25 @@ fn main() {
     .build();
 
     // the handlers that take effect are recorded, as the paper requires
-    println!("effective server handlers:");
-    for (event, name) in runner.server.effective_handlers() {
-        println!("  {event} -> {name}");
+    println!("effective handlers (server and one line per client group):");
+    let clients: Vec<&fedscope::core::Client> = runner.clients.values().collect();
+    for line in fedscope::core::effective_handler_log(&runner.server, &clients) {
+        println!("  {line}");
     }
 
-    // completeness checking (Appendix E): start-to-termination path exists?
-    let clients: Vec<&fedscope::core::Client> = runner.clients.values().collect();
-    let graph = FlowGraph::from_course(&runner.server, &clients);
-    let check = graph.check();
-    println!("\ncourse complete: {}", check.complete);
-    assert!(check.complete, "default FedAvg course must be complete");
+    // static verification (§3.6 / Appendix E): completeness, dead handlers,
+    // send/receive matching, config lints — all as FSVnnn diagnostics
+    let verdict =
+        fedscope::core::verify_assembled(&runner.server, &clients, Some(&runner.server.state.cfg));
+    println!("\nstatic verification:\n{}", verdict.render_table());
+    assert!(
+        !verdict.has_errors(),
+        "default FedAvg course must verify without errors"
+    );
+    drop(clients);
 
+    // `run` repeats the verification as a preflight and would panic on errors;
+    // `try_run` is the non-panicking variant.
     let report = runner.run();
     println!("\nlearning curve (virtual time -> accuracy):");
     for r in report.history.iter().step_by(4) {

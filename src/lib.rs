@@ -12,6 +12,8 @@
 //! * [`compress`] — update compression: quantization, top-k sparsification
 //!   with error feedback, and delta encoding
 //! * [`sim`] — virtual time, device profiles, discrete-event queue
+//! * [`verify`] — static course verification & config lints with structured
+//!   `FSVnnn` diagnostics (§3.6, Appendix E)
 //! * [`core`] — the event-driven FL engine (workers, events, handlers,
 //!   aggregators, samplers, runners, completeness checking)
 //! * [`personalize`] — FedBN / Ditto / pFedMe / FedEM and multi-goal FL
@@ -34,3 +36,4 @@ pub use fs_personalize as personalize;
 pub use fs_privacy as privacy;
 pub use fs_sim as sim;
 pub use fs_tensor as tensor;
+pub use fs_verify as verify;

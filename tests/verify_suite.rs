@@ -1,0 +1,605 @@
+//! Integration tests for `fs-verify` (§3.6 / Appendix E): seeded broken
+//! courses and configs must be rejected with the expected `FSVnnn` codes,
+//! builder presets must verify clean, and runners must refuse to start a
+//! course that fails static verification.
+
+use fedscope::core::config::{
+    AggregationRule, BroadcastManner, CodecSpec, CompressionConfig, FlConfig, SamplerKind,
+};
+use fedscope::core::course::CourseBuilder;
+use fedscope::core::distributed::{run_distributed, DistributedError};
+use fedscope::core::{verify_assembled, Client, Condition, Event, StandaloneRunner};
+use fedscope::data::synth::{twitter_like, TwitterConfig};
+use fedscope::net::MessageKind;
+use fedscope::tensor::model::logistic_regression;
+use fedscope::verify::{lint_config, Code, Severity, VerifyMode, VerifyReport};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn course(num_clients: usize, cfg: FlConfig) -> StandaloneRunner {
+    let data = twitter_like(&TwitterConfig {
+        num_clients,
+        per_client: 12,
+        ..Default::default()
+    });
+    let dim = data.input_dim();
+    CourseBuilder::new(
+        data,
+        Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+        cfg,
+    )
+    .build()
+}
+
+fn report_of(runner: &StandaloneRunner) -> VerifyReport {
+    let clients: Vec<&Client> = runner.clients.values().collect();
+    verify_assembled(&runner.server, &clients, Some(&runner.server.state.cfg))
+}
+
+fn small_cfg() -> FlConfig {
+    FlConfig {
+        total_rounds: 2,
+        concurrency: 4,
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broken courses: protocol-level defects detected on the flow graph.
+// ---------------------------------------------------------------------------
+
+/// Removing the server's `all_received` handler severs the path from
+/// `receiving_join_in` to `receiving_finish`: the course is incomplete.
+#[test]
+fn missing_aggregation_handler_is_incomplete() {
+    let mut runner = course(8, small_cfg());
+    runner
+        .server
+        .registry_mut()
+        .unregister(Event::Condition(Condition::AllReceived));
+    let report = report_of(&runner);
+    assert!(report.has_errors(), "{report}");
+    assert!(report.has_code(Code::Incomplete), "{report}");
+}
+
+/// Without a `receiving_join_in` handler the course cannot even start.
+#[test]
+fn missing_join_in_handler_is_incomplete() {
+    let mut runner = course(8, small_cfg());
+    runner
+        .server
+        .registry_mut()
+        .unregister(Event::Message(MessageKind::JoinIn));
+    let report = report_of(&runner);
+    assert!(report.has_code(Code::Incomplete), "{report}");
+}
+
+/// The server terminates the course with `Finish`; if no client handles it,
+/// the server is shouting into the void.
+#[test]
+fn unhandled_finish_broadcast_is_an_error() {
+    let mut runner = course(8, small_cfg());
+    for client in runner.clients.values_mut() {
+        client
+            .registry_mut()
+            .unregister(Event::Message(MessageKind::Finish));
+    }
+    let report = report_of(&runner);
+    assert!(report.has_errors(), "{report}");
+    assert!(report.has_code(Code::ServerSendUnhandled), "{report}");
+}
+
+/// Clients that cannot receive `ModelParams` never train: the broadcast is
+/// unhandled and the course falls apart.
+#[test]
+fn unhandled_model_broadcast_is_an_error() {
+    let mut runner = course(8, small_cfg());
+    for client in runner.clients.values_mut() {
+        client
+            .registry_mut()
+            .unregister(Event::Message(MessageKind::ModelParams));
+    }
+    let report = report_of(&runner);
+    assert!(report.has_errors(), "{report}");
+    assert!(report.has_code(Code::ServerSendUnhandled), "{report}");
+}
+
+/// A client handler that declares it sends a custom message nobody on the
+/// server side handles.
+#[test]
+fn client_message_without_server_handler_is_an_error() {
+    let mut runner = course(8, small_cfg());
+    for client in runner.clients.values_mut() {
+        client.registry_mut().register(
+            Event::Message(MessageKind::ModelParams),
+            "train_and_share_embeddings",
+            vec![
+                Event::Message(MessageKind::Updates),
+                Event::Message(MessageKind::Custom(9)),
+            ],
+            Box::new(|_, _, _| {}),
+        );
+    }
+    let report = report_of(&runner);
+    assert!(report.has_errors(), "{report}");
+    assert!(report.has_code(Code::ClientSendUnhandled), "{report}");
+}
+
+/// A handler that declares it raises a condition its own participant never
+/// handles — the event would be silently dropped at runtime.
+#[test]
+fn raised_condition_without_handler_is_an_error() {
+    let mut runner = course(8, small_cfg());
+    runner.server.registry_mut().register(
+        Event::Message(MessageKind::Updates),
+        "save_update_and_signal",
+        vec![
+            Event::Condition(Condition::AllReceived),
+            Event::Condition(Condition::Custom(5)),
+        ],
+        Box::new(|_, _, _| {}),
+    );
+    let report = report_of(&runner);
+    assert!(report.has_errors(), "{report}");
+    assert!(report.has_code(Code::ConditionUnhandled), "{report}");
+}
+
+/// A registered handler whose trigger event nothing emits is dead code — a
+/// warning, not an error (the course still completes).
+#[test]
+fn never_emitted_handler_is_flagged_unreachable() {
+    let mut runner = course(8, small_cfg());
+    runner.server.registry_mut().register(
+        Event::Message(MessageKind::Custom(33)),
+        "orphan_handler",
+        vec![],
+        Box::new(|_, _, _| {}),
+    );
+    let report = report_of(&runner);
+    assert!(!report.has_errors(), "{report}");
+    assert!(!report.is_clean(), "{report}");
+    assert!(report.has_code(Code::UnreachableHandler), "{report}");
+}
+
+/// Two custom conditions that ping-pong forever with no path back to
+/// `Finish` form a reachable cycle without exit.
+#[test]
+fn reachable_cycle_without_exit_is_flagged() {
+    let mut runner = course(8, small_cfg());
+    let reg = runner.server.registry_mut();
+    // Re-declare the update handler so it also kicks off the side loop.
+    reg.register(
+        Event::Message(MessageKind::Updates),
+        "save_update_and_spin",
+        vec![
+            Event::Message(MessageKind::ModelParams),
+            Event::Condition(Condition::AllReceived),
+            Event::Condition(Condition::Custom(1)),
+        ],
+        Box::new(|_, _, _| {}),
+    );
+    reg.register(
+        Event::Condition(Condition::Custom(1)),
+        "spin_a",
+        vec![Event::Condition(Condition::Custom(2))],
+        Box::new(|_, _, _| {}),
+    );
+    reg.register(
+        Event::Condition(Condition::Custom(2)),
+        "spin_b",
+        vec![Event::Condition(Condition::Custom(1))],
+        Box::new(|_, _, _| {}),
+    );
+    let report = report_of(&runner);
+    assert!(report.has_code(Code::CycleWithoutExit), "{report}");
+}
+
+/// Overwriting a handler is legal (latest wins, per §3.2) and surfaces as a
+/// note that does not dirty the report.
+#[test]
+fn handler_overwrite_is_a_note_only() {
+    let mut runner = course(8, small_cfg());
+    runner.server.registry_mut().register(
+        Event::Message(MessageKind::Updates),
+        "custom_save_update",
+        vec![
+            Event::Message(MessageKind::ModelParams),
+            Event::Condition(Condition::AllReceived),
+        ],
+        Box::new(|_, _, _| {}),
+    );
+    let report = report_of(&runner);
+    assert!(report.has_code(Code::RegistryOverwrite), "{report}");
+    assert!(report.is_clean(), "{report}");
+    assert!(report.count(Severity::Note) >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Broken configs: lints over FlConfig.
+// ---------------------------------------------------------------------------
+
+fn lint_codes(cfg: &FlConfig, num_clients: usize) -> Vec<Code> {
+    lint_config(&cfg.facts(Some(num_clients)))
+        .into_iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+#[test]
+fn zero_rounds_is_an_error() {
+    let cfg = FlConfig {
+        total_rounds: 0,
+        ..Default::default()
+    };
+    assert!(lint_codes(&cfg, 20).contains(&Code::ZeroRounds));
+}
+
+#[test]
+fn zero_concurrency_samples_nobody() {
+    let cfg = FlConfig {
+        concurrency: 0,
+        ..Default::default()
+    };
+    assert!(lint_codes(&cfg, 20).contains(&Code::EmptySampleTarget));
+}
+
+#[test]
+fn invalid_codec_parameters_are_errors() {
+    let cfg = FlConfig {
+        compression: CompressionConfig {
+            upload: Some(CodecSpec::UniformQuant { bits: 3 }),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    assert!(lint_codes(&cfg, 20).contains(&Code::QuantBitsInvalid));
+
+    let cfg = FlConfig {
+        compression: CompressionConfig {
+            upload: Some(CodecSpec::TopK { ratio: 0.0 }),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    assert!(lint_codes(&cfg, 20).contains(&Code::TopKRatioInvalid));
+
+    let cfg = FlConfig {
+        compression: CompressionConfig {
+            download: Some(CodecSpec::TopK { ratio: f32::NAN }),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    assert!(lint_codes(&cfg, 20).contains(&Code::TopKRatioInvalid));
+}
+
+#[test]
+fn degenerate_training_knobs_are_errors() {
+    let cfg = FlConfig {
+        eval_every: 0,
+        ..Default::default()
+    };
+    assert!(lint_codes(&cfg, 20).contains(&Code::ZeroEvalEvery));
+
+    let mut cfg = FlConfig::default();
+    cfg.sgd.lr = 0.0;
+    assert!(lint_codes(&cfg, 20).contains(&Code::NonPositiveLr));
+
+    let cfg = FlConfig {
+        batch_size: 0,
+        ..Default::default()
+    };
+    assert!(lint_codes(&cfg, 20).contains(&Code::ZeroBatchSize));
+
+    let cfg = FlConfig {
+        local_steps: 0,
+        ..Default::default()
+    };
+    assert!(lint_codes(&cfg, 20).contains(&Code::ZeroLocalSteps));
+}
+
+#[test]
+fn degenerate_aggregation_rules_are_errors() {
+    let cfg =
+        FlConfig::default().async_goal(0, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+    assert!(lint_codes(&cfg, 20).contains(&Code::ZeroGoal));
+
+    let cfg = FlConfig::default().async_time(
+        -1.0,
+        1,
+        BroadcastManner::AfterAggregating,
+        SamplerKind::Uniform,
+    );
+    assert!(lint_codes(&cfg, 20).contains(&Code::NonPositiveBudget));
+}
+
+#[test]
+fn population_and_threshold_bounds_are_checked() {
+    // 10 concurrent from a population of 5: impossible.
+    let codes = lint_codes(&FlConfig::default(), 5);
+    assert!(codes.contains(&Code::SampleTargetExceedsClients));
+
+    // goal 15 can never be met by 10 sampled clients.
+    let cfg =
+        FlConfig::default().async_goal(15, BroadcastManner::AfterAggregating, SamplerKind::Uniform);
+    assert!(lint_codes(&cfg, 20).contains(&Code::ThresholdExceedsSampleTarget));
+
+    let cfg = FlConfig {
+        over_selection: -0.5,
+        ..Default::default()
+    };
+    assert!(lint_codes(&cfg, 20).contains(&Code::OverSelectionNegative));
+}
+
+// ---------------------------------------------------------------------------
+// Builder presets verify clean end to end.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn builder_presets_verify_clean() {
+    let presets: Vec<(&str, FlConfig)> = vec![
+        ("sync_vanilla", small_cfg().sync_vanilla()),
+        ("sync_over_selection", small_cfg().sync_over_selection(0.3)),
+        (
+            "async_goal",
+            small_cfg().async_goal(3, BroadcastManner::AfterReceiving, SamplerKind::Uniform),
+        ),
+        (
+            "async_time",
+            small_cfg().async_time(
+                5.0,
+                2,
+                BroadcastManner::AfterAggregating,
+                SamplerKind::Responsiveness,
+            ),
+        ),
+        (
+            "quant8_upload",
+            FlConfig {
+                compression: CompressionConfig::quant8_upload(),
+                ..small_cfg()
+            },
+        ),
+    ];
+    for (name, cfg) in presets {
+        // 16 clients covers the 30% over-selected sample target.
+        let runner = course(16, cfg);
+        let report = report_of(&runner);
+        assert!(report.is_clean(), "preset {name} not clean:\n{report}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runners refuse to start a course that fails verification.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn standalone_runner_refuses_incomplete_course() {
+    let mut runner = course(8, small_cfg());
+    runner
+        .server
+        .registry_mut()
+        .unregister(Event::Condition(Condition::AllReceived));
+    let err = runner
+        .try_run()
+        .expect_err("incomplete course must not run");
+    assert!(err.has_code(Code::Incomplete), "{err}");
+}
+
+#[test]
+fn standalone_runner_refuses_broken_config() {
+    let mut runner = course(
+        8,
+        FlConfig {
+            eval_every: 0,
+            ..small_cfg()
+        },
+    );
+    let err = runner.try_run().expect_err("broken config must not run");
+    assert!(err.has_code(Code::ZeroEvalEvery), "{err}");
+}
+
+/// `VerifyMode::Warn` downgrades refusal to a printed report: the course
+/// starts anyway. We use a statically broken but dynamically harmless course
+/// (a declared custom message nobody handles is simply dropped at runtime).
+#[test]
+fn warn_mode_overrides_refusal() {
+    let mut runner = course(8, small_cfg());
+    for client in runner.clients.values_mut() {
+        client.registry_mut().register(
+            Event::Message(MessageKind::ModelParams),
+            "train_and_gossip",
+            vec![
+                Event::Message(MessageKind::Updates),
+                Event::Message(MessageKind::Custom(9)),
+            ],
+            Box::new(|_, _, _| {}),
+        );
+    }
+    assert!(runner.try_run().is_err(), "Enforce must refuse");
+
+    // Same defect, Warn mode: the runner logs the report and proceeds. The
+    // no-op client handlers mean no client ever returns an update, so pick a
+    // fresh course and only flip the mode.
+    let mut runner = course(8, small_cfg());
+    runner.server.state.cfg.verify = VerifyMode::Warn;
+    runner
+        .server
+        .registry_mut()
+        .unregister(Event::Message(MessageKind::MetricsReport));
+    let report = runner.try_run().expect("warn mode proceeds");
+    assert_eq!(report.rounds, 2);
+}
+
+#[test]
+fn skip_mode_bypasses_verification() {
+    let mut runner = course(
+        8,
+        FlConfig {
+            verify: VerifyMode::Skip,
+            ..small_cfg()
+        },
+    );
+    // Statically broken (undeclared custom emission target), dynamically fine.
+    runner.server.registry_mut().register(
+        Event::Message(MessageKind::Custom(77)),
+        "orphan",
+        vec![],
+        Box::new(|_, _, _| {}),
+    );
+    let report = runner.try_run().expect("skip mode never refuses");
+    assert_eq!(report.rounds, 2);
+}
+
+#[test]
+fn distributed_runner_refuses_broken_course() {
+    let runner = course(6, small_cfg());
+    let mut server = runner.server;
+    let clients: Vec<Client> = runner.clients.into_values().collect();
+    server
+        .registry_mut()
+        .unregister(Event::Condition(Condition::AllReceived));
+    let err = run_distributed(server, clients, Duration::from_secs(5));
+    match err {
+        Err(DistributedError::Verification(report)) => {
+            assert!(report.has_code(Code::Incomplete), "{report}")
+        }
+        Err(other) => panic!("expected verification refusal, got {other}"),
+        Ok(_) => panic!("broken course must not run"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conformance: runtime emissions are diffed against declarations and the
+// report carries the effective-handler log.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn course_report_carries_handler_log_and_no_violations_by_default() {
+    let mut runner = course(8, small_cfg());
+    let report = runner.try_run().expect("default course runs");
+    assert!(
+        report
+            .effective_handlers
+            .iter()
+            .any(|l| l.starts_with("server:")),
+        "handler log missing server entries: {:?}",
+        report.effective_handlers
+    );
+    assert!(
+        report.conformance_violations.is_empty(),
+        "stock handlers must emit only what they declare: {:?}",
+        report.conformance_violations
+    );
+}
+
+#[test]
+fn undeclared_runtime_emission_is_reported() {
+    let mut runner = course(8, small_cfg());
+    // Declared emits omit EvalRequest, but the handler raises it anyway.
+    runner.server.registry_mut().register(
+        Event::Message(MessageKind::MetricsReport),
+        "sneaky_metrics_sink",
+        vec![],
+        Box::new(|_, _, ctx| {
+            ctx.raise(Condition::Custom(60));
+        }),
+    );
+    runner.server.state.cfg.verify = VerifyMode::Skip;
+    let report = runner.try_run().expect("course still runs");
+    assert!(
+        report
+            .conformance_violations
+            .iter()
+            .any(|v| v.contains("sneaky_metrics_sink")),
+        "expected a conformance violation: {:?}",
+        report.conformance_violations
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: mutated-invalid configs always produce at least one FSV
+// error; valid parameter ranges never do.
+// ---------------------------------------------------------------------------
+
+fn apply_breaking_mutation(cfg: &mut FlConfig, which: u8) {
+    match which % 10 {
+        0 => cfg.total_rounds = 0,
+        1 => cfg.concurrency = 0,
+        2 => cfg.eval_every = 0,
+        3 => cfg.local_steps = 0,
+        4 => cfg.batch_size = 0,
+        5 => cfg.sgd.lr = -0.1,
+        6 => cfg.over_selection = -1.5,
+        7 => {
+            cfg.compression.upload = Some(CodecSpec::UniformQuant { bits: 5 });
+        }
+        8 => {
+            cfg.compression.download = Some(CodecSpec::TopK { ratio: -0.25 });
+        }
+        _ => cfg.rule = AggregationRule::GoalAchieved { goal: 0 },
+    }
+}
+
+proptest! {
+    /// Any single breaking mutation over any reasonable base config yields
+    /// at least one FSV error.
+    #[test]
+    fn broken_configs_always_lint_an_error(
+        which in 0u8..10,
+        rounds in 1u64..200,
+        concurrency in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = FlConfig {
+            total_rounds: rounds,
+            concurrency,
+            seed,
+            ..Default::default()
+        };
+        apply_breaking_mutation(&mut cfg, which);
+        let diags = lint_config(&cfg.facts(Some(64)));
+        prop_assert!(
+            diags.iter().any(|d| d.severity == Severity::Error),
+            "mutation {} produced no error: {:?}",
+            which,
+            diags.iter().map(|d| d.code).collect::<Vec<_>>()
+        );
+    }
+
+    /// Builder presets over valid parameter ranges never lint an error.
+    #[test]
+    fn valid_presets_never_lint_an_error(
+        rounds in 1u64..200,
+        concurrency in 1usize..16,
+        goal_frac in 1usize..=4,
+        preset in 0u8..4,
+    ) {
+        let base = FlConfig {
+            total_rounds: rounds,
+            concurrency,
+            ..Default::default()
+        };
+        let goal = (concurrency / goal_frac).max(1);
+        let cfg = match preset {
+            0 => base.sync_vanilla(),
+            1 => base.sync_over_selection(0.3),
+            2 => base.async_goal(goal, BroadcastManner::AfterReceiving, SamplerKind::Uniform),
+            _ => base.async_time(
+                10.0,
+                goal,
+                BroadcastManner::AfterAggregating,
+                SamplerKind::Group,
+            ),
+        };
+        // Population comfortably larger than any sample target.
+        let diags = lint_config(&cfg.facts(Some(256)));
+        prop_assert!(
+            !diags.iter().any(|d| d.severity == Severity::Error),
+            "preset {} linted errors: {:?}",
+            preset,
+            diags.iter().map(|d| d.code).collect::<Vec<_>>()
+        );
+    }
+}
