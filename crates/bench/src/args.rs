@@ -1,0 +1,203 @@
+//! Shared command-line argument parsing for the `exp_*` binaries.
+//!
+//! Every experiment takes the same knobs — a seed, an optional round cap, a
+//! strategy subset, a workload subset, and a `--quick` smoke-test mode — and
+//! used to hardcode them. [`ExpArgs::parse`] centralizes the vocabulary:
+//!
+//! ```text
+//! exp_monitor --seed 7 --rounds 40 --strategies sync_vanilla,goal_aggr_unif \
+//!             --workloads femnist,twitter --quick
+//! ```
+
+use crate::strategies::Strategy;
+
+/// Parsed experiment arguments with per-experiment defaults filled by the
+/// `*_or` accessors.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExpArgs {
+    /// `--seed N` — course/fleet/data seed.
+    pub seed: Option<u64>,
+    /// `--rounds N` — override the workload's round cap.
+    pub rounds: Option<u64>,
+    /// `--strategies a,b,c` — strategy subset (paper labels or snake_case).
+    pub strategies: Option<Vec<Strategy>>,
+    /// `--workloads x,y` — workload subset by name (femnist, cifar, twitter).
+    pub workloads: Option<Vec<String>>,
+    /// `--quick` — shrink the run to a seconds-scale smoke test.
+    pub quick: bool,
+    /// Flags the experiment itself interprets (everything starting `--` that
+    /// this parser does not know, recorded without the leading dashes).
+    pub extra_flags: Vec<String>,
+}
+
+/// Known workload names (the `--workloads` vocabulary).
+pub const WORKLOAD_NAMES: [&str; 3] = ["femnist", "cifar", "twitter"];
+
+impl ExpArgs {
+    /// Parses the process arguments; prints usage and exits on bad input.
+    pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_from(&argv) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: [--seed N] [--rounds N] [--strategies a,b,c] \
+                     [--workloads femnist,cifar,twitter] [--quick]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument slice (testable form of [`ExpArgs::parse`]).
+    pub fn parse_from(argv: &[String]) -> Result<Self, String> {
+        let mut args = ExpArgs::default();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--seed" => {
+                    let v = value_for("--seed")?;
+                    args.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+                }
+                "--rounds" => {
+                    let v = value_for("--rounds")?;
+                    args.rounds = Some(v.parse().map_err(|_| format!("bad rounds {v:?}"))?);
+                }
+                "--strategies" => {
+                    let v = value_for("--strategies")?;
+                    let mut out = Vec::new();
+                    for name in v.split(',').filter(|s| !s.is_empty()) {
+                        out.push(
+                            Strategy::from_name(name)
+                                .ok_or_else(|| format!("unknown strategy {name:?}"))?,
+                        );
+                    }
+                    args.strategies = Some(out);
+                }
+                "--workloads" => {
+                    let v = value_for("--workloads")?;
+                    let mut out = Vec::new();
+                    for name in v.split(',').filter(|s| !s.is_empty()) {
+                        let name = name.to_ascii_lowercase();
+                        if !WORKLOAD_NAMES.contains(&name.as_str()) {
+                            return Err(format!(
+                                "unknown workload {name:?} (known: {})",
+                                WORKLOAD_NAMES.join(", ")
+                            ));
+                        }
+                        out.push(name);
+                    }
+                    args.workloads = Some(out);
+                }
+                "--quick" => args.quick = true,
+                other if other.starts_with("--") => {
+                    args.extra_flags
+                        .push(other.trim_start_matches('-').to_string());
+                }
+                other => return Err(format!("unexpected argument {other:?}")),
+            }
+        }
+        Ok(args)
+    }
+
+    /// The seed, or an experiment-specific default.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// The round cap, or an experiment-specific default.
+    pub fn rounds_or(&self, default: u64) -> u64 {
+        self.rounds.unwrap_or(default)
+    }
+
+    /// The strategy subset, or an experiment-specific default set.
+    pub fn strategies_or(&self, default: Vec<Strategy>) -> Vec<Strategy> {
+        self.strategies.clone().unwrap_or(default)
+    }
+
+    /// The workload subset, or an experiment-specific default set.
+    pub fn workloads_or(&self, default: &[&str]) -> Vec<String> {
+        self.workloads
+            .clone()
+            .unwrap_or_else(|| default.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// `true` when `--<flag>` was passed among the unclaimed extras.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.extra_flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_vocabulary() {
+        let a = ExpArgs::parse_from(&argv(&[
+            "--seed",
+            "42",
+            "--rounds",
+            "10",
+            "--strategies",
+            "sync_vanilla,Goal-Aggr-Unif",
+            "--workloads",
+            "femnist,twitter",
+            "--quick",
+            "--validate",
+        ]))
+        .unwrap();
+        assert_eq!(a.seed_or(7), 42);
+        assert_eq!(a.rounds_or(300), 10);
+        assert_eq!(
+            a.strategies_or(vec![]),
+            vec![Strategy::SyncVanilla, Strategy::GoalAggrUnif]
+        );
+        assert_eq!(a.workloads_or(&["cifar"]), vec!["femnist", "twitter"]);
+        assert!(a.quick);
+        assert!(a.has_flag("validate"));
+        assert!(!a.has_flag("other"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = ExpArgs::parse_from(&[]).unwrap();
+        assert_eq!(a.seed_or(7), 7);
+        assert_eq!(a.rounds_or(300), 300);
+        assert_eq!(a.strategies_or(Strategy::table1()), Strategy::table1());
+        assert_eq!(
+            a.workloads_or(&WORKLOAD_NAMES),
+            vec!["femnist", "cifar", "twitter"]
+        );
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(ExpArgs::parse_from(&argv(&["--seed"])).is_err());
+        assert!(ExpArgs::parse_from(&argv(&["--seed", "x"])).is_err());
+        assert!(ExpArgs::parse_from(&argv(&["--strategies", "nope"])).is_err());
+        assert!(ExpArgs::parse_from(&argv(&["--workloads", "mnist"])).is_err());
+        assert!(ExpArgs::parse_from(&argv(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn strategy_names_parse_in_any_style() {
+        for s in Strategy::all() {
+            assert_eq!(Strategy::from_name(s.label()), Some(s));
+            let snake = s.label().replace('-', "_").to_lowercase();
+            assert_eq!(Strategy::from_name(&snake), Some(s));
+        }
+        assert_eq!(Strategy::from_name("no-such"), None);
+    }
+}

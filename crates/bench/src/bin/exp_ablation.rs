@@ -11,9 +11,10 @@
 //!    Adam / Yogi on the aggregated delta.
 //!
 //! ```text
-//! cargo run -p fs-bench --release --bin exp_ablation
+//! cargo run -p fs-bench --release --bin exp_ablation -- [--seed N] [--rounds N]
 //! ```
 
+use fs_bench::args::ExpArgs;
 use fs_bench::output::{render_table, write_json};
 use fs_bench::workloads::femnist;
 use fs_core::aggregator::FedAvg;
@@ -32,7 +33,9 @@ struct AblationRow {
 }
 
 fn main() {
-    let wl = femnist(7);
+    let args = ExpArgs::parse();
+    let wl = femnist(args.seed_or(7));
+    let rounds = args.rounds_or(150);
     let mut rows: Vec<AblationRow> = Vec::new();
 
     let run = |study: &str,
@@ -47,7 +50,7 @@ fn main() {
             BroadcastManner::AfterReceiving,
             SamplerKind::Uniform,
         );
-        cfg.total_rounds = 150;
+        cfg.total_rounds = rounds;
         cfg.staleness_tolerance = tolerance;
         cfg.staleness_discount = discount;
         cfg.target_accuracy = None;
@@ -64,7 +67,7 @@ fn main() {
             .last()
             .map(|r| r.metrics.accuracy)
             .unwrap_or(0.0);
-        let hours = runner
+        let hours = report
             .time_to_accuracy(wl.target_accuracy)
             .map(|s| s / 3600.0);
         let log = &runner.server.state.staleness_log;

@@ -6,9 +6,10 @@
 //! sampling strategies is case-dependent).
 //!
 //! ```text
-//! cargo run -p fs-bench --release --bin exp_fig17
+//! cargo run -p fs-bench --release --bin exp_fig17 -- [--seed N] [--strategies a,b]
 //! ```
 
+use fs_bench::args::ExpArgs;
 use fs_bench::output::{render_table, write_json};
 use fs_bench::strategies::Strategy;
 use fs_bench::workloads::{cifar, femnist, twitter};
@@ -23,16 +24,19 @@ struct CurveSet {
 }
 
 fn main() {
+    let args = ExpArgs::parse();
+    let seed = args.seed_or(7);
     let mut all = Vec::new();
     let mut rows = Vec::new();
-    for wl in [femnist(7), cifar(7), twitter(7)] {
-        for strat in Strategy::fig17() {
+    for wl in [femnist(seed), cifar(seed), twitter(seed)] {
+        for strat in args.strategies_or(Strategy::fig17()) {
             let mut cfg = strat.configure(&wl);
             cfg.target_accuracy = Some(wl.target_accuracy);
             let mut runner = wl.build(cfg);
             let report = runner.run();
-            let secs = runner.time_to_accuracy(wl.target_accuracy);
-            let hours = secs.map(|s| s / 3600.0);
+            let hours = report
+                .time_to_accuracy(wl.target_accuracy)
+                .map(|s| s / 3600.0);
             eprintln!("  {} / {}: {:?} h", wl.name, strat.label(), hours);
             rows.push(vec![
                 wl.name.to_string(),

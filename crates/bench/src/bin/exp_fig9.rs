@@ -5,9 +5,10 @@
 //! for most of the course (a long-lived gap), converging to similar accuracy.
 //!
 //! ```text
-//! cargo run -p fs-bench --release --bin exp_fig9
+//! cargo run -p fs-bench --release --bin exp_fig9 -- [--seed N] [--rounds N]
 //! ```
 
+use fs_bench::args::ExpArgs;
 use fs_bench::output::write_json;
 use fs_bench::strategies::Strategy;
 use fs_bench::workloads::cifar;
@@ -20,7 +21,8 @@ struct Curve {
 }
 
 fn main() {
-    let wl = cifar(7);
+    let args = ExpArgs::parse();
+    let wl = cifar(args.seed_or(7));
     let strategies = [
         Strategy::SyncVanilla,
         Strategy::SyncOverSelection,
@@ -32,7 +34,12 @@ fn main() {
     for strat in strategies {
         let mut cfg = strat.configure(&wl);
         cfg.target_accuracy = None;
-        cfg.total_rounds = if strat.is_async() { 150 } else { 50 };
+        let sync_rounds = args.rounds_or(50);
+        cfg.total_rounds = if strat.is_async() {
+            sync_rounds * 3
+        } else {
+            sync_rounds
+        };
         let mut runner = wl.build(cfg);
         let report = runner.run();
         let points: Vec<(f64, f32)> = report

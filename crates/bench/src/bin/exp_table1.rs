@@ -7,9 +7,10 @@
 //! `Time-Aggr-Unif` the best on Twitter.
 //!
 //! ```text
-//! cargo run -p fs-bench --release --bin exp_table1
+//! cargo run -p fs-bench --release --bin exp_table1 -- [--seed N] [--workloads a,b]
 //! ```
 
+use fs_bench::args::ExpArgs;
 use fs_bench::output::{render_table, write_json};
 use fs_bench::strategies::Strategy;
 use fs_bench::workloads::{cifar, femnist, twitter, Workload};
@@ -33,8 +34,9 @@ fn run_workload(wl: &Workload, rows: &mut Vec<Row>) {
         cfg.target_accuracy = Some(wl.target_accuracy);
         let mut runner = wl.build(cfg);
         let report = runner.run();
-        let secs = runner.time_to_accuracy(wl.target_accuracy);
-        let hours = secs.map(|s| s / 3600.0);
+        let hours = report
+            .time_to_accuracy(wl.target_accuracy)
+            .map(|s| s / 3600.0);
         if strat == Strategy::SyncVanilla {
             sync_hours = hours;
         }
@@ -62,9 +64,15 @@ fn run_workload(wl: &Workload, rows: &mut Vec<Row>) {
 }
 
 fn main() {
-    let seed = 7u64;
+    let args = ExpArgs::parse();
+    let seed = args.seed_or(7);
     let mut rows = Vec::new();
-    for wl in [femnist(seed), cifar(seed), twitter(seed)] {
+    for name in args.workloads_or(&["femnist", "cifar", "twitter"]) {
+        let wl = match name.as_str() {
+            "femnist" => femnist(seed),
+            "cifar" => cifar(seed),
+            _ => twitter(seed),
+        };
         eprintln!("== {} (target {:.0}%)", wl.name, wl.target_accuracy * 100.0);
         run_workload(&wl, &mut rows);
     }

@@ -9,6 +9,8 @@
 //!   same model families);
 //! * [`strategies`] — the named strategy grid of Table 1 / Figure 17
 //!   (`Sync-vanilla`, `Sync-OS`, `Async-<Event>-<Manner>-<Sampler>`);
+//! * [`args`] — the shared `--seed/--rounds/--strategies/--workloads/--quick`
+//!   command-line vocabulary;
 //! * [`output`] — human-readable tables plus machine-readable JSON dumped
 //!   under `results/`.
 //!
@@ -16,6 +18,7 @@
 //! and scale); the *shape* of each result — who wins, by roughly what factor,
 //! where the crossovers sit — is what `EXPERIMENTS.md` tracks.
 
+pub mod args;
 pub mod output;
 pub mod strategies;
 pub mod workloads;

@@ -46,6 +46,24 @@ impl Strategy {
         }
     }
 
+    /// Every named strategy.
+    pub fn all() -> Vec<Strategy> {
+        Self::fig17()
+    }
+
+    /// Parses a strategy name: the paper label (`Goal-Aggr-Unif`) or any
+    /// case/separator variant of it (`goal_aggr_unif`, `goalaggrunif`).
+    pub fn from_name(name: &str) -> Option<Strategy> {
+        let norm = |s: &str| {
+            s.chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .map(|c| c.to_ascii_lowercase())
+                .collect::<String>()
+        };
+        let wanted = norm(name);
+        Self::all().into_iter().find(|s| norm(s.label()) == wanted)
+    }
+
     /// The Table-1 strategy set.
     pub fn table1() -> Vec<Strategy> {
         vec![

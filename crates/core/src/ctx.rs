@@ -7,6 +7,7 @@
 //! runner and the threaded distributed runner.
 
 use crate::event::{Condition, Event};
+use fs_monitor::MonitorHandle;
 use fs_net::Message;
 use fs_sim::VirtualTime;
 use std::collections::VecDeque;
@@ -57,10 +58,13 @@ pub struct Ctx {
     pub emitted: Vec<Event>,
     /// Set when the participant considers the course finished.
     pub finished: bool,
+    /// Observability sink. Null (free) unless the runner attached a monitor;
+    /// handlers record domain counters and round metrics through it.
+    pub monitor: MonitorHandle,
 }
 
 impl Ctx {
-    /// Creates a context at the given virtual time.
+    /// Creates a context at the given virtual time with a null monitor.
     pub fn at(now: VirtualTime) -> Self {
         Self {
             now,
@@ -69,6 +73,15 @@ impl Ctx {
             raised: VecDeque::new(),
             emitted: Vec::new(),
             finished: false,
+            monitor: MonitorHandle::null(),
+        }
+    }
+
+    /// Creates a context carrying the runner's monitor handle.
+    pub fn with_monitor(now: VirtualTime, monitor: MonitorHandle) -> Self {
+        Self {
+            monitor,
+            ..Self::at(now)
         }
     }
 

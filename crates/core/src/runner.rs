@@ -13,6 +13,7 @@ use crate::ctx::Ctx;
 use crate::eval::EvalRecord;
 use crate::event::Condition;
 use crate::server::Server;
+use fs_monitor::{counters, MonitorHandle};
 use fs_net::{Message, MessageKind, ParticipantId, SERVER_ID};
 use fs_sim::{EventQueue, Fleet, VirtualTime};
 use fs_verify::{VerifyMode, VerifyReport};
@@ -75,6 +76,27 @@ impl CourseReport {
     pub fn total_bytes(&self) -> u64 {
         self.uploaded_bytes + self.downloaded_bytes
     }
+
+    /// The learning-curve point with the highest accuracy, if any.
+    pub fn best(&self) -> Option<&EvalRecord> {
+        self.history
+            .iter()
+            .max_by(|a, b| a.metrics.accuracy.total_cmp(&b.metrics.accuracy))
+    }
+
+    /// Best global accuracy observed over the course (0 when never evaluated).
+    pub fn best_accuracy(&self) -> f32 {
+        self.best().map_or(0.0, |r| r.metrics.accuracy)
+    }
+
+    /// First virtual time (seconds) at which global accuracy reached
+    /// `target`, if it ever did.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.history
+            .iter()
+            .find(|r| r.metrics.accuracy >= target)
+            .map(|r| r.time_secs)
+    }
 }
 
 /// Runs an FL course under virtual time.
@@ -96,6 +118,7 @@ pub struct StandaloneRunner {
     queue: EventQueue<SimEvent>,
     crash_rng: StdRng,
     max_events: u64,
+    monitor: MonitorHandle,
 }
 
 impl StandaloneRunner {
@@ -120,6 +143,7 @@ impl StandaloneRunner {
             queue: EventQueue::new(),
             crash_rng: StdRng::seed_from_u64(seed ^ 0xc4a5),
             max_events: 50_000_000,
+            monitor: MonitorHandle::null(),
         }
     }
 
@@ -129,22 +153,53 @@ impl StandaloneRunner {
         self
     }
 
+    /// Attaches an observability sink. Dispatch spans, charged virtual-time
+    /// intervals, byte/message counters, and per-round metrics flow into it;
+    /// the default null handle keeps all of that free.
+    pub fn with_monitor(mut self, monitor: MonitorHandle) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
     fn enqueue_intents(&mut self, from: ParticipantId, ctx: Ctx) {
         let now = ctx.now;
         for out in ctx.outbox {
             let mut msg = out.msg;
+            let payload_bytes = msg.payload_bytes() as u64;
+            self.monitor.add(counters::MESSAGES_SENT, 1);
+            // the monitor's byte counters are bumped at the same statements
+            // that charge the report's totals, so they reconcile exactly
             if msg.receiver == SERVER_ID {
-                self.uploaded_bytes += msg.payload_bytes() as u64;
+                self.uploaded_bytes += payload_bytes;
+                self.monitor.add(counters::UPLOADED_BYTES, payload_bytes);
             } else {
-                self.downloaded_bytes += msg.payload_bytes() as u64;
+                self.downloaded_bytes += payload_bytes;
+                self.monitor.add(counters::DOWNLOADED_BYTES, payload_bytes);
             }
             let delay = if from == SERVER_ID {
                 // server time is negligible; the receiver pays the download
                 let p = self.fleet.profile(msg.receiver);
-                p.comm_secs(msg.payload_bytes())
+                let comm = p.comm_secs(msg.payload_bytes());
+                if self.monitor.is_live() && comm > 0.0 {
+                    self.monitor
+                        .span(msg.receiver, "download", "comm", now, comm);
+                }
+                comm
             } else {
                 let p = self.fleet.profile(from);
-                p.compute_secs(out.compute_work.round() as usize) + p.comm_secs(msg.payload_bytes())
+                let compute = p.compute_secs(out.compute_work.round() as usize);
+                let comm = p.comm_secs(msg.payload_bytes());
+                if self.monitor.is_live() {
+                    if compute > 0.0 {
+                        self.monitor
+                            .span(from, "local_train", "compute", now, compute);
+                    }
+                    if comm > 0.0 {
+                        self.monitor
+                            .span(from, "upload", "comm", now + compute, comm);
+                    }
+                }
+                compute + comm
             };
             msg.timestamp = (now + delay).as_secs();
             self.queue.push(now + delay, SimEvent::Deliver(msg));
@@ -212,11 +267,14 @@ impl StandaloneRunner {
         // kick off: every client asks to join at t = 0
         let ids: Vec<ParticipantId> = self.clients.keys().copied().collect();
         for id in ids {
-            let mut ctx = Ctx::at(VirtualTime::ZERO);
+            let mut ctx = Ctx::with_monitor(VirtualTime::ZERO, self.monitor.clone());
+            self.monitor
+                .enter(id, "start", "dispatch", VirtualTime::ZERO);
             self.clients
                 .get_mut(&id)
                 .expect("client exists")
                 .start(&mut ctx);
+            self.monitor.exit(id, VirtualTime::ZERO);
             self.enqueue_intents(id, ctx);
         }
         let mut events = 0u64;
@@ -230,9 +288,13 @@ impl StandaloneRunner {
             self.now = at;
             match ev {
                 SimEvent::Deliver(msg) => {
+                    self.monitor.add(counters::MESSAGES_DELIVERED, 1);
                     if msg.receiver == SERVER_ID {
-                        let mut ctx = Ctx::at(at);
+                        let mut ctx = Ctx::with_monitor(at, self.monitor.clone());
+                        self.monitor
+                            .enter(SERVER_ID, msg.kind.name(), "dispatch", at);
                         self.server.handle(&msg, &mut ctx);
+                        self.monitor.exit(SERVER_ID, at);
                         self.enqueue_intents(SERVER_ID, ctx);
                     } else {
                         // device crash: the broadcast never reaches the client
@@ -240,12 +302,18 @@ impl StandaloneRunner {
                             && self.fleet.crashes(msg.receiver, &mut self.crash_rng)
                         {
                             self.crashed_deliveries += 1;
+                            self.monitor.add(counters::CRASHED_DELIVERIES, 1);
                             continue;
                         }
                         let id = msg.receiver;
+                        if msg.kind == MessageKind::ModelParams {
+                            self.monitor.add(counters::PARTICIPATION, 1);
+                        }
                         if let Some(client) = self.clients.get_mut(&id) {
-                            let mut ctx = Ctx::at(at);
+                            let mut ctx = Ctx::with_monitor(at, self.monitor.clone());
+                            self.monitor.enter(id, msg.kind.name(), "dispatch", at);
                             client.handle(&msg, &mut ctx);
+                            self.monitor.exit(id, at);
                             self.enqueue_intents(id, ctx);
                         }
                     }
@@ -256,8 +324,10 @@ impl StandaloneRunner {
                     round,
                 } => {
                     if to == SERVER_ID {
-                        let mut ctx = Ctx::at(at);
+                        let mut ctx = Ctx::with_monitor(at, self.monitor.clone());
+                        self.monitor.enter(SERVER_ID, "timer", "dispatch", at);
                         self.server.handle_timer(condition, round, &mut ctx);
+                        self.monitor.exit(SERVER_ID, at);
                         self.enqueue_intents(SERVER_ID, ctx);
                     }
                 }

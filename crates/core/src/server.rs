@@ -181,10 +181,19 @@ impl ServerState {
         if self.done {
             return;
         }
+        let mut staleness_sum = 0u64;
         for u in &self.buffer {
             *self.agg_count.entry(u.client).or_insert(0) += 1;
             self.staleness_log.push(u.staleness);
+            staleness_sum += u.staleness;
         }
+        ctx.monitor.add(fs_monitor::counters::AGGREGATIONS, 1);
+        ctx.monitor.add(
+            fs_monitor::counters::UPDATES_AGGREGATED,
+            self.buffer.len() as u64,
+        );
+        ctx.monitor
+            .add(fs_monitor::counters::STALENESS_SUM, staleness_sum);
         let buffer = std::mem::take(&mut self.buffer);
         self.global = self.aggregator.aggregate(&self.global, &buffer);
         self.version += 1;
@@ -196,12 +205,13 @@ impl ServerState {
         // centralized evaluation + stop checks
         if self.round.is_multiple_of(self.cfg.eval_every) {
             if let Some(ev) = self.evaluator.as_mut() {
-                let metrics = ev.eval(&self.global);
+                let metrics = ev.eval_at(self.round, &self.global);
                 self.history.push(EvalRecord {
                     round: self.round,
                     time_secs: ctx.now.as_secs(),
                     metrics,
                 });
+                ctx.monitor.round(self.round, ctx.now, &metrics);
                 if let Some(target) = self.cfg.target_accuracy {
                     if metrics.accuracy >= target {
                         self.finish_reason = Some(format!(
@@ -470,6 +480,7 @@ impl Server {
                     return; // late update after termination
                 }
                 state.total_updates += 1;
+                ctx.monitor.add(fs_monitor::counters::UPDATES_RECEIVED, 1);
                 // remove (not just test) so a duplicated or replayed reply
                 // from the same client cannot be counted twice
                 if state.outstanding.remove(&msg.sender) {
@@ -486,7 +497,10 @@ impl Server {
                             n_steps,
                         });
                     }
-                    _ => state.dropped_updates += 1,
+                    _ => {
+                        state.dropped_updates += 1;
+                        ctx.monitor.add(fs_monitor::counters::UPDATES_DROPPED, 1);
+                    }
                 }
                 let mut aggregating = false;
                 match state.cfg.rule {
@@ -567,6 +581,7 @@ impl Server {
                             state.aggregate_and_continue(ctx);
                         } else {
                             state.remedial_count += 1;
+                            ctx.monitor.add(fs_monitor::counters::REMEDIAL, 1);
                             if state.remedial_count > 10_000 {
                                 state.finish_reason = Some(
                                     "remedial limit exceeded (no client feedback)".to_string(),

@@ -1,0 +1,238 @@
+//! File exporters: JSONL round log, CSV counter summary, and the
+//! `BENCH_monitor.json` snapshot.
+
+use crate::recording::RecordingMonitor;
+use serde::Value;
+use std::io::{self, Write};
+
+/// Writes one JSON object per recorded round (the JSONL round log).
+pub fn write_rounds_jsonl<W: Write>(monitor: &RecordingMonitor, out: &mut W) -> io::Result<()> {
+    for r in monitor.rounds() {
+        let line = serde_json::to_string(r)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Writes the counter table as two-column CSV (`counter,value`), name-sorted.
+pub fn write_counters_csv<W: Write>(monitor: &RecordingMonitor, out: &mut W) -> io::Result<()> {
+    writeln!(out, "counter,value")?;
+    for (name, value) in monitor.counters() {
+        writeln!(out, "{name},{value}")?;
+    }
+    Ok(())
+}
+
+/// One benchmarked configuration in `BENCH_monitor.json`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BenchRow {
+    /// Workload name (e.g. `"femnist"`).
+    pub workload: String,
+    /// Training-strategy name (e.g. `"goal_aggr_unif"`).
+    pub strategy: String,
+    /// Compressor name (e.g. `"identity"`, `"topk"`).
+    pub compressor: String,
+    /// Aggregation rounds completed.
+    pub rounds: u64,
+    /// Rounds completed per wall-clock second of engine time.
+    pub rounds_per_sec: f64,
+    /// Virtual seconds when the target accuracy was first reached
+    /// (negative when the target was never reached).
+    pub virtual_secs_to_target: f64,
+    /// Target accuracy used for `virtual_secs_to_target`.
+    pub target_accuracy: f64,
+    /// Best global accuracy seen over the course.
+    pub best_accuracy: f64,
+    /// Payload bytes charged client → server.
+    pub uploaded_bytes: u64,
+    /// Payload bytes charged server → clients.
+    pub downloaded_bytes: u64,
+    /// Final virtual time of the course, in seconds.
+    pub final_virtual_secs: f64,
+}
+
+/// The `BENCH_monitor.json` document: the grid of [`BenchRow`]s plus schema
+/// metadata the CI gate checks.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BenchSnapshot {
+    /// Snapshot schema version; bump on incompatible changes.
+    pub schema_version: u64,
+    /// Benchmark name (`"exp_monitor"`).
+    pub bench: String,
+    /// One row per (workload, strategy, compressor) cell.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchSnapshot {
+    /// Current schema version.
+    pub const SCHEMA_VERSION: u64 = 1;
+
+    /// An empty snapshot for `exp_monitor`.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            schema_version: Self::SCHEMA_VERSION,
+            bench: bench.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Serializes the snapshot as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// Parses and validates a `BENCH_monitor.json` document. This is the CI
+/// gate: a missing field, wrong schema version, empty grid, or
+/// non-finite measurement all fail loudly.
+pub fn validate_bench_snapshot(json: &str) -> Result<BenchSnapshot, String> {
+    let snap: BenchSnapshot =
+        serde_json::from_str(json).map_err(|e| format!("malformed BENCH snapshot: {e:?}"))?;
+    if snap.schema_version != BenchSnapshot::SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {}",
+            snap.schema_version,
+            BenchSnapshot::SCHEMA_VERSION
+        ));
+    }
+    if snap.rows.is_empty() {
+        return Err("snapshot has no rows".to_string());
+    }
+    for (i, row) in snap.rows.iter().enumerate() {
+        if row.workload.is_empty() || row.strategy.is_empty() || row.compressor.is_empty() {
+            return Err(format!("row {i}: empty workload/strategy/compressor"));
+        }
+        if row.rounds == 0 {
+            return Err(format!("row {i}: zero rounds completed"));
+        }
+        for (name, v) in [
+            ("rounds_per_sec", row.rounds_per_sec),
+            ("target_accuracy", row.target_accuracy),
+            ("best_accuracy", row.best_accuracy),
+            ("final_virtual_secs", row.final_virtual_secs),
+        ] {
+            if !v.is_finite() {
+                return Err(format!("row {i}: non-finite {name}"));
+            }
+        }
+        if !row.virtual_secs_to_target.is_finite() {
+            return Err(format!("row {i}: non-finite virtual_secs_to_target"));
+        }
+    }
+    Ok(snap)
+}
+
+/// Parses one JSONL round log back into values (used by tests and tooling).
+pub fn parse_rounds_jsonl(text: &str) -> Result<Vec<Value>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str::<Value>(l).map_err(|e| format!("bad JSONL line: {e:?}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{counters, Monitor};
+    use fs_sim::VirtualTime;
+    use fs_tensor::model::Metrics;
+
+    fn sample_monitor() -> RecordingMonitor {
+        let mut m = RecordingMonitor::new();
+        m.add(counters::UPLOADED_BYTES, 2048);
+        m.add(counters::MESSAGES_DELIVERED, 12);
+        m.round(
+            1,
+            VirtualTime::from_secs(60.0),
+            &Metrics {
+                loss: 1.2,
+                accuracy: 0.31,
+                n: 400,
+            },
+        );
+        m.round(
+            2,
+            VirtualTime::from_secs(120.0),
+            &Metrics {
+                loss: 0.9,
+                accuracy: 0.44,
+                n: 400,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn jsonl_has_one_parseable_object_per_round() {
+        let m = sample_monitor();
+        let mut buf = Vec::new();
+        write_rounds_jsonl(&m, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let values = parse_rounds_jsonl(&text).unwrap();
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0].get("round").and_then(Value::as_u64), Some(1));
+        assert_eq!(values[1].get("round").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            values[1].get("time_secs").and_then(Value::as_f64),
+            Some(120.0)
+        );
+    }
+
+    #[test]
+    fn csv_is_header_plus_sorted_counters() {
+        let m = sample_monitor();
+        let mut buf = Vec::new();
+        write_counters_csv(&m, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "counter,value");
+        assert_eq!(lines[1], "bytes.uploaded,2048");
+        assert_eq!(lines[2], "messages.delivered,12");
+    }
+
+    fn sample_row() -> BenchRow {
+        BenchRow {
+            workload: "femnist".into(),
+            strategy: "sync_vanilla".into(),
+            compressor: "identity".into(),
+            rounds: 20,
+            rounds_per_sec: 85.0,
+            virtual_secs_to_target: 900.0,
+            target_accuracy: 0.5,
+            best_accuracy: 0.62,
+            uploaded_bytes: 1 << 20,
+            downloaded_bytes: 1 << 21,
+            final_virtual_secs: 3600.0,
+        }
+    }
+
+    #[test]
+    fn bench_snapshot_roundtrips_and_validates() {
+        let mut snap = BenchSnapshot::new("exp_monitor");
+        snap.rows.push(sample_row());
+        let json = snap.to_json();
+        let back = validate_bench_snapshot(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn validation_rejects_bad_snapshots() {
+        assert!(validate_bench_snapshot("not json").is_err());
+        assert!(validate_bench_snapshot("{}").is_err(), "missing fields");
+        let empty = BenchSnapshot::new("exp_monitor");
+        assert!(
+            validate_bench_snapshot(&empty.to_json()).is_err(),
+            "no rows"
+        );
+        let mut wrong_version = BenchSnapshot::new("exp_monitor");
+        wrong_version.rows.push(sample_row());
+        wrong_version.schema_version = 999;
+        assert!(validate_bench_snapshot(&wrong_version.to_json()).is_err());
+        let mut nan = BenchSnapshot::new("exp_monitor");
+        let mut row = sample_row();
+        row.rounds_per_sec = f64::NAN;
+        nan.rows.push(row);
+        assert!(validate_bench_snapshot(&nan.to_json()).is_err());
+    }
+}

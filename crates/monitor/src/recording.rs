@@ -1,0 +1,500 @@
+//! The in-memory monitor backing every exporter.
+
+use crate::api::{Monitor, TrackId};
+use fs_sim::VirtualTime;
+use fs_tensor::model::Metrics;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One completed span: a named virtual-time interval on a participant track.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpanRecord {
+    /// Span label, e.g. `"handle:model_para"`.
+    pub name: String,
+    /// Category, e.g. `"dispatch"`, `"compute"`, `"comm"`.
+    pub cat: String,
+    /// Participant track the span ran on.
+    pub track: u32,
+    /// Start, in virtual seconds since the course origin.
+    pub start_secs: f64,
+    /// Duration in virtual seconds (zero-length spans are legal).
+    pub dur_secs: f64,
+    /// Nesting depth at which the span opened (0 = top level on its track).
+    pub depth: u32,
+    /// `true` for spans produced by `enter`/`exit` (strictly LIFO per track,
+    /// so well-nested by construction); `false` for charged intervals
+    /// (`span`), which model in-flight transfers and local compute and may
+    /// legitimately overlap each other on a track.
+    pub nested: bool,
+}
+
+impl SpanRecord {
+    /// End of the span, in virtual seconds.
+    pub fn end_secs(&self) -> f64 {
+        self.start_secs + self.dur_secs
+    }
+}
+
+/// Post-aggregation learning metrics for one round.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoundRecord {
+    /// Aggregation round (1-based, matching the server's state counter).
+    pub round: u64,
+    /// Virtual seconds at which the aggregation completed.
+    pub time_secs: f64,
+    /// Global-model loss at this round.
+    pub loss: f32,
+    /// Global-model accuracy at this round.
+    pub accuracy: f32,
+    /// Evaluated examples behind the metrics.
+    pub n: u64,
+}
+
+impl RoundRecord {
+    /// Reassembles the `Metrics` this record was fed from.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            loss: self.loss,
+            accuracy: self.accuracy,
+            n: self.n as usize,
+        }
+    }
+}
+
+struct OpenSpan {
+    name: &'static str,
+    cat: &'static str,
+    start: VirtualTime,
+}
+
+/// Records everything: spans per track, named counters, round metrics, and
+/// wall-clock elapsed time.
+///
+/// Well-nestedness is an invariant of the data structure, not a convention:
+/// each track keeps a stack of open spans, `exit` pops the innermost one,
+/// and a completed [`SpanRecord`] carries the depth it opened at. An `exit`
+/// with no matching `enter` cannot corrupt the record — it is counted in
+/// [`unbalanced_exits`](Self::unbalanced_exits) instead.
+pub struct RecordingMonitor {
+    spans: Vec<SpanRecord>,
+    open: BTreeMap<TrackId, Vec<OpenSpan>>,
+    counters: BTreeMap<&'static str, u64>,
+    rounds: Vec<RoundRecord>,
+    unbalanced_exits: u64,
+    wall_start: Instant,
+}
+
+impl Default for RecordingMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordingMonitor {
+    /// A fresh monitor; wall-clock elapsed time counts from here.
+    pub fn new() -> Self {
+        Self {
+            spans: Vec::new(),
+            open: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            rounds: Vec::new(),
+            unbalanced_exits: 0,
+            wall_start: Instant::now(),
+        }
+    }
+
+    /// Completed spans, in completion order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Per-round learning metrics, in recording order.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// Current value of one counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// `exit` calls that arrived with no open span on their track.
+    pub fn unbalanced_exits(&self) -> u64 {
+        self.unbalanced_exits
+    }
+
+    /// Spans still open (instrumentation bug or truncated run).
+    pub fn open_spans(&self) -> usize {
+        self.open.values().map(Vec::len).sum()
+    }
+
+    /// Wall-clock seconds since the monitor was created.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_start.elapsed().as_secs_f64()
+    }
+
+    /// The round with the highest accuracy, if any were recorded.
+    pub fn best_round(&self) -> Option<&RoundRecord> {
+        self.rounds
+            .iter()
+            .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
+    }
+
+    /// Checks the recorded spans for validity.
+    ///
+    /// Nested (`enter`/`exit`) spans must be well-nested per track: spans at
+    /// the same depth must not overlap, and a span must lie within the one
+    /// (if any) containing it at the next lower depth. Charged interval
+    /// spans (`span`) model in-flight transfers and local compute; they may
+    /// overlap freely but must have non-negative finite extents.
+    ///
+    /// Returns the first violation found, as a human-readable description.
+    pub fn validate_nesting(&self) -> Result<(), String> {
+        if self.unbalanced_exits > 0 {
+            return Err(format!("{} unbalanced exit(s)", self.unbalanced_exits));
+        }
+        let mut by_track: BTreeMap<u32, Vec<&SpanRecord>> = BTreeMap::new();
+        for s in &self.spans {
+            if !(s.dur_secs >= 0.0 && s.start_secs.is_finite() && s.dur_secs.is_finite()) {
+                return Err(format!("span {:?} has an invalid extent", s.name));
+            }
+            if s.nested {
+                by_track.entry(s.track).or_default().push(s);
+            }
+        }
+        for (track, mut spans) in by_track {
+            // sort by start, outermost (lowest depth) first on ties so
+            // containment checks see parents before children
+            spans.sort_by(|a, b| {
+                a.start_secs
+                    .total_cmp(&b.start_secs)
+                    .then(a.depth.cmp(&b.depth))
+            });
+            // simulate the stack: an active span at depth d must contain
+            // every later span opening at depth > d before it ends. A span
+            // whose end touches the next start stays active only when it can
+            // still be a parent (deeper child at the shared instant) — this
+            // keeps zero-length dispatch spans, where enter and exit share a
+            // virtual timestamp, well-defined.
+            let mut active: Vec<&SpanRecord> = Vec::new();
+            for s in spans {
+                while let Some(top) = active.last() {
+                    let ended_before = top.end_secs() < s.start_secs - 1e-12;
+                    let touches = top.end_secs() <= s.start_secs + 1e-12;
+                    if ended_before || (touches && s.depth <= top.depth) {
+                        active.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if s.depth as usize != active.len() {
+                    return Err(format!(
+                        "track {track}: span {:?} at depth {} but {} ancestors active",
+                        s.name,
+                        s.depth,
+                        active.len()
+                    ));
+                }
+                if let Some(top) = active.last() {
+                    if s.end_secs() > top.end_secs() + 1e-12 {
+                        return Err(format!(
+                            "track {track}: span {:?} escapes its parent {:?}",
+                            s.name, top.name
+                        ));
+                    }
+                }
+                active.push(s);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Monitor for RecordingMonitor {
+    fn enter(&mut self, track: TrackId, name: &'static str, cat: &'static str, at: VirtualTime) {
+        self.open.entry(track).or_default().push(OpenSpan {
+            name,
+            cat,
+            start: at,
+        });
+    }
+
+    fn exit(&mut self, track: TrackId, at: VirtualTime) {
+        let stack = self.open.entry(track).or_default();
+        match stack.pop() {
+            Some(span) => {
+                let depth = stack.len() as u32;
+                self.spans.push(SpanRecord {
+                    name: span.name.to_string(),
+                    cat: span.cat.to_string(),
+                    track,
+                    start_secs: span.start.as_secs(),
+                    dur_secs: (at - span.start).max(0.0),
+                    depth,
+                    nested: true,
+                });
+            }
+            None => self.unbalanced_exits += 1,
+        }
+    }
+
+    fn span(
+        &mut self,
+        track: TrackId,
+        name: &'static str,
+        cat: &'static str,
+        start: VirtualTime,
+        dur_secs: f64,
+    ) {
+        let depth = self.open.get(&track).map_or(0, Vec::len) as u32;
+        self.spans.push(SpanRecord {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            track,
+            start_secs: start.as_secs(),
+            dur_secs: dur_secs.max(0.0),
+            depth,
+            nested: false,
+        });
+    }
+
+    fn add(&mut self, counter: &'static str, delta: u64) {
+        *self.counters.entry(counter).or_insert(0) += delta;
+    }
+
+    fn round(&mut self, round: u64, time: VirtualTime, metrics: &Metrics) {
+        self.rounds.push(RoundRecord {
+            round,
+            time_secs: time.as_secs(),
+            loss: metrics.loss,
+            accuracy: metrics.accuracy,
+            n: metrics.n as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::counters;
+    use proptest::prelude::*;
+
+    fn t(secs: f64) -> VirtualTime {
+        VirtualTime::from_secs(secs)
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let mut m = RecordingMonitor::new();
+        m.enter(0, "outer", "dispatch", t(0.0));
+        m.enter(0, "inner", "compute", t(1.0));
+        m.exit(0, t(2.0));
+        m.exit(0, t(3.0));
+        assert_eq!(m.spans().len(), 2);
+        // inner completes first
+        assert_eq!(m.spans()[0].name, "inner");
+        assert_eq!(m.spans()[0].depth, 1);
+        assert_eq!(m.spans()[1].name, "outer");
+        assert_eq!(m.spans()[1].depth, 0);
+        assert!((m.spans()[1].dur_secs - 3.0).abs() < 1e-12);
+        assert_eq!(m.open_spans(), 0);
+        m.validate_nesting().unwrap();
+    }
+
+    #[test]
+    fn tracks_are_independent() {
+        let mut m = RecordingMonitor::new();
+        m.enter(0, "srv", "dispatch", t(0.0));
+        m.enter(3, "cli", "dispatch", t(0.5));
+        m.exit(0, t(1.0)); // closes srv, not cli
+        m.exit(3, t(2.0));
+        assert_eq!(m.spans()[0].name, "srv");
+        assert_eq!(m.spans()[0].track, 0);
+        assert_eq!(m.spans()[1].name, "cli");
+        assert_eq!(m.spans()[1].track, 3);
+        m.validate_nesting().unwrap();
+    }
+
+    #[test]
+    fn unbalanced_exit_is_counted_not_recorded() {
+        let mut m = RecordingMonitor::new();
+        m.exit(0, t(1.0));
+        assert_eq!(m.unbalanced_exits(), 1);
+        assert!(m.spans().is_empty());
+        assert!(m.validate_nesting().is_err());
+    }
+
+    #[test]
+    fn complete_span_inherits_current_depth() {
+        let mut m = RecordingMonitor::new();
+        m.enter(1, "dispatch", "dispatch", t(0.0));
+        m.span(1, "compute", "compute", t(0.0), 4.0);
+        m.exit(1, t(5.0));
+        let compute = &m.spans()[0];
+        assert_eq!(compute.depth, 1);
+        assert!((compute.dur_secs - 4.0).abs() < 1e-12);
+        m.validate_nesting().unwrap();
+    }
+
+    #[test]
+    fn charged_intervals_may_overlap_but_nested_spans_may_not() {
+        // two downloads in flight to the same client at once — legal
+        let mut m = RecordingMonitor::new();
+        m.span(7, "download", "comm", t(0.0), 5.0);
+        m.span(7, "download", "comm", t(2.0), 5.0);
+        m.validate_nesting().unwrap();
+        // the same shape from enter/exit would be a broken call structure,
+        // which the recorder itself straightens into nested spans — so force
+        // the overlap through two dispatches whose recorded extents collide
+        let mut bad = RecordingMonitor::new();
+        bad.spans.push(SpanRecord {
+            name: "a".into(),
+            cat: "dispatch".into(),
+            track: 7,
+            start_secs: 0.0,
+            dur_secs: 5.0,
+            depth: 0,
+            nested: true,
+        });
+        bad.spans.push(SpanRecord {
+            name: "b".into(),
+            cat: "dispatch".into(),
+            track: 7,
+            start_secs: 2.0,
+            dur_secs: 5.0,
+            depth: 0,
+            nested: true,
+        });
+        assert!(bad.validate_nesting().is_err());
+    }
+
+    #[test]
+    fn zero_length_dispatch_spans_validate() {
+        // the engine's handler spans open and close at the same virtual
+        // instant; several on one track at the same timestamp are sequential
+        let mut m = RecordingMonitor::new();
+        m.enter(0, "join_in", "dispatch", t(1.0));
+        m.exit(0, t(1.0));
+        m.enter(0, "join_in", "dispatch", t(1.0));
+        m.exit(0, t(1.0));
+        m.enter(0, "model_para", "dispatch", t(2.0));
+        m.exit(0, t(2.0));
+        m.validate_nesting().unwrap();
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = RecordingMonitor::new();
+        m.add(counters::UPLOADED_BYTES, 100);
+        m.add(counters::UPLOADED_BYTES, 24);
+        m.add(counters::MESSAGES_DELIVERED, 1);
+        assert_eq!(m.counter(counters::UPLOADED_BYTES), 124);
+        assert_eq!(m.counter(counters::MESSAGES_DELIVERED), 1);
+        assert_eq!(m.counter("unknown"), 0);
+    }
+
+    #[test]
+    fn rounds_and_best() {
+        let mut m = RecordingMonitor::new();
+        m.round(
+            1,
+            t(10.0),
+            &Metrics {
+                loss: 1.0,
+                accuracy: 0.4,
+                n: 50,
+            },
+        );
+        m.round(
+            2,
+            t(20.0),
+            &Metrics {
+                loss: 0.8,
+                accuracy: 0.6,
+                n: 50,
+            },
+        );
+        m.round(
+            3,
+            t(30.0),
+            &Metrics {
+                loss: 0.9,
+                accuracy: 0.5,
+                n: 50,
+            },
+        );
+        let best = m.best_round().unwrap();
+        assert_eq!(best.round, 2);
+        assert_eq!(best.metrics().n, 50);
+    }
+
+    #[test]
+    fn round_record_serde_roundtrip() {
+        let r = RoundRecord {
+            round: 7,
+            time_secs: 123.5,
+            loss: 0.25,
+            accuracy: 0.875,
+            n: 1000,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RoundRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    /// One dispatch on a track: a span that may charge nested compute/comm
+    /// intervals and nested sub-spans, mirroring how the engine instruments
+    /// handler dispatch.
+    fn dispatch(m: &mut RecordingMonitor, track: TrackId, start: f64, shape: &[u8]) -> f64 {
+        m.enter(track, "dispatch", "dispatch", t(start));
+        let mut now = start;
+        for &op in shape {
+            match op % 3 {
+                0 => {
+                    m.span(track, "compute", "compute", t(now), 0.5);
+                    now += 0.5;
+                }
+                1 => {
+                    m.enter(track, "sub", "dispatch", t(now));
+                    m.span(track, "comm", "comm", t(now), 0.25);
+                    now += 0.25;
+                    m.exit(track, t(now));
+                }
+                _ => {
+                    now += 0.1;
+                }
+            }
+        }
+        now += 0.01;
+        m.exit(track, t(now));
+        now
+    }
+
+    proptest! {
+        /// Arbitrary interleavings of dispatches across tracks — the shapes
+        /// and ordering the engine can produce — always validate.
+        #[test]
+        fn arbitrary_interleavings_stay_well_nested(
+            work in proptest::collection::vec(
+                (0u32..5, proptest::collection::vec(0u8..6, 0..6)),
+                0..24,
+            )
+        ) {
+            let mut m = RecordingMonitor::new();
+            let mut clocks = std::collections::BTreeMap::new();
+            for (track, shape) in work {
+                let now = clocks.entry(track).or_insert(0.0);
+                *now = dispatch(&mut m, track, *now, &shape);
+            }
+            prop_assert_eq!(m.open_spans(), 0);
+            prop_assert_eq!(m.unbalanced_exits(), 0);
+            prop_assert!(m.validate_nesting().is_ok(),
+                "nesting violated: {:?}", m.validate_nesting());
+        }
+    }
+}

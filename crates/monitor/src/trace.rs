@@ -1,0 +1,171 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the [trace-event format] consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): complete events (`"ph": "X"`) with
+//! microsecond timestamps, one named `tid` track per participant. Virtual
+//! seconds map to trace microseconds, so the timeline reads in course time.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::api::SERVER_TRACK;
+use crate::recording::RecordingMonitor;
+use serde::Value;
+
+fn event(name: &str, cat: &str, track: u32, ts_us: f64, dur_us: f64) -> Value {
+    Value::Object(vec![
+        ("name".to_string(), Value::String(name.to_string())),
+        ("cat".to_string(), Value::String(cat.to_string())),
+        ("ph".to_string(), Value::String("X".to_string())),
+        ("ts".to_string(), Value::F64(ts_us)),
+        ("dur".to_string(), Value::F64(dur_us)),
+        ("pid".to_string(), Value::UInt(0)),
+        ("tid".to_string(), Value::UInt(u64::from(track))),
+    ])
+}
+
+fn thread_name(track: u32) -> Value {
+    let label = if track == SERVER_TRACK {
+        "server".to_string()
+    } else {
+        format!("client {track}")
+    };
+    Value::Object(vec![
+        ("name".to_string(), Value::String("thread_name".to_string())),
+        ("ph".to_string(), Value::String("M".to_string())),
+        ("pid".to_string(), Value::UInt(0)),
+        ("tid".to_string(), Value::UInt(u64::from(track))),
+        (
+            "args".to_string(),
+            Value::Object(vec![("name".to_string(), Value::String(label))]),
+        ),
+    ])
+}
+
+/// Renders the monitor's spans as a trace-event JSON document
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+pub fn chrome_trace(monitor: &RecordingMonitor) -> Value {
+    let mut events = Vec::new();
+    // name every track that carries at least one span
+    let mut tracks: Vec<u32> = monitor.spans().iter().map(|s| s.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for track in tracks {
+        events.push(thread_name(track));
+    }
+    for s in monitor.spans() {
+        events.push(event(
+            &s.name,
+            &s.cat,
+            s.track,
+            s.start_secs * 1e6,
+            s.dur_secs * 1e6,
+        ));
+    }
+    Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(events)),
+        (
+            "displayTimeUnit".to_string(),
+            Value::String("ms".to_string()),
+        ),
+    ])
+}
+
+/// [`chrome_trace`] serialized to a JSON string.
+pub fn chrome_trace_json(monitor: &RecordingMonitor) -> String {
+    serde_json::to_string(&chrome_trace(monitor)).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// Structural check that `json` is a loadable trace document: parses as an
+/// object whose `traceEvents` is a non-empty array where every entry has
+/// `name`/`ph`/`pid`/`tid`, and every `"X"` event also has numeric
+/// `ts`/`dur`.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("not JSON: {e:?}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        for key in ["name", "pid", "tid"] {
+            if ev.get(key).is_none() {
+                return Err(format!("event {i}: missing {key}"));
+            }
+        }
+        if ph == "X" {
+            for key in ["ts", "dur"] {
+                let val = ev
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing numeric {key}"))?;
+                if !val.is_finite() || val < 0.0 {
+                    return Err(format!("event {i}: invalid {key} {val}"));
+                }
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Monitor;
+    use fs_sim::VirtualTime;
+
+    fn t(secs: f64) -> VirtualTime {
+        VirtualTime::from_secs(secs)
+    }
+
+    #[test]
+    fn trace_has_named_tracks_and_complete_events() {
+        let mut m = RecordingMonitor::new();
+        m.enter(0, "broadcast", "dispatch", t(0.0));
+        m.exit(0, t(0.5));
+        m.span(2, "compute", "compute", t(1.0), 3.0);
+        let json = chrome_trace_json(&m);
+        let n = validate_chrome_trace(&json).unwrap();
+        // 2 metadata + 2 complete events
+        assert_eq!(n, 4);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // metadata first; server track named "server", client named "client 2"
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, vec!["server", "client 2"]);
+        // virtual seconds become microseconds
+        let compute = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("compute"))
+            .unwrap();
+        assert_eq!(compute.get("ts").unwrap().as_f64().unwrap(), 1e6);
+        assert_eq!(compute.get("dur").unwrap().as_f64().unwrap(), 3e6);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents": []}"#).is_err());
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents": [{"ph": "X", "name": "a"}]}"#).is_err(),
+            "X event without ts/dur must fail"
+        );
+    }
+}

@@ -65,6 +65,22 @@ impl MessageKind {
         }
     }
 
+    /// Stable lowercase name, matching the paper's event vocabulary. Custom
+    /// kinds share one label (span/counter names must be `'static`).
+    pub fn name(self) -> &'static str {
+        match self {
+            MessageKind::JoinIn => "join_in",
+            MessageKind::IdAssignment => "id_assignment",
+            MessageKind::ModelParams => "model_para",
+            MessageKind::Updates => "updates",
+            MessageKind::Gradients => "gradients",
+            MessageKind::EvalRequest => "eval_request",
+            MessageKind::MetricsReport => "metrics_report",
+            MessageKind::Finish => "finish",
+            MessageKind::Custom(_) => "custom",
+        }
+    }
+
     /// Inverse of [`MessageKind::tag`].
     pub fn from_tag(tag: u16) -> Option<Self> {
         Some(match tag {

@@ -11,6 +11,7 @@
 
 use crate::message::{Message, ParticipantId};
 use crate::wire::{decode_message, encode_message, CodecError};
+use fs_monitor::{counters, MonitorHandle};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -71,6 +72,16 @@ pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
 /// Writes one length-prefixed wire frame.
 pub fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), TcpError> {
+    write_frame_monitored(stream, msg, &MonitorHandle::null())
+}
+
+/// [`write_frame`], counting the real bytes put on the socket (4-byte length
+/// prefix + encoded frame) into the monitor's `wire.*` counters.
+pub fn write_frame_monitored(
+    stream: &mut TcpStream,
+    msg: &Message,
+    monitor: &MonitorHandle,
+) -> Result<(), TcpError> {
     let bytes = encode_message(msg);
     let len = bytes.len() as u32;
     if len > MAX_FRAME_BYTES {
@@ -79,11 +90,22 @@ pub fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), TcpError
     stream.write_all(&len.to_le_bytes())?;
     stream.write_all(&bytes)?;
     stream.flush()?;
+    monitor.add(counters::WIRE_FRAMES_OUT, 1);
+    monitor.add(counters::WIRE_BYTES_OUT, 4 + u64::from(len));
     Ok(())
 }
 
 /// Reads one length-prefixed wire frame (blocking).
 pub fn read_frame(stream: &mut TcpStream) -> Result<Message, TcpError> {
+    read_frame_monitored(stream, &MonitorHandle::null())
+}
+
+/// [`read_frame`], counting the real bytes taken off the socket into the
+/// monitor's `wire.*` counters.
+pub fn read_frame_monitored(
+    stream: &mut TcpStream,
+    monitor: &MonitorHandle,
+) -> Result<Message, TcpError> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf);
@@ -92,7 +114,10 @@ pub fn read_frame(stream: &mut TcpStream) -> Result<Message, TcpError> {
     }
     let mut buf = vec![0u8; len as usize];
     stream.read_exact(&mut buf)?;
-    Ok(decode_message(&buf)?)
+    let msg = decode_message(&buf)?;
+    monitor.add(counters::WIRE_FRAMES_IN, 1);
+    monitor.add(counters::WIRE_BYTES_IN, 4 + u64::from(len));
+    Ok(msg)
 }
 
 /// Server side: accepts `expected_clients` connections, spawns one reader
@@ -103,12 +128,14 @@ pub struct TcpHub {
     streams: Arc<Mutex<HashMap<ParticipantId, TcpStream>>>,
     incoming: Receiver<Message>,
     local_addr: SocketAddr,
+    monitor: MonitorHandle,
 }
 
 /// A bound-but-not-yet-accepting hub: lets callers learn the ephemeral port
 /// before clients connect.
 pub struct PendingHub {
     listener: TcpListener,
+    monitor: MonitorHandle,
 }
 
 impl PendingHub {
@@ -117,9 +144,17 @@ impl PendingHub {
         Ok(self.listener.local_addr()?)
     }
 
+    /// Attaches an observability sink; the hub's reader threads and writes
+    /// count real wire bytes and frames into it. Must be called before
+    /// [`PendingHub::accept`] so the reader threads carry the handle.
+    pub fn with_monitor(mut self, monitor: MonitorHandle) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
     /// Accepts exactly `expected_clients` connections and starts the hub.
     pub fn accept(self, expected_clients: usize) -> Result<TcpHub, TcpError> {
-        TcpHub::from_listener(self.listener, expected_clients)
+        TcpHub::from_listener(self.listener, expected_clients, self.monitor)
     }
 }
 
@@ -129,16 +164,25 @@ impl TcpHub {
     pub fn bind(addr: impl ToSocketAddrs) -> Result<PendingHub, TcpError> {
         Ok(PendingHub {
             listener: TcpListener::bind(addr)?,
+            monitor: MonitorHandle::null(),
         })
     }
 
     /// Binds `addr` and accepts exactly `expected_clients` connections.
     /// Returns once all are connected and their reader threads run.
     pub fn listen(addr: impl ToSocketAddrs, expected_clients: usize) -> Result<TcpHub, TcpError> {
-        Self::from_listener(TcpListener::bind(addr)?, expected_clients)
+        Self::from_listener(
+            TcpListener::bind(addr)?,
+            expected_clients,
+            MonitorHandle::null(),
+        )
     }
 
-    fn from_listener(listener: TcpListener, expected_clients: usize) -> Result<TcpHub, TcpError> {
+    fn from_listener(
+        listener: TcpListener,
+        expected_clients: usize,
+        monitor: MonitorHandle,
+    ) -> Result<TcpHub, TcpError> {
         let local_addr = listener.local_addr()?;
         let streams: Arc<Mutex<HashMap<ParticipantId, TcpStream>>> =
             Arc::new(Mutex::new(HashMap::new()));
@@ -148,10 +192,11 @@ impl TcpHub {
             let tx = tx.clone();
             let streams = streams.clone();
             let mut reader = stream.try_clone()?;
+            let monitor = monitor.clone();
             std::thread::spawn(move || {
                 let mut registered = false;
                 loop {
-                    match read_frame(&mut reader) {
+                    match read_frame_monitored(&mut reader, &monitor) {
                         Ok(msg) => {
                             if !registered {
                                 if let Ok(s) = reader.try_clone() {
@@ -172,6 +217,7 @@ impl TcpHub {
             streams,
             incoming,
             local_addr,
+            monitor,
         })
     }
 
@@ -200,7 +246,7 @@ impl TcpHub {
         let stream = streams
             .get_mut(&msg.receiver)
             .ok_or(TcpError::UnknownReceiver(msg.receiver))?;
-        write_frame(stream, msg)
+        write_frame_monitored(stream, msg, &self.monitor)
     }
 
     /// Ids of currently registered client connections.
@@ -212,6 +258,7 @@ impl TcpHub {
 /// Client side: one connection to the hub.
 pub struct TcpPeer {
     stream: TcpStream,
+    monitor: MonitorHandle,
 }
 
 impl TcpPeer {
@@ -219,17 +266,23 @@ impl TcpPeer {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpPeer, TcpError> {
         Ok(TcpPeer {
             stream: TcpStream::connect(addr)?,
+            monitor: MonitorHandle::null(),
         })
+    }
+
+    /// Attaches an observability sink counting this peer's wire traffic.
+    pub fn set_monitor(&mut self, monitor: MonitorHandle) {
+        self.monitor = monitor;
     }
 
     /// Sends one message.
     pub fn send(&mut self, msg: &Message) -> Result<(), TcpError> {
-        write_frame(&mut self.stream, msg)
+        write_frame_monitored(&mut self.stream, msg, &self.monitor)
     }
 
     /// Blocks for the next message from the hub.
     pub fn recv(&mut self) -> Result<Message, TcpError> {
-        read_frame(&mut self.stream)
+        read_frame_monitored(&mut self.stream, &self.monitor)
     }
 }
 
@@ -305,6 +358,58 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn wire_counters_match_between_peer_and_hub() {
+        use fs_monitor::RecordingMonitor;
+        use std::sync::{Arc, Mutex};
+
+        let hub_mon = Arc::new(Mutex::new(RecordingMonitor::new()));
+        let peer_mon = Arc::new(Mutex::new(RecordingMonitor::new()));
+        let pending = TcpHub::bind("127.0.0.1:0")
+            .unwrap()
+            .with_monitor(MonitorHandle::from_shared(hub_mon.clone()));
+        let addr = pending.local_addr().unwrap();
+        let peer_mon2 = peer_mon.clone();
+        let client = std::thread::spawn(move || {
+            let mut peer = TcpPeer::connect(addr).unwrap();
+            peer.set_monitor(MonitorHandle::from_shared(peer_mon2));
+            peer.send(&join_msg(1)).unwrap();
+            let reply = peer.recv().unwrap();
+            assert_eq!(reply.kind, MessageKind::IdAssignment);
+        });
+        let hub = pending.accept(1).unwrap();
+        let joined = hub.recv().unwrap();
+        assert_eq!(joined.sender, 1);
+        hub.send(&Message::new(
+            SERVER_ID,
+            1,
+            MessageKind::IdAssignment,
+            0,
+            Payload::Empty,
+        ))
+        .unwrap();
+        client.join().unwrap();
+        let hub_mon = hub_mon.lock().unwrap();
+        let peer_mon = peer_mon.lock().unwrap();
+        // what the peer put on the wire is what the hub took off, and back
+        assert_eq!(
+            peer_mon.counter(counters::WIRE_BYTES_OUT),
+            hub_mon.counter(counters::WIRE_BYTES_IN)
+        );
+        assert_eq!(
+            hub_mon.counter(counters::WIRE_BYTES_OUT),
+            peer_mon.counter(counters::WIRE_BYTES_IN)
+        );
+        assert_eq!(peer_mon.counter(counters::WIRE_FRAMES_OUT), 1);
+        assert_eq!(hub_mon.counter(counters::WIRE_FRAMES_IN), 1);
+        // real wire bytes = 4-byte length prefix + encoded frame
+        let join = join_msg(1);
+        assert_eq!(
+            peer_mon.counter(counters::WIRE_BYTES_OUT),
+            4 + join.wire_bytes() as u64
+        );
     }
 
     #[test]

@@ -69,6 +69,26 @@ impl Sub for VirtualTime {
     }
 }
 
+// Serialized as the bare seconds value; the tuple-struct shape (unsupported
+// by the in-repo derive) and the finiteness invariant both want manual impls.
+impl serde::Serialize for VirtualTime {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::F64(self.0)
+    }
+}
+
+impl serde::Deserialize for VirtualTime {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let secs = v
+            .as_f64()
+            .ok_or_else(|| serde::DeError::mismatch("number (virtual seconds)", v))?;
+        if !(secs.is_finite() && secs >= 0.0) {
+            return Err(serde::DeError(format!("invalid virtual time {secs}")));
+        }
+        Ok(VirtualTime(secs))
+    }
+}
+
 impl fmt::Debug for VirtualTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t={:.3}s", self.0)
@@ -99,6 +119,22 @@ mod tests {
     fn hours_conversion() {
         let t = VirtualTime::from_secs(7200.0);
         assert!((t.as_hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_seconds() {
+        use serde::{Deserialize, Serialize};
+        let t = VirtualTime::from_secs(12.25);
+        assert_eq!(t.to_value(), serde::Value::F64(12.25));
+        assert_eq!(VirtualTime::from_value(&t.to_value()).unwrap(), t);
+        // integer-typed JSON numbers widen
+        assert_eq!(
+            VirtualTime::from_value(&serde::Value::UInt(3)).unwrap(),
+            VirtualTime::from_secs(3.0)
+        );
+        // the finiteness/non-negativity invariant survives deserialization
+        assert!(VirtualTime::from_value(&serde::Value::F64(-1.0)).is_err());
+        assert!(VirtualTime::from_value(&serde::Value::F64(f64::NAN)).is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::{init, ParamMap, Tensor};
 use rand::Rng;
 
 /// Evaluation metrics for one dataset split.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Metrics {
     /// Mean loss over the split.
     pub loss: f32,
@@ -22,6 +22,16 @@ pub struct Metrics {
     pub accuracy: f32,
     /// Number of evaluated examples.
     pub n: usize,
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "loss={:.4} acc={:.4} n={}",
+            self.loss, self.accuracy, self.n
+        )
+    }
 }
 
 impl Metrics {
@@ -630,5 +640,18 @@ mod tests {
         assert!((m.accuracy - 0.875).abs() < 1e-6);
         assert_eq!(m.n, 40);
         assert_eq!(Metrics::weighted_merge(&[]), Metrics::default());
+    }
+
+    #[test]
+    fn metrics_serde_roundtrip_and_display() {
+        use serde::{Deserialize, Serialize};
+        let m = Metrics {
+            loss: 0.25,
+            accuracy: 0.875,
+            n: 40,
+        };
+        let back = Metrics::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(m.to_string(), "loss=0.2500 acc=0.8750 n=40");
     }
 }

@@ -12,6 +12,8 @@
 //! * [`compress`] — update compression: quantization, top-k sparsification
 //!   with error feedback, and delta encoding
 //! * [`sim`] — virtual time, device profiles, discrete-event queue
+//! * [`monitor`] — observability: spans, counters, round metrics, Chrome
+//!   trace / JSONL / CSV / bench-snapshot exporters
 //! * [`verify`] — static course verification & config lints with structured
 //!   `FSVnnn` diagnostics (§3.6, Appendix E)
 //! * [`core`] — the event-driven FL engine (workers, events, handlers,
@@ -31,6 +33,7 @@ pub use fs_autotune as autotune;
 pub use fs_compress as compress;
 pub use fs_core as core;
 pub use fs_data as data;
+pub use fs_monitor as monitor;
 pub use fs_net as net;
 pub use fs_personalize as personalize;
 pub use fs_privacy as privacy;

@@ -44,14 +44,6 @@ fn run_course(compression: CompressionConfig) -> (CourseReport, ParamMap) {
     (report, runner.server.state.global.clone())
 }
 
-fn best_accuracy(report: &CourseReport) -> f32 {
-    report
-        .history
-        .iter()
-        .map(|r| r.metrics.accuracy)
-        .fold(f32::NEG_INFINITY, f32::max)
-}
-
 #[test]
 fn quant8_course_matches_dense_accuracy_with_large_byte_savings() {
     let (dense, _) = run_course(CompressionConfig::default());
@@ -66,7 +58,7 @@ fn quant8_course_matches_dense_accuracy_with_large_byte_savings() {
     assert_eq!(dense.rounds, compressed.rounds);
 
     // accuracy within 2% absolute of the uncompressed same-seed run
-    let (a_dense, a_comp) = (best_accuracy(&dense), best_accuracy(&compressed));
+    let (a_dense, a_comp) = (dense.best_accuracy(), compressed.best_accuracy());
     assert!(
         (a_dense - a_comp).abs() <= 0.02,
         "accuracy drifted: dense {a_dense} vs quant8 {a_comp}"
@@ -143,7 +135,7 @@ fn delta_quant_upload_course_still_learns() {
     assert_eq!(dense.rounds, compressed.rounds);
     // quantizing the small-range delta is gentler than quantizing raw
     // weights, so the same accuracy window must hold
-    let (a_dense, a_comp) = (best_accuracy(&dense), best_accuracy(&compressed));
+    let (a_dense, a_comp) = (dense.best_accuracy(), compressed.best_accuracy());
     assert!(
         (a_dense - a_comp).abs() <= 0.02,
         "accuracy drifted: dense {a_dense} vs delta-quant8 {a_comp}"

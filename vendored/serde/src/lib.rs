@@ -1,17 +1,20 @@
 //! Minimal in-repo stand-in for the `serde` crate.
 //!
-//! Serialization only, through a concrete [`Value`] tree instead of upstream
-//! serde's visitor machinery: [`Serialize`] has a single `to_value` method,
-//! and `#[derive(Serialize)]` (re-exported from the in-repo `serde_derive`)
-//! builds a [`Value::Object`] from named struct fields. `serde_json` renders
-//! the tree.
+//! Works through a concrete [`Value`] tree instead of upstream serde's
+//! visitor machinery: [`Serialize`] has a single `to_value` method,
+//! [`Deserialize`] a single `from_value`, and the derives (re-exported from
+//! the in-repo `serde_derive`) map structs with named fields onto
+//! [`Value::Object`]s in field declaration order. `serde_json` renders and
+//! parses the tree.
 
 // Lets derive-generated `serde::` paths resolve inside this crate's own tests.
 extern crate self as serde;
 
-/// Re-export of the derive macro so `use serde::Serialize` brings in both the
-/// trait and `#[derive(Serialize)]`, as with upstream serde.
-pub use serde_derive::Serialize;
+use std::fmt;
+
+/// Re-export of the derive macros so `use serde::{Serialize, Deserialize}`
+/// brings in both the traits and the derives, as with upstream serde.
+pub use serde_derive::{Deserialize, Serialize};
 
 /// A serialized value tree (the stand-in for serde's data model).
 #[derive(Clone, Debug, PartialEq)]
@@ -36,10 +39,99 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up `key` in an [`Value::Object`]; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, widening integers and `f32`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::F32(f) => Some(f64::from(*f)),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short variant name for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::F32(_) | Value::F64(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
 /// Types that can be converted into a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into a serialized value tree.
     fn to_value(&self) -> Value;
+}
+
+/// Deserialization failure: the value tree does not match the target type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A "expected X, got Y" mismatch error.
+    pub fn mismatch(expected: &str, got: &Value) -> Self {
+        DeError(format!("expected {expected}, got {}", got.kind()))
+    }
+
+    /// Prefixes the error with a field path segment.
+    pub fn in_field(self, ty: &str, field: &str) -> Self {
+        DeError(format!("{ty}.{field}: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
@@ -149,6 +241,115 @@ impl Serialize for Value {
     }
 }
 
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| DeError(format!("{u} overflows i64")))?,
+                    other => return Err(DeError::mismatch("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError(format!("{wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: u64 = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::mismatch("non-negative integer", v))?;
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError(format!("{wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_signed!(i8, i16, i32, i64, isize);
+impl_deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::mismatch("number", v))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::mismatch("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::mismatch("array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($len:literal, $($name:ident : $idx:tt),+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::mismatch("array", v))?;
+                if items.len() != $len {
+                    return Err(DeError(format!(
+                        "expected array of {}, got {} elements", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_deserialize_tuple!(1, A: 0);
+impl_deserialize_tuple!(2, A: 0, B: 1);
+impl_deserialize_tuple!(3, A: 0, B: 1, C: 2);
+impl_deserialize_tuple!(4, A: 0, B: 1, C: 2, D: 3);
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +370,56 @@ mod tests {
             v.to_value(),
             Value::Array(vec![Value::Array(vec![Value::UInt(1), Value::F64(2.5)])])
         );
+    }
+
+    #[test]
+    fn primitives_deserialize_with_widening() {
+        assert_eq!(u32::from_value(&Value::UInt(7)).unwrap(), 7);
+        assert_eq!(u32::from_value(&Value::Int(7)).unwrap(), 7);
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert_eq!(f64::from_value(&Value::Int(-2)).unwrap(), -2.0);
+        assert_eq!(f32::from_value(&Value::F64(1.5)).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&Value::String("x".into())).unwrap(),
+            "x"
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u8>::from_value(&Value::Array(vec![Value::UInt(1), Value::UInt(2)])).unwrap(),
+            vec![1, 2]
+        );
+        assert!(bool::from_value(&Value::UInt(1)).is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let obj = Value::Object(vec![("k".into(), Value::UInt(3))]);
+        assert_eq!(obj.get("k"), Some(&Value::UInt(3)));
+        assert_eq!(obj.get("missing"), None);
+        assert_eq!(Value::F32(2.0).as_f64(), Some(2.0));
+        assert_eq!(Value::Int(-1).as_u64(), None);
+    }
+
+    #[test]
+    fn derive_deserialize_roundtrips() {
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        struct Point {
+            x: u32,
+            label: String,
+            scale: Option<f64>,
+        }
+        let p = Point {
+            x: 7,
+            label: "a".into(),
+            scale: None,
+        };
+        let back = Point::from_value(&p.to_value()).unwrap();
+        assert_eq!(back, p);
+        // a missing non-optional field is a typed error with a field path
+        let partial = Value::Object(vec![("x".into(), Value::UInt(1))]);
+        let err = Point::from_value(&partial).unwrap_err();
+        assert!(err.0.contains("Point.label"), "{err}");
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Minimal in-repo stand-in for the `serde_derive` crate.
 //!
-//! Implements `#[derive(Serialize)]` for structs with named fields — the only
-//! shape the workspace derives — by walking the raw `TokenStream` (no
-//! syn/quote in the offline registry) and emitting an impl of the in-repo
-//! `serde::Serialize` trait that builds a `serde::Value::Object` in field
-//! declaration order.
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for structs
+//! with named fields — the only shape the workspace derives — by walking the
+//! raw `TokenStream` (no syn/quote in the offline registry). `Serialize`
+//! builds a `serde::Value::Object` in field declaration order; `Deserialize`
+//! reads the same object back field by field, wrapping any inner error with
+//! the `Type.field` path.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -12,8 +13,8 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let name = struct_name(&tokens);
-    let fields = named_fields(&tokens);
+    let name = struct_name(&tokens, "Serialize");
+    let fields = named_fields(&tokens, "Serialize");
 
     let mut entries = String::new();
     for field in &fields {
@@ -31,22 +32,47 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     output.parse().expect("derive(Serialize): generated impl must parse")
 }
 
+/// Derives `serde::Deserialize` for a struct with named fields.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let name = struct_name(&tokens, "Deserialize");
+    let fields = named_fields(&tokens, "Deserialize");
+
+    let mut entries = String::new();
+    for field in &fields {
+        entries.push_str(&format!(
+            "{field}: serde::Deserialize::from_value(\
+                 v.get(\"{field}\").unwrap_or(&serde::Value::Null)\
+             ).map_err(|e| e.in_field(\"{name}\", \"{field}\"))?,"
+        ));
+    }
+    let output = format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \tfn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+         \t\tOk(Self {{ {entries} }})\n\
+         \t}}\n\
+         }}"
+    );
+    output.parse().expect("derive(Deserialize): generated impl must parse")
+}
+
 /// Returns the identifier following the `struct` keyword.
-fn struct_name(tokens: &[TokenTree]) -> String {
+fn struct_name(tokens: &[TokenTree], derive: &str) -> String {
     let mut iter = tokens.iter();
     while let Some(tree) = iter.next() {
         if matches!(tree, TokenTree::Ident(i) if i.to_string() == "struct") {
             if let Some(TokenTree::Ident(name)) = iter.next() {
                 return name.to_string();
             }
-            panic!("derive(Serialize): expected an identifier after `struct`");
+            panic!("derive({derive}): expected an identifier after `struct`");
         }
     }
-    panic!("derive(Serialize): only structs are supported");
+    panic!("derive({derive}): only structs are supported");
 }
 
 /// Returns the field names from the struct's brace-delimited body.
-fn named_fields(tokens: &[TokenTree]) -> Vec<String> {
+fn named_fields(tokens: &[TokenTree], derive: &str) -> Vec<String> {
     let body = tokens
         .iter()
         .rev()
@@ -54,7 +80,9 @@ fn named_fields(tokens: &[TokenTree]) -> Vec<String> {
             TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
             _ => None,
         })
-        .expect("derive(Serialize): only structs with named fields are supported");
+        .unwrap_or_else(|| {
+            panic!("derive({derive}): only structs with named fields are supported")
+        });
 
     let mut fields = Vec::new();
     let mut trees = body.into_iter().peekable();
@@ -79,7 +107,9 @@ fn named_fields(tokens: &[TokenTree]) -> Vec<String> {
         }
         match trees.next() {
             Some(TokenTree::Ident(name)) => fields.push(name.to_string()),
-            Some(other) => panic!("derive(Serialize): unexpected token `{other}` in struct body"),
+            Some(other) => {
+                panic!("derive({derive}): unexpected token `{other}` in struct body")
+            }
             None => break,
         }
         // consume `: Type` up to the next top-level comma; groups nest angle
