@@ -106,6 +106,15 @@ impl Trainer for MaliciousTrainer {
     fn set_sgd_config(&mut self, cfg: SgdConfig) {
         self.inner.set_sgd_config(cfg);
     }
+
+    fn try_clone(&self) -> Option<Box<dyn Trainer>> {
+        Some(Box::new(Self {
+            inner: self.inner.clone(),
+            mode: self.mode.clone(),
+            poisoned: self.poisoned,
+            rng: self.rng.clone(),
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,48 @@
+//! Criterion: the blocked matmul kernels against the naive baseline.
+//!
+//! The acceptance bar for the kernel overhaul is >= 3x on the
+//! 128x256x128 product vs [`Tensor::matmul_naive`]; `exp_perf` re-measures
+//! the same shapes outside criterion and persists them in
+//! `BENCH_perf.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Tensor::from_vec(vec![rows, cols], data)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("matmul");
+
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (128, 256, 128)] {
+        let a = random_matrix(m, k, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        group.bench_function(&format!("naive_{m}x{k}x{n}")[..], |bench| {
+            bench.iter(|| std::hint::black_box(&a).matmul_naive(std::hint::black_box(&b)))
+        });
+        group.bench_function(&format!("blocked_{m}x{k}x{n}")[..], |bench| {
+            bench.iter(|| std::hint::black_box(&a).matmul(std::hint::black_box(&b)))
+        });
+        let bt = b.t(); // [n, k] layout for the transposed-RHS path
+        let mut out = Tensor::zeros(&[m, n]);
+        let mut scratch = Vec::new();
+        group.bench_function(&format!("nt_into_{m}x{k}x{n}")[..], |bench| {
+            bench.iter(|| {
+                std::hint::black_box(&a).matmul_nt_into(
+                    std::hint::black_box(&bt),
+                    &mut out,
+                    &mut scratch,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

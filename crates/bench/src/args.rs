@@ -25,6 +25,9 @@ pub struct ExpArgs {
     pub workloads: Option<Vec<String>>,
     /// `--quick` — shrink the run to a seconds-scale smoke test.
     pub quick: bool,
+    /// `--threads N` — worker threads for the standalone runner's parallel
+    /// client execution (`FlConfig::parallelism`): 1 serial, 0 all cores.
+    pub threads: Option<usize>,
     /// Flags the experiment itself interprets (everything starting `--` that
     /// this parser does not know, recorded without the leading dashes).
     pub extra_flags: Vec<String>,
@@ -43,7 +46,7 @@ impl ExpArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--seed N] [--rounds N] [--strategies a,b,c] \
-                     [--workloads femnist,cifar,twitter] [--quick]"
+                     [--workloads femnist,cifar,twitter] [--threads N] [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -95,6 +98,10 @@ impl ExpArgs {
                     }
                     args.workloads = Some(out);
                 }
+                "--threads" => {
+                    let v = value_for("--threads")?;
+                    args.threads = Some(v.parse().map_err(|_| format!("bad threads {v:?}"))?);
+                }
                 "--quick" => args.quick = true,
                 other if other.starts_with("--") => {
                     args.extra_flags
@@ -128,6 +135,12 @@ impl ExpArgs {
             .unwrap_or_else(|| default.iter().map(|s| s.to_string()).collect())
     }
 
+    /// The worker-thread count, or an experiment-specific default
+    /// (experiments pass 1: serial remains the default everywhere).
+    pub fn threads_or(&self, default: usize) -> usize {
+        self.threads.unwrap_or(default)
+    }
+
     /// `true` when `--<flag>` was passed among the unclaimed extras.
     pub fn has_flag(&self, flag: &str) -> bool {
         self.extra_flags.iter().any(|f| f == flag)
@@ -153,12 +166,15 @@ mod tests {
             "sync_vanilla,Goal-Aggr-Unif",
             "--workloads",
             "femnist,twitter",
+            "--threads",
+            "4",
             "--quick",
             "--validate",
         ]))
         .unwrap();
         assert_eq!(a.seed_or(7), 42);
         assert_eq!(a.rounds_or(300), 10);
+        assert_eq!(a.threads_or(1), 4);
         assert_eq!(
             a.strategies_or(vec![]),
             vec![Strategy::SyncVanilla, Strategy::GoalAggrUnif]
@@ -179,6 +195,7 @@ mod tests {
             a.workloads_or(&WORKLOAD_NAMES),
             vec!["femnist", "cifar", "twitter"]
         );
+        assert_eq!(a.threads_or(1), 1);
         assert!(!a.quick);
     }
 
@@ -186,6 +203,7 @@ mod tests {
     fn rejects_bad_input() {
         assert!(ExpArgs::parse_from(&argv(&["--seed"])).is_err());
         assert!(ExpArgs::parse_from(&argv(&["--seed", "x"])).is_err());
+        assert!(ExpArgs::parse_from(&argv(&["--threads", "x"])).is_err());
         assert!(ExpArgs::parse_from(&argv(&["--strategies", "nope"])).is_err());
         assert!(ExpArgs::parse_from(&argv(&["--workloads", "mnist"])).is_err());
         assert!(ExpArgs::parse_from(&argv(&["stray"])).is_err());

@@ -54,6 +54,7 @@ fn main() {
         cfg.staleness_tolerance = tolerance;
         cfg.staleness_discount = discount;
         cfg.target_accuracy = None;
+        cfg.parallelism = args.threads_or(1);
         let factory = (wl.model_factory_builder)(&wl.dataset);
         let mut builder = fs_core::course::CourseBuilder::new(wl.dataset.clone(), factory, cfg)
             .fleet_config(wl.fleet_cfg.clone());

@@ -32,6 +32,7 @@ fn main() {
         for strat in args.strategies_or(Strategy::fig17()) {
             let mut cfg = strat.configure(&wl);
             cfg.target_accuracy = Some(wl.target_accuracy);
+            cfg.parallelism = args.threads_or(1);
             let mut runner = wl.build(cfg);
             let report = runner.run();
             let hours = report

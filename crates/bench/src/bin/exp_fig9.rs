@@ -34,6 +34,7 @@ fn main() {
     for strat in strategies {
         let mut cfg = strat.configure(&wl);
         cfg.target_accuracy = None;
+        cfg.parallelism = args.threads_or(1);
         let sync_rounds = args.rounds_or(50);
         cfg.total_rounds = if strat.is_async() {
             sync_rounds * 3

@@ -83,6 +83,7 @@ fn main() {
         for &strat in &strategies {
             let mut cfg = strat.configure(&wl);
             cfg.target_accuracy = None;
+            cfg.parallelism = args.threads_or(1);
             cfg.total_rounds = if strat.is_async() {
                 rounds * (cfg.concurrency as u64) / (wl.aggregation_goal as u64).max(1)
             } else {

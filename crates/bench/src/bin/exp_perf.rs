@@ -1,0 +1,245 @@
+//! **fs-perf harness** — the persisted performance baseline for the
+//! parallel client-execution engine and the fs-tensor kernel overhaul.
+//!
+//! Two measurement families, both written to `BENCH_perf.json` (repo root):
+//!
+//! * **Engine grid** — every (workload, strategy) cell runs the same seeded
+//!   course twice, serial (`parallelism = 1`) and parallel
+//!   (`parallelism = --threads`), timing each. The two [`CourseReport`]s are
+//!   asserted equal *in-binary* — the determinism contract is enforced at
+//!   measurement time, not just by the test suite — and the comparison is
+//!   persisted (`reports_identical`), where the `--validate` gate rejects
+//!   `false`.
+//! * **Matmul micro-bench** — best-of-N timings of the naive triple loop vs
+//!   the blocked/SIMD kernel on the criterion shapes, re-measured outside
+//!   criterion so CI can gate on them without the harness.
+//!
+//! Wall-clock speedup is bounded by the host's core count, which is stamped
+//! into the snapshot as `cores`: on a single-core machine the parallel run
+//! degenerates to inline execution and `speedup` hovers around 1.0 — that is
+//! the honest measurement, not a failure. The determinism assertion holds at
+//! any core count.
+//!
+//! ```text
+//! cargo run -p fs-bench --release --bin exp_perf                  # full grid
+//! cargo run -p fs-bench --release --bin exp_perf -- --quick      # CI grid
+//! cargo run -p fs-bench --release --bin exp_perf -- --validate   # gate only
+//! ```
+
+use fs_bench::args::ExpArgs;
+use fs_bench::output::render_table;
+use fs_bench::strategies::Strategy;
+use fs_bench::workloads::{cifar, femnist, twitter, Workload};
+use fs_core::runner::CourseReport;
+use fs_monitor::export::{validate_perf_snapshot, MatmulRow, PerfRow, PerfSnapshot};
+use fs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::time::Instant;
+
+const BENCH_PATH: &str = "BENCH_perf.json";
+
+fn workload_by_name(name: &str, seed: u64) -> Workload {
+    match name {
+        "femnist" => femnist(seed),
+        "cifar" => cifar(seed),
+        "twitter" => twitter(seed),
+        other => unreachable!("args module vets workload names, got {other}"),
+    }
+}
+
+/// Runs one seeded course at the given parallelism and times it.
+fn time_course(
+    wl: &Workload,
+    strat: Strategy,
+    rounds: u64,
+    parallelism: usize,
+) -> (f64, CourseReport) {
+    let mut cfg = strat.configure(wl);
+    cfg.target_accuracy = None;
+    cfg.total_rounds = rounds;
+    cfg.parallelism = parallelism;
+    let mut runner = wl.build(cfg);
+    let start = Instant::now();
+    let report = runner.run();
+    (start.elapsed().as_secs_f64() * 1e3, report)
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Tensor::from_vec(vec![rows, cols], data)
+}
+
+/// Best-of-`reps` nanoseconds for one closure (min damps scheduler noise,
+/// which only ever makes runs slower).
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e9);
+    }
+    best
+}
+
+fn bench_matmul(quick: bool) -> Vec<MatmulRow> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let reps = if quick { 5 } else { 20 };
+    let mut rows = Vec::new();
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (128, 256, 128)] {
+        let a = random_matrix(m, k, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        let naive_ns = best_of(reps, || {
+            std::hint::black_box(std::hint::black_box(&a).matmul_naive(std::hint::black_box(&b)));
+        });
+        let blocked_ns = best_of(reps, || {
+            std::hint::black_box(std::hint::black_box(&a).matmul(std::hint::black_box(&b)));
+        });
+        rows.push(MatmulRow {
+            m,
+            k,
+            n,
+            naive_ns,
+            blocked_ns,
+            speedup: naive_ns / blocked_ns,
+        });
+    }
+    rows
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+
+    // --validate: CI gate mode — parse the existing snapshot and exit
+    if args.has_flag("validate") {
+        let text = fs::read_to_string(BENCH_PATH)
+            .unwrap_or_else(|e| panic!("cannot read {BENCH_PATH}: {e}"));
+        let snap = validate_perf_snapshot(&text)
+            .unwrap_or_else(|e| panic!("{BENCH_PATH} failed validation: {e}"));
+        println!(
+            "{BENCH_PATH} valid: {} engine rows, {} matmul rows ({} cores)",
+            snap.rows.len(),
+            snap.matmul.len(),
+            snap.cores
+        );
+        return;
+    }
+
+    let seed = args.seed_or(7);
+    let quick = args.quick;
+    let threads = args.threads_or(4);
+    let workload_names = if quick {
+        args.workloads_or(&["femnist"])
+    } else {
+        args.workloads_or(&["femnist", "cifar", "twitter"])
+    };
+    let strategies = if quick {
+        args.strategies_or(vec![Strategy::SyncVanilla, Strategy::GoalAggrUnif])
+    } else {
+        args.strategies_or(Strategy::table1())
+    };
+    let rounds = args.rounds_or(if quick { 6 } else { 30 });
+
+    let mut snapshot = PerfSnapshot::new("exp_perf");
+    let mut table: Vec<Vec<String>> = Vec::new();
+
+    for wl_name in &workload_names {
+        let wl = workload_by_name(wl_name, seed);
+        for &strat in &strategies {
+            let rounds = if strat.is_async() {
+                // async strategies count aggregations, not sync rounds; keep
+                // the virtual course comparable in size
+                rounds * 2
+            } else {
+                rounds
+            };
+            let (serial_ms, serial_report) = time_course(&wl, strat, rounds, 1);
+            let (parallel_ms, parallel_report) = time_course(&wl, strat, rounds, threads);
+            let identical = serial_report == parallel_report;
+            // fail at measurement time too — a perf number from a diverged
+            // run is worthless
+            assert!(
+                identical,
+                "{wl_name}/{}: serial and parallel reports diverged",
+                strat.label()
+            );
+            let speedup = serial_ms / parallel_ms;
+            eprintln!(
+                "  {wl_name} / {}: serial {serial_ms:.1} ms, {threads}-thread \
+                 {parallel_ms:.1} ms ({speedup:.2}x), reports identical",
+                strat.label()
+            );
+            table.push(vec![
+                wl_name.to_string(),
+                strat.label().to_string(),
+                format!("{serial_ms:.1}"),
+                format!("{parallel_ms:.1}"),
+                format!("{speedup:.2}x"),
+                "yes".to_string(),
+            ]);
+            snapshot.rows.push(PerfRow {
+                workload: wl_name.to_string(),
+                strategy: strat.label().to_string(),
+                rounds: serial_report.rounds,
+                threads,
+                serial_ms,
+                parallel_ms,
+                speedup,
+                reports_identical: identical,
+            });
+        }
+    }
+
+    snapshot.matmul = bench_matmul(quick);
+    for r in &snapshot.matmul {
+        eprintln!(
+            "  matmul {}x{}x{}: naive {:.0} ns, blocked {:.0} ns ({:.2}x)",
+            r.m, r.k, r.n, r.naive_ns, r.blocked_ns, r.speedup
+        );
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "strategy",
+                "serial ms",
+                &format!("{threads}-thread ms"),
+                "speedup",
+                "identical"
+            ],
+            &table
+        )
+    );
+    let matmul_table: Vec<Vec<String>> = snapshot
+        .matmul
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}x{}x{}", r.m, r.k, r.n),
+                format!("{:.0}", r.naive_ns),
+                format!("{:.0}", r.blocked_ns),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["shape", "naive ns", "blocked ns", "speedup"],
+            &matmul_table
+        )
+    );
+
+    fs::write(BENCH_PATH, snapshot.to_json()).expect("write BENCH_perf.json");
+    let reread = fs::read_to_string(BENCH_PATH).expect("re-read BENCH_perf.json");
+    validate_perf_snapshot(&reread).expect("snapshot round-trips through its own validator");
+    println!(
+        "wrote {BENCH_PATH}: {} engine rows, {} matmul rows ({} cores)",
+        snapshot.rows.len(),
+        snapshot.matmul.len(),
+        snapshot.cores
+    );
+}

@@ -27,11 +27,12 @@ struct Row {
     dropped_updates: u64,
 }
 
-fn run_workload(wl: &Workload, rows: &mut Vec<Row>) {
+fn run_workload(wl: &Workload, threads: usize, rows: &mut Vec<Row>) {
     let mut sync_hours: Option<f64> = None;
     for strat in Strategy::table1() {
         let mut cfg = strat.configure(wl);
         cfg.target_accuracy = Some(wl.target_accuracy);
+        cfg.parallelism = threads;
         let mut runner = wl.build(cfg);
         let report = runner.run();
         let hours = report
@@ -74,7 +75,7 @@ fn main() {
             _ => twitter(seed),
         };
         eprintln!("== {} (target {:.0}%)", wl.name, wl.target_accuracy * 100.0);
-        run_workload(&wl, &mut rows);
+        run_workload(&wl, args.threads_or(1), &mut rows);
     }
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -20,6 +20,12 @@ pub trait Compressor: Send {
     /// Records the reference model (the last broadcast the sender received)
     /// for delta encoding. Non-delta compressors ignore it.
     fn set_reference(&mut self, _params: &ParamMap, _version: u64) {}
+
+    /// Duplicates this codec *including its per-sender state* (error-feedback
+    /// residuals, delta references). The parallel runner snapshots a client's
+    /// codec through this before speculatively executing its handler, so a
+    /// recalled speculation can restore the exact pre-dispatch state.
+    fn clone_box(&self) -> Box<dyn Compressor>;
 }
 
 /// Errors raised while reconstructing parameters from a block.
@@ -144,6 +150,10 @@ impl Compressor for Identity {
                 .collect(),
         )
     }
+
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(Identity)
+    }
 }
 
 /// Uniform linear quantization with per-tensor min/max.
@@ -217,6 +227,10 @@ impl Compressor for UniformQuant {
                 })
                 .collect(),
         )
+    }
+
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(self.clone())
     }
 }
 
@@ -299,6 +313,13 @@ impl Compressor for TopK {
         }
         CompressedBlock::full(tensors)
     }
+
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(TopK {
+            ratio: self.ratio,
+            residual: self.residual.clone(),
+        })
+    }
 }
 
 /// Delta encoding against the last broadcast model, wrapping any inner
@@ -350,6 +371,13 @@ impl Compressor for DeltaEncode {
     fn set_reference(&mut self, params: &ParamMap, version: u64) {
         self.reference = Some((params.clone(), version));
         self.inner.set_reference(params, version);
+    }
+
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(DeltaEncode {
+            inner: self.inner.clone_box(),
+            reference: self.reference.clone(),
+        })
     }
 }
 

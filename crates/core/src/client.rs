@@ -63,6 +63,28 @@ pub struct Client {
     registry: Registry<ClientState>,
 }
 
+/// A restorable image of a client's mutable state, taken just before a
+/// speculative dispatch on a worker thread (`parallelism > 1`). If the
+/// speculation is recalled — an out-of-order delivery or a simulated device
+/// crash invalidates it — [`Client::restore`] rewinds the client to this
+/// image and the message is re-dispatched serially at its proper queue
+/// position, reproducing serial execution bit for bit.
+///
+/// Handler closures themselves are not snapshotted: the default handlers
+/// capture nothing, and custom handlers that capture external mutable state
+/// should run with `parallelism = 1` (the default).
+pub struct ClientSnapshot {
+    trainer: Box<dyn Trainer>,
+    rounds_trained: u64,
+    last_val: Option<Metrics>,
+    perf_drop_count: u64,
+    detect_perf_drop: bool,
+    compressor: Option<Box<dyn Compressor>>,
+    done: bool,
+    final_test: Option<Metrics>,
+    registry_log: (std::collections::BTreeSet<(Event, Event)>, usize),
+}
+
 impl Client {
     /// Creates a client with the default FedAvg-style handlers.
     pub fn new(id: ParticipantId, trainer: Box<dyn Trainer>) -> Self {
@@ -125,6 +147,38 @@ impl Client {
             0,
             Payload::Empty,
         ));
+    }
+
+    /// Attempts to capture a restorable image of this client's mutable
+    /// state. Returns `None` when the trainer cannot be duplicated
+    /// ([`Trainer::try_clone`]); such clients are never speculated and always
+    /// run serially.
+    pub fn snapshot(&self) -> Option<ClientSnapshot> {
+        let trainer = self.state.trainer.try_clone()?;
+        Some(ClientSnapshot {
+            trainer,
+            rounds_trained: self.state.rounds_trained,
+            last_val: self.state.last_val,
+            perf_drop_count: self.state.perf_drop_count,
+            detect_perf_drop: self.state.detect_perf_drop,
+            compressor: self.state.compressor.as_ref().map(|c| c.clone_box()),
+            done: self.state.done,
+            final_test: self.state.final_test,
+            registry_log: self.registry.log_snapshot(),
+        })
+    }
+
+    /// Rewinds this client to a state captured by [`Client::snapshot`].
+    pub fn restore(&mut self, snap: ClientSnapshot) {
+        self.state.trainer = snap.trainer;
+        self.state.rounds_trained = snap.rounds_trained;
+        self.state.last_val = snap.last_val;
+        self.state.perf_drop_count = snap.perf_drop_count;
+        self.state.detect_perf_drop = snap.detect_perf_drop;
+        self.state.compressor = snap.compressor;
+        self.state.done = snap.done;
+        self.state.final_test = snap.final_test;
+        self.registry.log_restore(snap.registry_log);
     }
 
     /// Dispatches a message event, then drains any raised condition events.

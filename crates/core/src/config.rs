@@ -160,6 +160,12 @@ pub struct FlConfig {
     pub verify: VerifyMode,
     /// Course RNG seed.
     pub seed: u64,
+    /// Worker threads for the standalone runner's speculative client
+    /// execution: `1` (the default) runs every handler serially on the
+    /// simulation thread, `0` uses all available cores, `n > 1` uses `n`
+    /// workers. Any setting produces bit-identical reports, RNG streams, and
+    /// virtual-time accounting — parallelism only changes wall-clock time.
+    pub parallelism: usize,
 }
 
 impl Default for FlConfig {
@@ -182,6 +188,7 @@ impl Default for FlConfig {
             compression: CompressionConfig::default(),
             verify: VerifyMode::Enforce,
             seed: 42,
+            parallelism: 1,
         }
     }
 }

@@ -151,6 +151,19 @@ impl<S> Registry<S> {
         &self.violations
     }
 
+    /// Captures the dispatch-log state (violation dedup keys + violation
+    /// count) so a speculatively executed dispatch can be rolled back.
+    /// Warnings only change at registration time and need no snapshot.
+    pub(crate) fn log_snapshot(&self) -> (BTreeSet<(Event, Event)>, usize) {
+        (self.violation_keys.clone(), self.violations.len())
+    }
+
+    /// Restores a dispatch-log state captured by [`Registry::log_snapshot`].
+    pub(crate) fn log_restore(&mut self, snap: (BTreeSet<(Event, Event)>, usize)) {
+        self.violation_keys = snap.0;
+        self.violations.truncate(snap.1);
+    }
+
     /// The effective `<event, handler-name>` pairs — what the paper prints
     /// into the experimental logs.
     pub fn effective_handlers(&self) -> Vec<(Event, &str)> {

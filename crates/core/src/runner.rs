@@ -7,24 +7,57 @@
 //! negligible, so everything it emits inherits the triggering timestamp.
 //! Crashed deliveries (device failures) silently drop the round's broadcast,
 //! which is what the `time_up` remedial machinery exists to absorb.
+//!
+//! # Parallel execution (`FlConfig::parallelism`)
+//!
+//! With `parallelism > 1` the runner speculatively executes client handlers
+//! on an `fs-exec` worker pool while keeping the simulation bit-identical to
+//! serial execution. When the server emits a message to a client, the runner
+//! already knows the exact virtual delivery time, and between that emission
+//! and the delivery pop no other event can touch the client *in the common
+//! case* — so the client is moved into a worker job that snapshots its state
+//! and runs the handler immediately, in parallel with the rest of the
+//! simulation. When the delivery event pops, the runner either *adopts* the
+//! precomputed result (re-emitting its outputs and monitor records at
+//! exactly the serial program point, so queue sequence numbers, RNG draws,
+//! timestamps, and report fields all match serially produced ones) or
+//! *recalls* the speculation — rolling the client back to its snapshot —
+//! when the prediction was wrong: an earlier delivery reached the same
+//! client first, or the broadcast was lost to a simulated device crash.
+//! See DESIGN.md ("Determinism contract") for the full argument.
 
 use crate::client::Client;
 use crate::ctx::Ctx;
 use crate::eval::EvalRecord;
 use crate::event::Condition;
 use crate::server::Server;
-use fs_monitor::{counters, MonitorHandle};
+use fs_exec::{JobHandle, WorkerPool};
+use fs_monitor::{counters, BufferMonitor, MonitorHandle};
 use fs_net::{Message, MessageKind, ParticipantId, SERVER_ID};
 use fs_sim::{EventQueue, Fleet, VirtualTime};
 use fs_verify::{VerifyMode, VerifyReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// An entry in the simulation's event queue.
 enum SimEvent {
     /// Deliver a message to its receiver.
     Deliver(Message),
+    /// Deliver a message whose handling was speculatively started on a
+    /// worker when the message was emitted. The message itself travels
+    /// inside the speculation job; this entry holds just enough to run the
+    /// serial bookkeeping (crash draw, counters) at the right queue
+    /// position.
+    SpecDeliver {
+        /// The client the message is addressed to.
+        receiver: ParticipantId,
+        /// The message kind (drives the crash draw and counters).
+        kind: MessageKind,
+        /// Key into the runner's outstanding-speculation table.
+        spec_id: u64,
+    },
     /// Fire a timer-armed condition on a participant.
     Timer {
         /// The participant the timer belongs to (currently always the server).
@@ -36,8 +69,34 @@ enum SimEvent {
     },
 }
 
+/// What a speculation job sends back to the simulation thread.
+struct SpecResult {
+    /// The client, moved back. Post-dispatch state when `run` is `Some`,
+    /// untouched when `None`.
+    client: Client,
+    /// The message the speculation was created for (needed to dispatch
+    /// serially on recall or ineligibility).
+    msg: Message,
+    /// The executed speculation, or `None` when the client's trainer could
+    /// not be snapshotted (it then runs serially at the delivery pop).
+    run: Option<SpecRun>,
+}
+
+/// The outputs of a speculatively executed dispatch.
+struct SpecRun {
+    /// Pre-dispatch client state, for rollback on recall.
+    snapshot: crate::client::ClientSnapshot,
+    /// The handler's recorded intents, to be enqueued at adopt time.
+    ctx: Ctx,
+    /// Monitor operations the handler issued, buffered for in-order replay.
+    ops: Vec<fs_monitor::MonitorOp>,
+}
+
 /// Outcome summary of a finished course.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field — the serial-vs-parallel determinism
+/// tests assert whole-report equality.
+#[derive(Clone, Debug, PartialEq)]
 pub struct CourseReport {
     /// Final virtual time.
     pub final_time_secs: f64,
@@ -119,6 +178,16 @@ pub struct StandaloneRunner {
     crash_rng: StdRng,
     max_events: u64,
     monitor: MonitorHandle,
+    /// Worker pool for speculative client execution; `None` runs serially.
+    pool: Option<WorkerPool>,
+    /// In-flight speculations by id.
+    pending: BTreeMap<u64, JobHandle<SpecResult>>,
+    /// The (single) outstanding speculation per client, if any.
+    spec_by_client: BTreeMap<ParticipantId, u64>,
+    /// Messages recovered from recalled speculations, dispatched serially
+    /// when their `SpecDeliver` entry pops.
+    recalled: BTreeMap<u64, Message>,
+    spec_seq: u64,
 }
 
 impl StandaloneRunner {
@@ -144,6 +213,11 @@ impl StandaloneRunner {
             crash_rng: StdRng::seed_from_u64(seed ^ 0xc4a5),
             max_events: 50_000_000,
             monitor: MonitorHandle::null(),
+            pool: None,
+            pending: BTreeMap::new(),
+            spec_by_client: BTreeMap::new(),
+            recalled: BTreeMap::new(),
+            spec_seq: 0,
         }
     }
 
@@ -202,7 +276,12 @@ impl StandaloneRunner {
                 compute + comm
             };
             msg.timestamp = (now + delay).as_secs();
-            self.queue.push(now + delay, SimEvent::Deliver(msg));
+            let deliver_at = now + delay;
+            if self.can_speculate(from, &msg) {
+                self.spawn_speculation(deliver_at, msg);
+            } else {
+                self.queue.push(deliver_at, SimEvent::Deliver(msg));
+            }
         }
         for t in ctx.timers {
             self.queue.push(
@@ -216,6 +295,198 @@ impl StandaloneRunner {
         }
     }
 
+    /// Whether handling `msg` may start now on a worker. Only server → client
+    /// traffic of the kinds that trigger real work (training, evaluation) is
+    /// worth speculating; the client must be present (not already
+    /// speculating) and its trainer snapshotable.
+    fn can_speculate(&self, from: ParticipantId, msg: &Message) -> bool {
+        self.pool.is_some()
+            && from == SERVER_ID
+            && msg.receiver != SERVER_ID
+            && matches!(
+                msg.kind,
+                MessageKind::ModelParams | MessageKind::EvalRequest | MessageKind::Finish
+            )
+            && self.clients.contains_key(&msg.receiver)
+            && !self.spec_by_client.contains_key(&msg.receiver)
+    }
+
+    /// Moves the receiver into a worker job that snapshots it and runs the
+    /// handler at the (already known) delivery time, and queues a
+    /// [`SimEvent::SpecDeliver`] at the exact position the serial runner
+    /// would queue the delivery.
+    fn spawn_speculation(&mut self, deliver_at: VirtualTime, msg: Message) {
+        let receiver = msg.receiver;
+        let kind = msg.kind;
+        let spec_id = self.spec_seq;
+        self.spec_seq += 1;
+        let mut client = self
+            .clients
+            .remove(&receiver)
+            .expect("can_speculate checked presence");
+        let live = self.monitor.is_live();
+        let pool = self.pool.as_ref().expect("can_speculate checked pool");
+        let handle = pool.spawn(move || {
+            let Some(snapshot) = client.snapshot() else {
+                return SpecResult {
+                    client,
+                    msg,
+                    run: None,
+                };
+            };
+            // handlers must not write to the shared monitor from a worker:
+            // record into a buffer, replayed in order at adopt time
+            let buf = live.then(|| Arc::new(Mutex::new(BufferMonitor::new())));
+            let handle_monitor = match &buf {
+                Some(b) => MonitorHandle::from_shared(b.clone()),
+                None => MonitorHandle::null(),
+            };
+            let mut ctx = Ctx::with_monitor(deliver_at, handle_monitor);
+            client.handle(&msg, &mut ctx);
+            ctx.monitor = MonitorHandle::null();
+            let ops = buf
+                .map(|b| {
+                    std::mem::take(&mut *b.lock().unwrap_or_else(|p| p.into_inner())).into_ops()
+                })
+                .unwrap_or_default();
+            SpecResult {
+                client,
+                msg,
+                run: Some(SpecRun { snapshot, ctx, ops }),
+            }
+        });
+        self.pending.insert(spec_id, handle);
+        self.spec_by_client.insert(receiver, spec_id);
+        self.queue.push(
+            deliver_at,
+            SimEvent::SpecDeliver {
+                receiver,
+                kind,
+                spec_id,
+            },
+        );
+    }
+
+    /// Recalls the outstanding speculation on `id`, if any: joins the job,
+    /// rolls the client back to its pre-dispatch snapshot, and stashes the
+    /// message so the pending `SpecDeliver` entry dispatches it serially.
+    fn recall(&mut self, id: ParticipantId) {
+        let Some(spec_id) = self.spec_by_client.remove(&id) else {
+            return;
+        };
+        let handle = self.pending.remove(&spec_id).expect("pending speculation");
+        let res = handle.join();
+        let mut client = res.client;
+        if let Some(run) = res.run {
+            client.restore(run.snapshot);
+        }
+        self.clients.insert(id, client);
+        self.recalled.insert(spec_id, res.msg);
+    }
+
+    /// Rolls back every outstanding speculation (used when the run stops
+    /// with queued events still pending, e.g. at the event cap, so client
+    /// state matches a serial run that never dispatched them).
+    fn drain_speculations(&mut self) {
+        let ids: Vec<ParticipantId> = self.spec_by_client.keys().copied().collect();
+        for id in ids {
+            self.recall(id);
+        }
+        self.recalled.clear();
+    }
+
+    /// The serial client-delivery path: crash draw, participation counter,
+    /// then dispatch. Recalls any outstanding speculation on the receiver
+    /// first — its prediction is invalidated by this earlier delivery.
+    fn deliver_client(&mut self, at: VirtualTime, msg: Message) {
+        if msg.kind == MessageKind::ModelParams
+            && self.fleet.crashes(msg.receiver, &mut self.crash_rng)
+        {
+            // device crash: the broadcast never reaches the client (and any
+            // speculation on it stays valid — the client handles nothing)
+            self.crashed_deliveries += 1;
+            self.monitor.add(counters::CRASHED_DELIVERIES, 1);
+            return;
+        }
+        if msg.kind == MessageKind::ModelParams {
+            self.monitor.add(counters::PARTICIPATION, 1);
+        }
+        self.recall(msg.receiver);
+        self.dispatch_client(at, &msg);
+    }
+
+    /// Runs a client handler inline on the simulation thread.
+    fn dispatch_client(&mut self, at: VirtualTime, msg: &Message) {
+        let id = msg.receiver;
+        if let Some(client) = self.clients.get_mut(&id) {
+            let mut ctx = Ctx::with_monitor(at, self.monitor.clone());
+            self.monitor.enter(id, msg.kind.name(), "dispatch", at);
+            client.handle(msg, &mut ctx);
+            self.monitor.exit(id, at);
+            self.enqueue_intents(id, ctx);
+        }
+    }
+
+    /// Handles a [`SimEvent::SpecDeliver`] pop: adopt the precomputed
+    /// dispatch, or fall back to the serial path for recalled/ineligible
+    /// speculations, or roll back on a crash draw.
+    fn deliver_speculated(
+        &mut self,
+        at: VirtualTime,
+        receiver: ParticipantId,
+        kind: MessageKind,
+        spec_id: u64,
+    ) {
+        if let Some(msg) = self.recalled.remove(&spec_id) {
+            // recalled earlier by an out-of-order delivery: the client was
+            // already rolled back, dispatch serially at this (correct) point
+            self.deliver_client(at, msg);
+            return;
+        }
+        let handle = self.pending.remove(&spec_id).expect("pending speculation");
+        self.spec_by_client.remove(&receiver);
+        if kind == MessageKind::ModelParams && self.fleet.crashes(receiver, &mut self.crash_rng) {
+            // the crash draw says this broadcast was lost: undo the
+            // speculative training
+            self.crashed_deliveries += 1;
+            self.monitor.add(counters::CRASHED_DELIVERIES, 1);
+            let res = handle.join();
+            let mut client = res.client;
+            if let Some(run) = res.run {
+                client.restore(run.snapshot);
+            }
+            self.clients.insert(receiver, client);
+            return;
+        }
+        if kind == MessageKind::ModelParams {
+            self.monitor.add(counters::PARTICIPATION, 1);
+        }
+        let res = handle.join();
+        match res.run {
+            Some(run) => {
+                // adopt: re-emit outputs and monitor records at exactly the
+                // serial program point
+                self.clients.insert(receiver, res.client);
+                self.monitor.enter(receiver, kind.name(), "dispatch", at);
+                BufferMonitor::replay_ops(&run.ops, &self.monitor);
+                self.monitor.exit(receiver, at);
+                self.enqueue_intents(receiver, run.ctx);
+            }
+            None => {
+                // trainer not snapshotable: run serially now
+                self.clients.insert(receiver, res.client);
+                self.dispatch_client(at, &res.msg);
+            }
+        }
+    }
+
+    /// The clients as a borrowed slice-of-refs, in id order — the shape the
+    /// verifier and the report builder both consume. Built in one place so
+    /// call sites stop collecting their own copies.
+    fn client_refs(&self) -> Vec<&Client> {
+        self.clients.values().collect()
+    }
+
     /// Verifies the assembled course per the configured [`VerifyMode`].
     /// Returns the report as an error under `Enforce` when it has Errors.
     fn preflight(&self) -> Result<(), Box<VerifyReport>> {
@@ -223,7 +494,7 @@ impl StandaloneRunner {
         if mode == VerifyMode::Skip {
             return Ok(());
         }
-        let clients: Vec<&Client> = self.clients.values().collect();
+        let clients = self.client_refs();
         let report =
             crate::verify::verify_assembled(&self.server, &clients, Some(&self.server.state.cfg));
         let verbose = std::env::var_os("FS_VERIFY_LOG").is_some();
@@ -264,6 +535,12 @@ impl StandaloneRunner {
     }
 
     fn run_unchecked(&mut self) -> CourseReport {
+        // the parallelism knob: 1 = serial (no pool, the exact old path),
+        // 0 = one worker per available core, n > 1 = n workers
+        let parallelism = self.server.state.cfg.parallelism;
+        if parallelism != 1 && self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(parallelism));
+        }
         // kick off: every client asks to join at t = 0
         let ids: Vec<ParticipantId> = self.clients.keys().copied().collect();
         for id in ids {
@@ -297,26 +574,16 @@ impl StandaloneRunner {
                         self.monitor.exit(SERVER_ID, at);
                         self.enqueue_intents(SERVER_ID, ctx);
                     } else {
-                        // device crash: the broadcast never reaches the client
-                        if msg.kind == MessageKind::ModelParams
-                            && self.fleet.crashes(msg.receiver, &mut self.crash_rng)
-                        {
-                            self.crashed_deliveries += 1;
-                            self.monitor.add(counters::CRASHED_DELIVERIES, 1);
-                            continue;
-                        }
-                        let id = msg.receiver;
-                        if msg.kind == MessageKind::ModelParams {
-                            self.monitor.add(counters::PARTICIPATION, 1);
-                        }
-                        if let Some(client) = self.clients.get_mut(&id) {
-                            let mut ctx = Ctx::with_monitor(at, self.monitor.clone());
-                            self.monitor.enter(id, msg.kind.name(), "dispatch", at);
-                            client.handle(&msg, &mut ctx);
-                            self.monitor.exit(id, at);
-                            self.enqueue_intents(id, ctx);
-                        }
+                        self.deliver_client(at, msg);
                     }
+                }
+                SimEvent::SpecDeliver {
+                    receiver,
+                    kind,
+                    spec_id,
+                } => {
+                    self.monitor.add(counters::MESSAGES_DELIVERED, 1);
+                    self.deliver_speculated(at, receiver, kind, spec_id);
                 }
                 SimEvent::Timer {
                     to,
@@ -333,12 +600,15 @@ impl StandaloneRunner {
                 }
             }
         }
+        // undone speculations (possible only when the event cap broke the
+        // loop) must be rolled back so state matches the serial run
+        self.drain_speculations();
         self.report()
     }
 
     /// Builds the course report from the current state.
     pub fn report(&self) -> CourseReport {
-        let clients: Vec<&Client> = self.clients.values().collect();
+        let clients = self.client_refs();
         let effective_handlers = crate::verify::effective_handler_log(&self.server, &clients);
         let mut registry_warnings: Vec<String> = self.server.warnings().to_vec();
         let mut conformance_violations: Vec<String> = self.server.violations().to_vec();

@@ -69,6 +69,19 @@ pub trait Trainer: Send {
     fn set_sgd_config(&mut self, cfg: SgdConfig) {
         let _ = cfg;
     }
+
+    /// Attempts to duplicate this trainer — model, data, optimizer state, and
+    /// RNG stream included — so the parallel runner can snapshot a client
+    /// before speculatively executing its handler on a worker thread.
+    ///
+    /// The default returns `None`, which marks the trainer non-speculatable:
+    /// its client always runs serially at the delivery point (correct, just
+    /// not parallel). Trainers holding state shared with other participants
+    /// (e.g. FedEx's policy behind an `Arc<Mutex<_>>`) must keep the default,
+    /// because restoring a clone cannot undo effects on shared state.
+    fn try_clone(&self) -> Option<Box<dyn Trainer>> {
+        None
+    }
 }
 
 /// Configuration of the standard local training loop.
@@ -102,6 +115,19 @@ pub struct LocalTrainer {
     share: ShareFilter,
     opt: Sgd,
     rng: StdRng,
+}
+
+impl Clone for LocalTrainer {
+    fn clone(&self) -> Self {
+        Self {
+            model: self.model.clone_model(),
+            data: self.data.clone(),
+            cfg: self.cfg.clone(),
+            share: self.share.clone(),
+            opt: self.opt.clone(),
+            rng: self.rng.clone(),
+        }
+    }
 }
 
 impl LocalTrainer {
@@ -224,6 +250,10 @@ impl Trainer for LocalTrainer {
     fn set_sgd_config(&mut self, cfg: SgdConfig) {
         self.cfg.sgd = cfg;
         self.opt.set_config(cfg);
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Trainer>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -123,6 +123,151 @@ pub fn validate_bench_snapshot(json: &str) -> Result<BenchSnapshot, String> {
     Ok(snap)
 }
 
+/// One serial-vs-parallel grid cell in `BENCH_perf.json`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PerfRow {
+    /// Workload name (e.g. `"femnist"`).
+    pub workload: String,
+    /// Training-strategy name (e.g. `"sync_vanilla"`).
+    pub strategy: String,
+    /// Aggregation rounds completed (identical for both runs by contract).
+    pub rounds: u64,
+    /// Worker threads used for the parallel run (`FlConfig::parallelism`).
+    pub threads: usize,
+    /// Wall-clock milliseconds of the serial (`parallelism = 1`) run.
+    pub serial_ms: f64,
+    /// Wall-clock milliseconds of the parallel run.
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+    /// Whether the serial and parallel `CourseReport`s compared equal —
+    /// the determinism contract; the validator rejects `false`.
+    pub reports_identical: bool,
+}
+
+/// One matmul micro-measurement in `BENCH_perf.json`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MatmulRow {
+    /// Left operand rows.
+    pub m: usize,
+    /// Inner (contraction) dimension.
+    pub k: usize,
+    /// Right operand columns.
+    pub n: usize,
+    /// Best-of-N nanoseconds for the naive triple loop.
+    pub naive_ns: f64,
+    /// Best-of-N nanoseconds for the blocked/SIMD kernel.
+    pub blocked_ns: f64,
+    /// `naive_ns / blocked_ns`.
+    pub speedup: f64,
+}
+
+/// The `BENCH_perf.json` document: serial-vs-parallel engine timings plus
+/// matmul kernel micro-benchmarks, with schema metadata the CI gate checks.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PerfSnapshot {
+    /// Snapshot schema version; bump on incompatible changes.
+    pub schema_version: u64,
+    /// Benchmark name (`"exp_perf"`).
+    pub bench: String,
+    /// CPU cores available on the measurement host. Wall-clock speedup is
+    /// bounded by this — a single-core host cannot show a parallel win, so
+    /// readers must interpret `speedup` relative to `cores`.
+    pub cores: usize,
+    /// One row per (workload, strategy) engine cell.
+    pub rows: Vec<PerfRow>,
+    /// One row per benchmarked matmul shape.
+    pub matmul: Vec<MatmulRow>,
+}
+
+impl PerfSnapshot {
+    /// Current schema version.
+    pub const SCHEMA_VERSION: u64 = 1;
+
+    /// An empty snapshot for the given bench, stamped with this host's
+    /// core count.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            schema_version: Self::SCHEMA_VERSION,
+            bench: bench.to_string(),
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            rows: Vec::new(),
+            matmul: Vec::new(),
+        }
+    }
+
+    /// Serializes the snapshot as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// Parses and validates a `BENCH_perf.json` document. This is the CI gate:
+/// a missing field, wrong schema version, empty grid, non-finite or
+/// non-positive timing, or a determinism violation all fail loudly.
+pub fn validate_perf_snapshot(json: &str) -> Result<PerfSnapshot, String> {
+    let snap: PerfSnapshot =
+        serde_json::from_str(json).map_err(|e| format!("malformed perf snapshot: {e:?}"))?;
+    if snap.schema_version != PerfSnapshot::SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {}",
+            snap.schema_version,
+            PerfSnapshot::SCHEMA_VERSION
+        ));
+    }
+    if snap.cores == 0 {
+        return Err("cores must be >= 1".to_string());
+    }
+    if snap.rows.is_empty() {
+        return Err("snapshot has no engine rows".to_string());
+    }
+    if snap.matmul.is_empty() {
+        return Err("snapshot has no matmul rows".to_string());
+    }
+    for (i, row) in snap.rows.iter().enumerate() {
+        if row.workload.is_empty() || row.strategy.is_empty() {
+            return Err(format!("engine row {i}: empty workload/strategy"));
+        }
+        if row.rounds == 0 {
+            return Err(format!("engine row {i}: zero rounds completed"));
+        }
+        if row.threads == 0 {
+            return Err(format!("engine row {i}: zero threads"));
+        }
+        for (name, v) in [
+            ("serial_ms", row.serial_ms),
+            ("parallel_ms", row.parallel_ms),
+            ("speedup", row.speedup),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("engine row {i}: bad {name} ({v})"));
+            }
+        }
+        if !row.reports_identical {
+            return Err(format!(
+                "engine row {i}: serial and parallel reports differ — determinism violated"
+            ));
+        }
+    }
+    for (i, row) in snap.matmul.iter().enumerate() {
+        if row.m == 0 || row.k == 0 || row.n == 0 {
+            return Err(format!("matmul row {i}: zero dimension"));
+        }
+        for (name, v) in [
+            ("naive_ns", row.naive_ns),
+            ("blocked_ns", row.blocked_ns),
+            ("speedup", row.speedup),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("matmul row {i}: bad {name} ({v})"));
+            }
+        }
+    }
+    Ok(snap)
+}
+
 /// Parses one JSONL round log back into values (used by tests and tooling).
 pub fn parse_rounds_jsonl(text: &str) -> Result<Vec<Value>, String> {
     text.lines()
@@ -234,5 +379,76 @@ mod tests {
         row.rounds_per_sec = f64::NAN;
         nan.rows.push(row);
         assert!(validate_bench_snapshot(&nan.to_json()).is_err());
+    }
+
+    fn sample_perf_row() -> PerfRow {
+        PerfRow {
+            workload: "femnist".into(),
+            strategy: "sync_vanilla".into(),
+            rounds: 8,
+            threads: 4,
+            serial_ms: 812.0,
+            parallel_ms: 233.0,
+            speedup: 812.0 / 233.0,
+            reports_identical: true,
+        }
+    }
+
+    fn sample_matmul_row() -> MatmulRow {
+        MatmulRow {
+            m: 128,
+            k: 256,
+            n: 128,
+            naive_ns: 3.1e6,
+            blocked_ns: 0.9e6,
+            speedup: 3.1 / 0.9,
+        }
+    }
+
+    #[test]
+    fn perf_snapshot_roundtrips_and_validates() {
+        let mut snap = PerfSnapshot::new("exp_perf");
+        assert!(snap.cores >= 1);
+        snap.rows.push(sample_perf_row());
+        snap.matmul.push(sample_matmul_row());
+        let json = snap.to_json();
+        let back = validate_perf_snapshot(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn perf_validation_rejects_bad_snapshots() {
+        assert!(validate_perf_snapshot("not json").is_err());
+        assert!(validate_perf_snapshot("{}").is_err(), "missing fields");
+
+        let mut no_rows = PerfSnapshot::new("exp_perf");
+        no_rows.matmul.push(sample_matmul_row());
+        assert!(validate_perf_snapshot(&no_rows.to_json()).is_err());
+
+        let mut no_matmul = PerfSnapshot::new("exp_perf");
+        no_matmul.rows.push(sample_perf_row());
+        assert!(validate_perf_snapshot(&no_matmul.to_json()).is_err());
+
+        let mut wrong_version = PerfSnapshot::new("exp_perf");
+        wrong_version.rows.push(sample_perf_row());
+        wrong_version.matmul.push(sample_matmul_row());
+        wrong_version.schema_version = 999;
+        assert!(validate_perf_snapshot(&wrong_version.to_json()).is_err());
+
+        // the determinism contract is load-bearing: a cell whose serial and
+        // parallel reports differ must fail the gate
+        let mut diverged = PerfSnapshot::new("exp_perf");
+        let mut row = sample_perf_row();
+        row.reports_identical = false;
+        diverged.rows.push(row);
+        diverged.matmul.push(sample_matmul_row());
+        assert!(validate_perf_snapshot(&diverged.to_json()).is_err());
+
+        let mut bad_timing = PerfSnapshot::new("exp_perf");
+        let mut row = sample_perf_row();
+        row.parallel_ms = -1.0;
+        bad_timing.rows.push(row);
+        bad_timing.matmul.push(sample_matmul_row());
+        assert!(validate_perf_snapshot(&bad_timing.to_json()).is_err());
     }
 }

@@ -29,10 +29,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod api;
+pub mod buffer;
 pub mod export;
 pub mod recording;
 pub mod trace;
 
 pub use api::{counters, Monitor, MonitorHandle, NullMonitor, TrackId, SERVER_TRACK};
-pub use export::{BenchRow, BenchSnapshot};
+pub use buffer::{BufferMonitor, MonitorOp};
+pub use export::{BenchRow, BenchSnapshot, MatmulRow, PerfRow, PerfSnapshot};
 pub use recording::{RecordingMonitor, RoundRecord, SpanRecord};

@@ -152,6 +152,20 @@ impl Trainer for DittoTrainer {
             ..cfg
         });
     }
+
+    fn try_clone(&self) -> Option<Box<dyn Trainer>> {
+        Some(Box::new(Self {
+            global_track: self.global_track.clone_model(),
+            personal: self.personal.clone_model(),
+            data: self.data.clone(),
+            cfg: self.cfg.clone(),
+            lambda: self.lambda,
+            share: self.share.clone(),
+            opt_global: self.opt_global.clone(),
+            opt_personal: self.opt_personal.clone(),
+            rng: self.rng.clone(),
+        }))
+    }
 }
 
 #[cfg(test)]

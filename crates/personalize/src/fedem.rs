@@ -52,6 +52,15 @@ impl MixtureModel {
         format!("comp{k}.{name}")
     }
 
+    /// Duplicates the mixture, keeping the concrete type (unlike
+    /// [`Model::clone_model`], which erases it behind `Box<dyn Model>`).
+    pub fn clone_mixture(&self) -> MixtureModel {
+        MixtureModel {
+            components: self.components.iter().map(|c| c.clone_model()).collect(),
+            weights: self.weights.clone(),
+        }
+    }
+
     /// Per-component mean losses on a batch (no gradients).
     pub fn component_losses(&mut self, x: &Tensor, y: &Target) -> Vec<f32> {
         self.components
@@ -152,10 +161,7 @@ impl Model for MixtureModel {
     }
 
     fn clone_model(&self) -> Box<dyn Model> {
-        Box::new(MixtureModel {
-            components: self.components.iter().map(|c| c.clone_model()).collect(),
-            weights: self.weights.clone(),
-        })
+        Box::new(self.clone_mixture())
     }
 }
 
@@ -268,6 +274,18 @@ impl Trainer for FedEmTrainer {
     fn set_sgd_config(&mut self, cfg: SgdConfig) {
         self.cfg.sgd = cfg;
         self.opt.set_config(cfg);
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Trainer>> {
+        Some(Box::new(Self {
+            mixture: self.mixture.clone_mixture(),
+            data: self.data.clone(),
+            cfg: self.cfg.clone(),
+            pi_momentum: self.pi_momentum,
+            share: self.share.clone(),
+            opt: self.opt.clone(),
+            rng: self.rng.clone(),
+        }))
     }
 }
 

@@ -143,6 +143,21 @@ impl Trainer for PFedMeTrainer {
             ..cfg
         });
     }
+
+    fn try_clone(&self) -> Option<Box<dyn Trainer>> {
+        Some(Box::new(Self {
+            personal: self.personal.clone_model(),
+            w: self.w.clone(),
+            data: self.data.clone(),
+            cfg: self.cfg.clone(),
+            lambda: self.lambda,
+            outer_lr: self.outer_lr,
+            k_inner: self.k_inner,
+            share: self.share.clone(),
+            inner_opt: self.inner_opt.clone(),
+            rng: self.rng.clone(),
+        }))
+    }
 }
 
 #[cfg(test)]

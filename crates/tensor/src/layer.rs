@@ -66,6 +66,9 @@ pub struct Linear {
     gw: Tensor,
     gb: Tensor,
     x_cache: Option<Tensor>,
+    /// Reusable staging buffer for `W^T` (see [`Tensor::matmul_nt_into`]);
+    /// grows once, then every forward runs allocation-free inside the gemm.
+    wt_scratch: Vec<f32>,
 }
 
 impl Linear {
@@ -77,6 +80,7 @@ impl Linear {
             gw: Tensor::zeros(&[out_dim, in_dim]),
             gb: Tensor::zeros(&[out_dim]),
             x_cache: None,
+            wt_scratch: Vec::new(),
         }
     }
 
@@ -95,11 +99,12 @@ impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.shape().len(), 2, "Linear expects [B, in]");
         assert_eq!(x.cols(), self.in_dim(), "Linear input dim");
-        let mut y = x.matmul(&self.w.t());
-        let (b_rows, out) = (y.rows(), y.cols());
-        for r in 0..b_rows {
-            for c in 0..out {
-                *y.at_mut(r, c) += self.b.data()[c];
+        let mut y = Tensor::zeros(&[0]);
+        x.matmul_nt_into(&self.w, &mut y, &mut self.wt_scratch);
+        let out = self.b.data().len();
+        for row in y.data_mut().chunks_exact_mut(out) {
+            for (v, &bv) in row.iter_mut().zip(self.b.data()) {
+                *v += bv;
             }
         }
         if train {
@@ -114,12 +119,11 @@ impl Layer for Linear {
             .take()
             .expect("Linear::backward without forward(train)");
         // gw += grad_out^T x ; gb += column sums ; grad_in = grad_out W
-        let gw = grad_out.t().matmul(&x);
-        self.gw.add_scaled(1.0, &gw);
+        grad_out.matmul_tn_acc(&x, &mut self.gw);
         let out = grad_out.cols();
-        for r in 0..grad_out.rows() {
-            for c in 0..out {
-                self.gb.data_mut()[c] += grad_out.at(r, c);
+        for row in grad_out.data().chunks_exact(out) {
+            for (g, &v) in self.gb.data_mut().iter_mut().zip(row) {
+                *g += v;
             }
         }
         grad_out.matmul(&self.w)
@@ -158,6 +162,7 @@ impl Layer for Linear {
             gw: self.gw.clone(),
             gb: self.gb.clone(),
             x_cache: None,
+            wt_scratch: Vec::new(),
         })
     }
 }
@@ -652,6 +657,18 @@ pub struct Conv2d {
     gw: Tensor,
     gb: Tensor,
     cache: Option<ConvCache>,
+    /// Recycled im2col allocation: `backward` returns the cache's `cols`
+    /// tensor here so the next `forward` refills it in place instead of
+    /// allocating the (large) lowering matrix every step.
+    cols_spare: Option<Tensor>,
+    /// Reusable staging buffer for `W^T` in the forward gemm.
+    wt_scratch: Vec<f32>,
+    /// Reusable gemm output `[B*OH*OW, out_ch]` (forward).
+    y_scratch: Tensor,
+    /// Reusable reordered gradient `[B*OH*OW, out_ch]` (backward).
+    gmat_scratch: Tensor,
+    /// Reusable column gradient `[B*OH*OW, in_ch*k*k]` (backward).
+    gcols_scratch: Tensor,
 }
 
 struct ConvCache {
@@ -674,6 +691,11 @@ impl Conv2d {
             gw: Tensor::zeros(&[out_ch, fan_in]),
             gb: Tensor::zeros(&[out_ch]),
             cache: None,
+            cols_spare: None,
+            wt_scratch: Vec::new(),
+            y_scratch: Tensor::zeros(&[0]),
+            gmat_scratch: Tensor::zeros(&[0]),
+            gcols_scratch: Tensor::zeros(&[0]),
         }
     }
 
@@ -695,14 +717,17 @@ impl Conv2d {
         (h + 2 * self.pad + 1 - self.k, w + 2 * self.pad + 1 - self.k)
     }
 
-    /// Lowers `[B, C, H, W]` into the im2col matrix `[B*OH*OW, C*K*K]`.
-    fn im2col(&self, x: &Tensor) -> Tensor {
+    /// Lowers `[B, C, H, W]` into the im2col matrix `[B*OH*OW, C*K*K]`,
+    /// refilling `cols` in place (its allocation is reused across steps).
+    fn im2col_into(&self, x: &Tensor, cols: &mut Tensor) {
         let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.out_hw(h, w);
         let kk = self.k;
         let pad = self.pad as isize;
         let cols_w = c * kk * kk;
-        let mut cols = vec![0.0f32; b * oh * ow * cols_w];
+        cols.reset_to(&[b * oh * ow, cols_w]);
+        let cd = cols.data_mut();
+        cd.fill(0.0);
         let xd = x.data();
         for bi in 0..b {
             for oy in 0..oh {
@@ -715,7 +740,7 @@ impl Conv2d {
                                 let ix = ox as isize + kx as isize - pad;
                                 let dst = row + (ci * kk + ky) * kk + kx;
                                 if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                    cols[dst] =
+                                    cd[dst] =
                                         xd[((bi * c + ci) * h + iy as usize) * w + ix as usize];
                                 }
                             }
@@ -724,7 +749,6 @@ impl Conv2d {
                 }
             }
         }
-        Tensor::from_vec(vec![b * oh * ow, cols_w], cols)
     }
 
     /// Scatters the im2col-shaped gradient back to `[B, C, H, W]`.
@@ -769,12 +793,16 @@ impl Layer for Conv2d {
         assert_eq!(x.shape()[1], self.in_ch, "Conv2d input channels");
         let (b, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.out_hw(h, w);
-        let cols = self.im2col(x);
+        let mut cols = self
+            .cols_spare
+            .take()
+            .unwrap_or_else(|| Tensor::zeros(&[0]));
+        self.im2col_into(x, &mut cols);
         // [B*OH*OW, fan_in] x [fan_in, out_ch] -> [B*OH*OW, out_ch]
-        let mut y = cols.matmul(&self.w.t());
-        for r in 0..y.rows() {
-            for c in 0..self.out_ch {
-                *y.at_mut(r, c) += self.b.data()[c];
+        cols.matmul_nt_into(&self.w, &mut self.y_scratch, &mut self.wt_scratch);
+        for row in self.y_scratch.data_mut().chunks_exact_mut(self.out_ch) {
+            for (v, &bv) in row.iter_mut().zip(self.b.data()) {
+                *v += bv;
             }
         }
         if train {
@@ -782,15 +810,19 @@ impl Layer for Conv2d {
                 cols,
                 in_shape: x.shape().to_vec(),
             });
+        } else {
+            self.cols_spare = Some(cols);
         }
         // reorder [B*OH*OW, OC] -> [B, OC, OH, OW]
         let mut out = vec![0.0f32; b * self.out_ch * oh * ow];
+        let yd = self.y_scratch.data();
         for bi in 0..b {
             for oy in 0..oh {
                 for ox in 0..ow {
                     let row = (bi * oh + oy) * ow + ox;
                     for oc in 0..self.out_ch {
-                        out[((bi * self.out_ch + oc) * oh + oy) * ow + ox] = y.at(row, oc);
+                        out[((bi * self.out_ch + oc) * oh + oy) * ow + ox] =
+                            yd[row * self.out_ch + oc];
                     }
                 }
             }
@@ -810,8 +842,10 @@ impl Layer for Conv2d {
             grad_out.shape()[3],
         );
         assert_eq!(oc, self.out_ch);
-        // reorder grad [B, OC, OH, OW] -> [B*OH*OW, OC]
-        let mut g = vec![0.0f32; b * oh * ow * oc];
+        // reorder grad [B, OC, OH, OW] -> [B*OH*OW, OC]; every element is
+        // written, so the reused scratch needs no zero-fill
+        self.gmat_scratch.reset_to(&[b * oh * ow, oc]);
+        let g = self.gmat_scratch.data_mut();
         let gd = grad_out.data();
         for bi in 0..b {
             for o in 0..oc {
@@ -823,17 +857,19 @@ impl Layer for Conv2d {
                 }
             }
         }
-        let gmat = Tensor::from_vec(vec![b * oh * ow, oc], g);
         // gw += gmat^T cols ; gb += column sums ; gcols = gmat W
-        let gw = gmat.t().matmul(&cols);
-        self.gw.add_scaled(1.0, &gw);
-        for r in 0..gmat.rows() {
-            for c in 0..oc {
-                self.gb.data_mut()[c] += gmat.at(r, c);
+        self.gmat_scratch.matmul_tn_acc(&cols, &mut self.gw);
+        for row in self.gmat_scratch.data().chunks_exact(oc) {
+            for (gbv, &v) in self.gb.data_mut().iter_mut().zip(row) {
+                *gbv += v;
             }
         }
-        let gcols = gmat.matmul(&self.w);
-        self.col2im(&gcols, &in_shape)
+        self.gmat_scratch
+            .matmul_into(&self.w, &mut self.gcols_scratch);
+        let grad_in = self.col2im(&self.gcols_scratch, &in_shape);
+        // hand the im2col allocation back for the next forward
+        self.cols_spare = Some(cols);
+        grad_in
     }
 
     fn collect_params(&self, prefix: &str, out: &mut ParamMap) {
@@ -872,6 +908,11 @@ impl Layer for Conv2d {
             gw: self.gw.clone(),
             gb: self.gb.clone(),
             cache: None,
+            cols_spare: None,
+            wt_scratch: Vec::new(),
+            y_scratch: Tensor::zeros(&[0]),
+            gmat_scratch: Tensor::zeros(&[0]),
+            gcols_scratch: Tensor::zeros(&[0]),
         })
     }
 }

@@ -81,6 +81,40 @@ impl Sgd {
     /// Only keys present in `grads` are updated, so buffers (batch-norm
     /// running statistics) are never touched.
     pub fn step(&mut self, params: &mut ParamMap, grads: &ParamMap, anchor: Option<&ParamMap>) {
+        let cfg = self.cfg;
+        // Gradient transforms (decay / proximal / clip) need a scratch copy;
+        // the common training configuration needs none, so the hot paths
+        // below apply `grads` (or the velocity) directly — no per-step
+        // allocation, and numerically identical to the scratch-copy route.
+        let needs_scratch = cfg.weight_decay != 0.0
+            || (cfg.prox_mu != 0.0 && anchor.is_some())
+            || cfg.max_grad_norm.is_some();
+        if !needs_scratch {
+            if cfg.momentum == 0.0 {
+                for (k, g) in grads.iter() {
+                    if let Some(p) = params.get_mut(k) {
+                        p.add_scaled(-cfg.lr, g);
+                    }
+                }
+            } else {
+                let vel = self.velocity.get_or_insert_with(|| grads.zeros_like());
+                // ensure velocity covers all grad keys
+                for (k, g) in grads.iter() {
+                    if !vel.contains(k) {
+                        vel.insert(k.to_string(), g.zeros_like());
+                    }
+                }
+                for (k, g) in grads.iter() {
+                    let v = vel.get_mut(k).expect("velocity key");
+                    v.scale(cfg.momentum);
+                    v.add_scaled(1.0, g);
+                    if let Some(p) = params.get_mut(k) {
+                        p.add_scaled(-cfg.lr, v);
+                    }
+                }
+            }
+            return;
+        }
         let mut eff = grads.clone();
         if self.cfg.weight_decay != 0.0 {
             for (k, g) in eff.iter_mut() {

@@ -156,8 +156,20 @@ impl Tensor {
 
     /// Matrix product of two 2-D tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// Uses the cache-friendly i-k-j loop ordering.
+    /// Backed by the register-blocked kernel (see [`Tensor::matmul_into`]);
+    /// numerically bit-identical to [`Tensor::matmul_naive`] for finite
+    /// inputs, since every output element accumulates its products in the
+    /// same strict increasing-`k` order with a single accumulator.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Reference kernel: the original cache-friendly i-k-j triple loop with
+    /// a zero-skip. Kept as the baseline the criterion benches (and the
+    /// `BENCH_perf.json` micro-bench) compare the blocked kernel against.
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
         assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -185,6 +197,76 @@ impl Tensor {
             shape: vec![m, n],
             data: out,
         }
+    }
+
+    /// `out = self x rhs`, reusing `out`'s allocation when its element count
+    /// already matches (`out` is reshaped; the hot training loop hits the
+    /// no-allocation path every step).
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dims: {:?} x {:?}",
+            self.shape, rhs.shape
+        );
+        out.reset_to(&[m, n]);
+        kernels::matmul_blocked(&self.data, &rhs.data, &mut out.data, m, k, n);
+    }
+
+    /// Transposed-RHS fast path: `self [m,k] x rhs^T` where `rhs` is stored
+    /// `[n,k]` — the layout of `Linear`/`Conv2d` weights, so the forward
+    /// pass never materializes `w.t()` as a fresh tensor.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        let mut scratch = Vec::new();
+        self.matmul_nt_into(rhs, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`Tensor::matmul_nt`] writing into `out`, with the transposed copy of
+    /// `rhs` staged in `scratch` (both reusable across steps).
+    pub fn matmul_nt_into(&self, rhs: &Tensor, out: &mut Tensor, scratch: &mut Vec<f32>) {
+        assert_eq!(self.shape.len(), 2, "matmul_nt lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "matmul_nt rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_nt inner dims: {:?} x {:?}^T",
+            self.shape, rhs.shape
+        );
+        // stage rhs^T once; the transpose is O(k·n) against O(m·k·n) math
+        scratch.clear();
+        scratch.resize(k * n, 0.0);
+        for j in 0..n {
+            let row = &rhs.data[j * k..(j + 1) * k];
+            for (kk, &v) in row.iter().enumerate() {
+                scratch[kk * n + j] = v;
+            }
+        }
+        out.reset_to(&[m, n]);
+        kernels::matmul_blocked(&self.data, scratch, &mut out.data, m, k, n);
+    }
+
+    /// Transposed-LHS accumulating product: `out += self^T x rhs` where
+    /// `self` is stored `[k,m]`. This is the gradient-of-weights shape
+    /// (`gw += grad_out^T x input`) and accumulates directly into the grad
+    /// buffer — no temporary, no transpose copy.
+    pub fn matmul_tn_acc(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.shape.len(), 2, "matmul_tn lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "matmul_tn rhs must be 2-D");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_tn inner dims: {:?}^T x {:?}",
+            self.shape, rhs.shape
+        );
+        assert_eq!(out.shape, vec![m, n], "matmul_tn_acc out shape");
+        kernels::matmul_tn(&self.data, &rhs.data, &mut out.data, m, k, n);
     }
 
     /// Transpose of a 2-D tensor.
@@ -271,6 +353,32 @@ impl Tensor {
         }
     }
 
+    /// Applies `f` to every element in place — the allocation-free [`map`]
+    /// the optimizer hot loops use.
+    ///
+    /// [`map`]: Tensor::map
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Copies `src`'s contents into `self`; shapes must match exactly.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        assert_eq!(self.shape, src.shape, "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Reshapes in place to `shape`, resizing the backing buffer. Contents
+    /// are unspecified afterwards; kernels writing every element call this
+    /// to reuse the allocation across steps.
+    pub(crate) fn reset_to(&mut self, shape: &[usize]) {
+        let numel = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(numel, 0.0);
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()
@@ -350,6 +458,256 @@ impl Tensor {
     /// `true` when every element is finite (no NaN / infinity).
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Register-blocked matmul micro-kernels.
+///
+/// Both kernels compute each output element with a *single accumulator in
+/// strict increasing-`k` order* — the same order as the naive i-k-j loop —
+/// so for finite inputs their results are bit-identical to
+/// [`Tensor::matmul_naive`] (dropping the naive kernel's `a == 0.0` skip is
+/// also exact: the accumulator starts at `+0.0` and can never become `-0.0`
+/// under round-to-nearest, so adding a signed-zero product is the
+/// identity). The speed comes purely from blocking: an `MR x NR` tile of
+/// accumulators lives in registers across the whole `k` loop, so `out` is
+/// touched once per tile instead of once per `k` step, and the compiler
+/// vectorizes the constant-width column loop.
+mod kernels {
+    /// Accumulator tile rows (distinct output rows per tile).
+    const MR: usize = 4;
+    /// Accumulator tile columns. At `MR x NR = 4 x 16` the tile is 8 AVX2
+    /// registers, leaving room for the broadcast multipliers — the whole
+    /// accumulator state lives in the register file across the `k` loop.
+    const NR: usize = 16;
+
+    /// `out = a [m,k] x b [k,n]`, overwriting every element of `out`.
+    pub(super) fn matmul_blocked(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        // The wide paths are the same Rust code monomorphized with wider
+        // vector features enabled; lanes are independent accumulators, so
+        // the result is bitwise the same on every path.
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::is_x86_feature_detected!("avx512f") {
+                // SAFETY: the avx512f feature was just detected at runtime
+                unsafe { matmul_blocked_avx512(a, b, out, m, k, n) };
+                return;
+            }
+            if std::is_x86_feature_detected!("avx2") {
+                // SAFETY: the avx2 feature was just detected at runtime
+                unsafe { matmul_blocked_avx2(a, b, out, m, k, n) };
+                return;
+            }
+        }
+        matmul_blocked_impl(a, b, out, m, k, n);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn matmul_blocked_avx512(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        matmul_blocked_impl(a, b, out, m, k, n);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn matmul_blocked_avx2(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        matmul_blocked_impl(a, b, out, m, k, n);
+    }
+
+    #[inline(always)]
+    fn matmul_blocked_impl(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        let mut i = 0;
+        while i < m {
+            let ib = MR.min(m - i);
+            let mut j = 0;
+            while j < n {
+                let jb = NR.min(n - j);
+                if ib == MR && jb == NR {
+                    // full tile: separate fixed-size accumulators and
+                    // hoisted row slices, so every inner bound is a
+                    // compile-time constant and the c-loop vectorizes
+                    let a0 = &a[i * k..i * k + k];
+                    let a1 = &a[(i + 1) * k..(i + 1) * k + k];
+                    let a2 = &a[(i + 2) * k..(i + 2) * k + k];
+                    let a3 = &a[(i + 3) * k..(i + 3) * k + k];
+                    let mut acc0 = [0.0f32; NR];
+                    let mut acc1 = [0.0f32; NR];
+                    let mut acc2 = [0.0f32; NR];
+                    let mut acc3 = [0.0f32; NR];
+                    for kk in 0..k {
+                        let b_row = &b[kk * n + j..kk * n + j + NR];
+                        let (av0, av1, av2, av3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                        for c in 0..NR {
+                            let bv = b_row[c];
+                            acc0[c] += av0 * bv;
+                            acc1[c] += av1 * bv;
+                            acc2[c] += av2 * bv;
+                            acc3[c] += av3 * bv;
+                        }
+                    }
+                    out[i * n + j..i * n + j + NR].copy_from_slice(&acc0);
+                    out[(i + 1) * n + j..(i + 1) * n + j + NR].copy_from_slice(&acc1);
+                    out[(i + 2) * n + j..(i + 2) * n + j + NR].copy_from_slice(&acc2);
+                    out[(i + 3) * n + j..(i + 3) * n + j + NR].copy_from_slice(&acc3);
+                } else {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for kk in 0..k {
+                        let b_row = &b[kk * n + j..kk * n + j + jb];
+                        for (r, acc_r) in acc.iter_mut().enumerate().take(ib) {
+                            let av = a[(i + r) * k + kk];
+                            for (x, &bv) in acc_r[..jb].iter_mut().zip(b_row) {
+                                *x += av * bv;
+                            }
+                        }
+                    }
+                    for (r, acc_r) in acc.iter().enumerate().take(ib) {
+                        let o_row = &mut out[(i + r) * n + j..(i + r) * n + j + jb];
+                        o_row.copy_from_slice(&acc_r[..jb]);
+                    }
+                }
+                j += jb;
+            }
+            i += MR;
+        }
+    }
+
+    /// `out += a^T x b` where `a` is stored `[k,m]` and `b` `[k,n]`.
+    ///
+    /// Accumulating (`+=`) mirrors the gradient path it replaces
+    /// (`gw.add_scaled(1.0, &temp)`), keeping the result bitwise equal to
+    /// the old two-step form.
+    pub(super) fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::is_x86_feature_detected!("avx512f") {
+                // SAFETY: the avx512f feature was just detected at runtime
+                unsafe { matmul_tn_avx512(a, b, out, m, k, n) };
+                return;
+            }
+            if std::is_x86_feature_detected!("avx2") {
+                // SAFETY: the avx2 feature was just detected at runtime
+                unsafe { matmul_tn_avx2(a, b, out, m, k, n) };
+                return;
+            }
+        }
+        matmul_tn_impl(a, b, out, m, k, n);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn matmul_tn_avx512(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        matmul_tn_impl(a, b, out, m, k, n);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn matmul_tn_avx2(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        matmul_tn_impl(a, b, out, m, k, n);
+    }
+
+    #[inline(always)]
+    fn matmul_tn_impl(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        let mut i = 0;
+        while i < m {
+            let ib = MR.min(m - i);
+            let mut j = 0;
+            while j < n {
+                let jb = NR.min(n - j);
+                if ib == MR && jb == NR {
+                    let mut acc0 = [0.0f32; NR];
+                    let mut acc1 = [0.0f32; NR];
+                    let mut acc2 = [0.0f32; NR];
+                    let mut acc3 = [0.0f32; NR];
+                    for kk in 0..k {
+                        // a's row is contiguous across the tile's i range
+                        let a_row = &a[kk * m + i..kk * m + i + MR];
+                        let b_row = &b[kk * n + j..kk * n + j + NR];
+                        let (av0, av1, av2, av3) = (a_row[0], a_row[1], a_row[2], a_row[3]);
+                        for c in 0..NR {
+                            let bv = b_row[c];
+                            acc0[c] += av0 * bv;
+                            acc1[c] += av1 * bv;
+                            acc2[c] += av2 * bv;
+                            acc3[c] += av3 * bv;
+                        }
+                    }
+                    for (o, &v) in out[i * n + j..i * n + j + NR].iter_mut().zip(&acc0) {
+                        *o += v;
+                    }
+                    for (o, &v) in out[(i + 1) * n + j..(i + 1) * n + j + NR]
+                        .iter_mut()
+                        .zip(&acc1)
+                    {
+                        *o += v;
+                    }
+                    for (o, &v) in out[(i + 2) * n + j..(i + 2) * n + j + NR]
+                        .iter_mut()
+                        .zip(&acc2)
+                    {
+                        *o += v;
+                    }
+                    for (o, &v) in out[(i + 3) * n + j..(i + 3) * n + j + NR]
+                        .iter_mut()
+                        .zip(&acc3)
+                    {
+                        *o += v;
+                    }
+                } else {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for kk in 0..k {
+                        let a_row = &a[kk * m + i..kk * m + i + ib];
+                        let b_row = &b[kk * n + j..kk * n + j + jb];
+                        for (acc_r, &av) in acc.iter_mut().zip(a_row) {
+                            for (x, &bv) in acc_r[..jb].iter_mut().zip(b_row) {
+                                *x += av * bv;
+                            }
+                        }
+                    }
+                    for (r, acc_r) in acc.iter().enumerate().take(ib) {
+                        let o_row = &mut out[(i + r) * n + j..(i + r) * n + j + jb];
+                        for (o, &v) in o_row.iter_mut().zip(acc_r[..jb].iter()) {
+                            *o += v;
+                        }
+                    }
+                }
+                j += jb;
+            }
+            i += MR;
+        }
     }
 }
 
@@ -453,5 +811,109 @@ mod tests {
         let b = a.reshape(&[3, 2]);
         assert_eq!(b.shape(), &[3, 2]);
         assert_eq!(b.data(), a.data());
+    }
+
+    /// Deterministic pseudo-random matrix (no RNG dep in this crate).
+    fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // map to [-1, 1), with exact zeros sprinkled in to exercise
+                // the naive kernel's zero-skip branch
+                let v = ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0;
+                if (s >> 20).is_multiple_of(17) {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        Tensor::from_vec(vec![rows, cols], data)
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        // dims straddle the MR=4 / NR=16 tile boundaries
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 8, 16),
+            (5, 9, 17),
+            (16, 33, 20),
+            (13, 64, 31),
+        ] {
+            let a = lcg_matrix(m, k, (m * 1000 + n) as u64);
+            let b = lcg_matrix(k, n, (k * 7 + 3) as u64);
+            let blocked = a.matmul(&b);
+            let naive = a.matmul_naive(&b);
+            assert_eq!(blocked.shape(), naive.shape());
+            for (x, y) in blocked.data().iter().zip(naive.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = lcg_matrix(6, 10, 1);
+        let b = lcg_matrix(9, 10, 2); // [n, k] layout
+        let fast = a.matmul_nt(&b);
+        let reference = a.matmul_naive(&b.t());
+        assert_eq!(fast.shape(), &[6, 9]);
+        for (x, y) in fast.data().iter().zip(reference.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_tn_acc_matches_two_step_form() {
+        let a = lcg_matrix(10, 6, 3); // [k, m]
+        let b = lcg_matrix(10, 9, 4); // [k, n]
+        let mut acc = lcg_matrix(6, 9, 5);
+        let mut reference = acc.clone();
+        a.matmul_tn_acc(&b, &mut acc);
+        reference.add_scaled(1.0, &a.t().matmul_naive(&b));
+        for (x, y) in acc.data().iter().zip(reference.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_and_reshapes() {
+        let a = lcg_matrix(4, 5, 6);
+        let b = lcg_matrix(5, 3, 7);
+        let mut out = Tensor::zeros(&[2, 2]); // wrong shape: must be fixed up
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), &[4, 3]);
+        assert_eq!(out.data(), a.matmul_naive(&b).data());
+        // second call reuses the now-correct allocation
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), a.matmul_naive(&b).data());
+    }
+
+    #[test]
+    fn map_inplace_matches_map() {
+        let a = lcg_matrix(3, 4, 8);
+        let mut b = a.clone();
+        b.map_inplace(|v| v * 2.0 - 1.0);
+        assert_eq!(b.data(), a.map(|v| v * 2.0 - 1.0).data());
+    }
+
+    #[test]
+    fn copy_from_copies() {
+        let a = lcg_matrix(3, 4, 9);
+        let mut b = Tensor::zeros(&[3, 4]);
+        b.copy_from(&a);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from shape mismatch")]
+    fn copy_from_rejects_shape_mismatch() {
+        let mut b = Tensor::zeros(&[3, 4]);
+        b.copy_from(&Tensor::zeros(&[4, 3]));
     }
 }
