@@ -121,6 +121,26 @@ pub enum SamplerKind {
     Group,
 }
 
+/// What a distributed runner does when a client connection dies mid-course
+/// (standalone simulation has no real sockets, so it ignores this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropoutPolicy {
+    /// Abort the course with the disconnect error.
+    Fail,
+    /// Remove the dead client from the roster and finish the course with the
+    /// survivors, as long as at least `min_survivors` remain.
+    Survivors {
+        /// Fewest clients the course may shrink to before aborting.
+        min_survivors: usize,
+    },
+}
+
+impl Default for DropoutPolicy {
+    fn default() -> Self {
+        DropoutPolicy::Survivors { min_survivors: 1 }
+    }
+}
+
 /// Full configuration of an FL course.
 #[derive(Clone, Debug)]
 pub struct FlConfig {
@@ -158,6 +178,8 @@ pub struct FlConfig {
     pub compression: CompressionConfig,
     /// What runners do with static verification before starting the course.
     pub verify: VerifyMode,
+    /// How distributed runners handle mid-course client disconnects.
+    pub dropout: DropoutPolicy,
     /// Course RNG seed.
     pub seed: u64,
     /// Worker threads for the standalone runner's speculative client
@@ -187,6 +209,7 @@ impl Default for FlConfig {
             sgd: SgdConfig::with_lr(0.1),
             compression: CompressionConfig::default(),
             verify: VerifyMode::Enforce,
+            dropout: DropoutPolicy::default(),
             seed: 42,
             parallelism: 1,
         }

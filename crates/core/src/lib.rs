@@ -49,7 +49,8 @@ pub mod verify;
 pub use aggregator::{Aggregator, ReceivedUpdate};
 pub use client::{Client, ClientState};
 pub use config::{
-    AggregationRule, BroadcastManner, CodecSpec, CompressionConfig, FlConfig, SamplerKind,
+    AggregationRule, BroadcastManner, CodecSpec, CompressionConfig, DropoutPolicy, FlConfig,
+    SamplerKind,
 };
 pub use course::CourseBuilder;
 pub use ctx::Ctx;

@@ -128,6 +128,11 @@ pub struct CourseReport {
     /// Emit-conformance violations observed during dispatch (`FSV040`):
     /// handlers that emitted events absent from their declared `emits` list.
     pub conformance_violations: Vec<String>,
+    /// Clients dropped from the course after their connection died
+    /// (distributed runs only; standalone simulation never drops).
+    pub dropouts: Vec<fs_net::ParticipantId>,
+    /// Successful client reconnections (distributed TCP runs only).
+    pub reconnects: u64,
 }
 
 impl CourseReport {
@@ -642,6 +647,8 @@ impl StandaloneRunner {
             effective_handlers,
             registry_warnings,
             conformance_violations,
+            dropouts: s.dropouts.clone(),
+            reconnects: s.reconnects,
         }
     }
 

@@ -75,6 +75,11 @@ pub struct ServerState {
     pub finish_reason: Option<String>,
     /// Per-client final metrics reported at Finish.
     pub client_reports: BTreeMap<ParticipantId, Metrics>,
+    /// Clients removed from the course after their connection died
+    /// (distributed runners only; chronological).
+    pub dropouts: Vec<ParticipantId>,
+    /// Successful client reconnections observed by the transport.
+    pub reconnects: u64,
     /// Download codec: when set, broadcasts leave as
     /// `Payload::CompressedModel`.
     pub download_codec: Option<Box<dyn Compressor>>,
@@ -173,6 +178,96 @@ impl ServerState {
         self.sample_and_broadcast(need, ctx);
         if let AggregationRule::TimeUp { budget_secs, .. } = self.cfg.rule {
             ctx.arm_timer(budget_secs, Condition::TimeUp, self.round);
+        }
+    }
+
+    /// The aggregation goal actually reachable with the current roster: a
+    /// course that lost clients must not wait for more updates than the
+    /// survivors can produce.
+    pub fn effective_goal(&self, goal: usize) -> usize {
+        goal.min(self.roster.len()).max(1)
+    }
+
+    /// Removes a disconnected client from the course (§ fault model): it
+    /// leaves the roster, the busy set, and the outstanding set, and the
+    /// aggregation conditions are re-evaluated so the round completes with
+    /// the survivors instead of waiting forever for the dead client.
+    ///
+    /// Transport-level notification — call through [`Server::notify_dropout`]
+    /// so raised conditions are drained.
+    pub fn drop_client(&mut self, id: ParticipantId, ctx: &mut Ctx) {
+        let joining = self.models_sent == 0;
+        let pos = self.roster.iter().position(|&c| c == id);
+        if pos.is_none() && !joining {
+            return; // unknown, or already dropped
+        }
+        if let Some(p) = pos {
+            self.roster.remove(p);
+        }
+        self.busy.remove(&id);
+        self.outstanding.remove(&id);
+        self.dropouts.push(id);
+        ctx.monitor.add(fs_monitor::counters::DROPOUTS, 1);
+        if joining {
+            // a client lost before the course started is no longer awaited
+            self.expected_clients = self.expected_clients.saturating_sub(1);
+        }
+        self.reevaluate_after_roster_change(ctx);
+    }
+
+    /// Re-admits a reconnected client. Any work in flight on its old
+    /// connection is void (the frames are gone), so the client is treated as
+    /// idle: cleared from busy/outstanding, re-added to the roster if it had
+    /// been dropped, and the round conditions are re-evaluated so the course
+    /// moves on; the client catches the next broadcast.
+    ///
+    /// Transport-level notification — call through [`Server::notify_rejoin`].
+    pub fn rejoin_client(&mut self, id: ParticipantId, ctx: &mut Ctx) {
+        self.reconnects += 1;
+        ctx.monitor.add(fs_monitor::counters::RECONNECTS, 1);
+        if !self.roster.contains(&id) {
+            self.roster.push(id);
+        }
+        self.busy.remove(&id);
+        self.outstanding.remove(&id);
+        self.reevaluate_after_roster_change(ctx);
+    }
+
+    /// After the roster shrank (or a rejoined client was reset to idle),
+    /// checks whether a condition the dead client was blocking now holds.
+    fn reevaluate_after_roster_change(&mut self, ctx: &mut Ctx) {
+        if self.done {
+            return;
+        }
+        if self.roster.is_empty() {
+            self.finish_reason = Some("all clients dropped out".to_string());
+            ctx.raise(Condition::EarlyStop);
+            return;
+        }
+        if self.models_sent == 0 {
+            // still gathering joins: the shrunken expectation may now be met
+            if self.roster.len() >= self.expected_clients {
+                ctx.raise(Condition::AllJoinedIn);
+            }
+            return;
+        }
+        match self.cfg.rule {
+            AggregationRule::AllReceived => {
+                if self.outstanding.is_empty() {
+                    if self.received_this_round > 0 {
+                        ctx.raise(Condition::AllReceived);
+                    } else {
+                        // the whole round's cohort is gone: resample survivors
+                        self.start_round(ctx);
+                    }
+                }
+            }
+            AggregationRule::GoalAchieved { goal } => {
+                if self.buffer.len() >= self.effective_goal(goal) {
+                    ctx.raise(Condition::GoalAchieved);
+                }
+            }
+            AggregationRule::TimeUp { .. } => {}
         }
     }
 
@@ -304,6 +399,8 @@ impl Server {
             evals_since_best: 0,
             finish_reason: None,
             client_reports: BTreeMap::new(),
+            dropouts: Vec::new(),
+            reconnects: 0,
             download_codec,
             broadcast_cache: None,
             global_history: BTreeMap::new(),
@@ -370,6 +467,35 @@ impl Server {
             Event::Condition(condition),
             &synthetic,
             ctx,
+        );
+        self.drain_conditions(&synthetic, ctx);
+    }
+
+    /// Transport notification: `id`'s connection died and the dropout policy
+    /// chose to continue with the survivors. Applies
+    /// [`ServerState::drop_client`] and drains any condition it unblocked.
+    pub fn notify_dropout(&mut self, id: ParticipantId, ctx: &mut Ctx) {
+        self.state.drop_client(id, ctx);
+        let synthetic = Message::new(
+            id,
+            SERVER_ID,
+            MessageKind::Custom(0xFFE),
+            self.state.round,
+            Payload::Empty,
+        );
+        self.drain_conditions(&synthetic, ctx);
+    }
+
+    /// Transport notification: `id` completed a rejoin handshake. Applies
+    /// [`ServerState::rejoin_client`] and drains any condition it unblocked.
+    pub fn notify_rejoin(&mut self, id: ParticipantId, ctx: &mut Ctx) {
+        self.state.rejoin_client(id, ctx);
+        let synthetic = Message::new(
+            id,
+            SERVER_ID,
+            MessageKind::Custom(0xFFE),
+            self.state.round,
+            Payload::Empty,
         );
         self.drain_conditions(&synthetic, ctx);
     }
@@ -511,7 +637,9 @@ impl Server {
                         }
                     }
                     AggregationRule::GoalAchieved { goal } => {
-                        if state.buffer.len() >= goal {
+                        // effective_goal: a roster shrunk by dropouts must not
+                        // wait for more updates than the survivors can send
+                        if state.buffer.len() >= state.effective_goal(goal) {
                             ctx.raise(Condition::GoalAchieved);
                             aggregating = true;
                         }
@@ -1131,6 +1259,146 @@ mod tests {
         assert_eq!(blocks.len(), 2);
         // the per-version cache guarantees identical bytes for every recipient
         assert_eq!(blocks[0], blocks[1]);
+    }
+
+    #[test]
+    fn dropout_of_outstanding_client_completes_round_with_survivors() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        // client 1 replies; all_received still waits for client 2
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
+        assert_eq!(s.state.version, 0);
+        // client 2 dies: the round must aggregate with client 1's update
+        s.notify_dropout(2, &mut ctx);
+        assert_eq!(s.state.version, 1, "survivors' round must complete");
+        assert_eq!(s.state.dropouts, vec![2]);
+        assert_eq!(s.state.roster, vec![1]);
+    }
+
+    #[test]
+    fn dropout_of_whole_cohort_resamples_survivors() {
+        let cfg = FlConfig {
+            concurrency: 1,
+            total_rounds: 5,
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        let sampled = *s.state.busy.iter().next().expect("one sampled");
+        let survivor = if sampled == 1 { 2 } else { 1 };
+        ctx.outbox.clear();
+        s.notify_dropout(sampled, &mut ctx);
+        // no update was in: the round restarts on the surviving client
+        assert_eq!(s.state.version, 0);
+        assert!(s.state.busy.contains(&survivor));
+        let models = ctx
+            .outbox
+            .iter()
+            .filter(|o| o.msg.kind == MessageKind::ModelParams)
+            .count();
+        assert_eq!(models, 1, "survivor resampled");
+    }
+
+    #[test]
+    fn dropout_of_every_client_terminates_course() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        s.notify_dropout(1, &mut ctx);
+        s.notify_dropout(2, &mut ctx);
+        assert!(s.state.done);
+        assert!(s
+            .state
+            .finish_reason
+            .as_deref()
+            .unwrap()
+            .contains("dropped out"));
+    }
+
+    #[test]
+    fn dropout_before_start_shrinks_expected_set() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 3);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx); // third expected client never joins
+        assert_eq!(s.state.models_sent, 0, "course waits for client 3");
+        s.notify_dropout(3, &mut ctx);
+        assert_eq!(s.state.expected_clients, 2);
+        assert!(s.state.models_sent > 0, "course starts with the joiners");
+    }
+
+    #[test]
+    fn dropout_lowers_goal_to_what_survivors_can_reach() {
+        let cfg = FlConfig {
+            concurrency: 3,
+            total_rounds: 5,
+            rule: AggregationRule::GoalAchieved { goal: 3 },
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 3);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 3, &mut ctx);
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
+        s.handle(&update_msg(2, &[1.0, 1.0], 0), &mut ctx);
+        assert_eq!(s.state.version, 0, "goal 3 not reached");
+        // client 3 dies: effective goal is now 2 and the buffer satisfies it
+        s.notify_dropout(3, &mut ctx);
+        assert_eq!(s.state.version, 1);
+    }
+
+    #[test]
+    fn rejoin_voids_in_flight_work_and_readmits() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
+        // client 2's connection bounced: its in-flight update is gone, but it
+        // rejoined fast enough that no dropout fired
+        s.notify_rejoin(2, &mut ctx);
+        assert_eq!(s.state.version, 1, "round completes without the bounce");
+        assert_eq!(s.state.reconnects, 1);
+        assert!(s.state.roster.contains(&2), "client 2 still in the course");
+        assert!(s.state.dropouts.is_empty());
+    }
+
+    #[test]
+    fn dropped_client_can_rejoin_the_roster() {
+        let cfg = FlConfig {
+            concurrency: 2,
+            total_rounds: 5,
+            ..Default::default()
+        };
+        let mut s = make_server(cfg, 2);
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        join_all(&mut s, 2, &mut ctx);
+        s.handle(&update_msg(1, &[1.0, 1.0], 0), &mut ctx);
+        s.notify_dropout(2, &mut ctx);
+        assert_eq!(s.state.roster, vec![1]);
+        s.notify_rejoin(2, &mut ctx);
+        assert_eq!(s.state.roster, vec![1, 2]);
+        assert_eq!(s.state.dropouts, vec![2], "history keeps the dropout");
+        assert_eq!(s.state.reconnects, 1);
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub mod counters {
     pub const WIRE_FRAMES_OUT: &str = "wire.frames_out";
     /// Frames read from TCP sockets.
     pub const WIRE_FRAMES_IN: &str = "wire.frames_in";
+    /// Clients dropped from a distributed course after disconnecting.
+    pub const DROPOUTS: &str = "clients.dropouts";
+    /// Successful client reconnections (rejoin handshakes completed).
+    pub const RECONNECTS: &str = "clients.reconnects";
 }
 
 /// An observability sink.

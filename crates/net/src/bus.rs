@@ -8,9 +8,10 @@
 use crate::message::{Message, ParticipantId};
 use crate::wire::{decode_message, encode_message, CodecError};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors raised by bus operations.
 #[derive(Debug)]
@@ -100,6 +101,17 @@ impl Mailbox {
             .recv()
             .map_err(|_| BusError::Disconnected(self.id))?;
         Ok(decode_message(&bytes)?)
+    }
+
+    /// Blocks up to `timeout` for a message; `Ok(None)` when the timeout
+    /// elapses with the mailbox still empty. The blocking path the
+    /// distributed server loop uses instead of busy-polling.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, BusError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(bytes) => Ok(Some(decode_message(&bytes)?)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(BusError::Disconnected(self.id)),
+        }
     }
 
     /// Non-blocking receive; `Ok(None)` when the mailbox is empty.

@@ -29,9 +29,11 @@
 pub mod backend;
 pub mod bus;
 pub mod event;
+pub mod fault;
 pub mod message;
 pub mod tcp;
 pub mod wire;
 
 pub use event::{Condition, Event};
+pub use fault::{FaultAction, FaultPlan, FaultSpec, FaultState, SendOutcome};
 pub use message::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};

@@ -31,6 +31,9 @@ pub enum MessageKind {
     MetricsReport,
     /// The server announces course termination.
     Finish,
+    /// A reconnecting client re-identifies itself to the transport hub
+    /// (the rejoin handshake; consumed by the hub, not the server workers).
+    Rejoin,
     /// A user-defined message type (heterogeneous information exchange:
     /// embeddings, public keys, generators, HPO feedback, ...).
     Custom(u16),
@@ -54,6 +57,7 @@ impl MessageKind {
             MessageKind::EvalRequest => 5,
             MessageKind::MetricsReport => 6,
             MessageKind::Finish => 7,
+            MessageKind::Rejoin => 8,
             MessageKind::Custom(c) => {
                 assert!(
                     c <= Self::MAX_CUSTOM,
@@ -77,6 +81,7 @@ impl MessageKind {
             MessageKind::EvalRequest => "eval_request",
             MessageKind::MetricsReport => "metrics_report",
             MessageKind::Finish => "finish",
+            MessageKind::Rejoin => "rejoin",
             MessageKind::Custom(_) => "custom",
         }
     }
@@ -92,6 +97,7 @@ impl MessageKind {
             5 => MessageKind::EvalRequest,
             6 => MessageKind::MetricsReport,
             7 => MessageKind::Finish,
+            8 => MessageKind::Rejoin,
             t if t >= 256 => MessageKind::Custom(t - 256),
             _ => return None,
         })
@@ -215,6 +221,7 @@ mod tests {
             MessageKind::EvalRequest,
             MessageKind::MetricsReport,
             MessageKind::Finish,
+            MessageKind::Rejoin,
             MessageKind::Custom(0),
             MessageKind::Custom(999),
         ];

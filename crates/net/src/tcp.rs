@@ -3,26 +3,46 @@
 //! The paper's distributed mode runs participants as separate processes
 //! connected by gRPC; this module provides the equivalent substrate on
 //! `std::net`: length-prefixed wire frames, a server-side [`TcpHub`] that
-//! accepts one connection per client and funnels decoded messages into a
-//! single queue, and a client-side [`TcpPeer`]. The framing is trivial by
-//! design — `u32` little-endian length followed by the
-//! [`crate::wire`]-encoded message — so any process speaking the neutral
-//! format can join a course.
+//! accepts one connection per client and funnels decoded traffic into a
+//! single event queue, and a client-side [`TcpPeer`] /
+//! [`ResilientPeer`]. The framing is trivial by design — `u32` little-endian
+//! length followed by the [`crate::wire`]-encoded message — so any process
+//! speaking the neutral format can join a course.
+//!
+//! # Fault tolerance
+//!
+//! The hub is built for unreliable clients:
+//!
+//! * **Registration at accept time.** A connection is addressable as soon as
+//!   its first frame (the join handshake) has been read; [`PendingHub::
+//!   accept`] returns only after every expected participant has completed
+//!   that handshake, so a `send` immediately after `accept` can never hit
+//!   `UnknownReceiver`.
+//! * **Liveness.** Reader threads run with a read deadline
+//!   (`set_read_timeout`); a dead connection surfaces as
+//!   [`HubEvent::Disconnected`] on the incoming queue instead of a silently
+//!   dying thread.
+//! * **Rejoin.** The hub keeps accepting connections for its whole lifetime.
+//!   A reconnecting client re-identifies itself with a
+//!   [`MessageKind::Rejoin`] handshake; the hub swaps in the new write half,
+//!   suppresses the stale connection's disconnect report, and surfaces
+//!   [`HubEvent::Rejoined`].
 
-use crate::message::{Message, ParticipantId};
+use crate::fault::{FaultAction, FaultState, SendOutcome};
+use crate::message::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};
 use crate::wire::{decode_message, encode_message, CodecError};
 use fs_monitor::{counters, MonitorHandle};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Locks a mutex, recovering the data even if a writer thread panicked while
-/// holding it (a poisoned stream map is still a usable stream map).
-fn lock_streams(
-    m: &Mutex<HashMap<ParticipantId, TcpStream>>,
-) -> MutexGuard<'_, HashMap<ParticipantId, TcpStream>> {
+/// holding it (a poisoned map is still a usable map).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -120,13 +140,142 @@ pub fn read_frame_monitored(
     Ok(msg)
 }
 
-/// Server side: accepts `expected_clients` connections, spawns one reader
-/// thread per connection (feeding a single incoming queue), and keeps write
-/// halves addressable by the sender id of the first message each connection
-/// delivers (normally `join_in`).
+/// An incremental frame reader that survives read deadlines.
+///
+/// With `set_read_timeout` armed, a blocking `read_exact` could fire its
+/// deadline halfway through a frame and desynchronize the stream. This
+/// reader accumulates partial header/body bytes across deadline ticks:
+/// [`FrameReader::poll`] returns `Ok(None)` on a tick with no complete frame
+/// and never loses position.
+#[derive(Default)]
+struct FrameReader {
+    header: [u8; 4],
+    header_have: usize,
+    body: Vec<u8>,
+    body_have: usize,
+}
+
+fn is_deadline(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+impl FrameReader {
+    fn poll(
+        &mut self,
+        stream: &mut TcpStream,
+        monitor: &MonitorHandle,
+    ) -> Result<Option<Message>, TcpError> {
+        loop {
+            if self.header_have < 4 {
+                match stream.read(&mut self.header[self.header_have..]) {
+                    Ok(0) => return Err(io::Error::from(io::ErrorKind::UnexpectedEof).into()),
+                    Ok(n) => {
+                        self.header_have += n;
+                        if self.header_have == 4 {
+                            let len = u32::from_le_bytes(self.header);
+                            if len > MAX_FRAME_BYTES {
+                                return Err(TcpError::FrameTooLarge(len));
+                            }
+                            self.body = vec![0u8; len as usize];
+                            self.body_have = 0;
+                        }
+                    }
+                    Err(e) if is_deadline(&e) => return Ok(None),
+                    Err(e) => return Err(e.into()),
+                }
+            } else if self.body_have < self.body.len() {
+                match stream.read(&mut self.body[self.body_have..]) {
+                    Ok(0) => return Err(io::Error::from(io::ErrorKind::UnexpectedEof).into()),
+                    Ok(n) => self.body_have += n,
+                    Err(e) if is_deadline(&e) => return Ok(None),
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                let msg = decode_message(&self.body)?;
+                monitor.add(counters::WIRE_FRAMES_IN, 1);
+                monitor.add(counters::WIRE_BYTES_IN, 4 + self.body.len() as u64);
+                self.header_have = 0;
+                self.body = Vec::new();
+                self.body_have = 0;
+                return Ok(Some(msg));
+            }
+        }
+    }
+}
+
+/// What the hub's incoming queue delivers: decoded traffic plus liveness
+/// transitions observed by the per-connection reader threads.
+#[derive(Debug)]
+pub enum HubEvent {
+    /// A decoded application message.
+    Message(Message),
+    /// A registered connection died (EOF, reset, or a fatal read error).
+    Disconnected(ParticipantId),
+    /// A participant completed a [`MessageKind::Rejoin`] handshake over a
+    /// fresh connection; its write half has been swapped in.
+    Rejoined(ParticipantId),
+    /// A connection sent bytes the wire codec rejects (`None` when it died
+    /// before identifying itself).
+    Codec(Option<ParticipantId>, String),
+}
+
+/// A registered write half, generation-stamped so a stale connection's
+/// teardown cannot clobber its own replacement.
+struct Conn {
+    generation: u64,
+    stream: TcpStream,
+}
+
+/// State shared between the hub handle, the acceptor, and reader threads.
+struct HubShared {
+    streams: Mutex<HashMap<ParticipantId, Conn>>,
+    /// (registered ids ever seen, generation counter).
+    registry: Mutex<(Vec<ParticipantId>, u64)>,
+    registered: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl HubShared {
+    /// Registers (or re-registers) `id`'s write half, returning the
+    /// connection generation assigned to it.
+    fn register(&self, id: ParticipantId, stream: TcpStream) -> u64 {
+        let generation = {
+            let mut reg = lock(&self.registry);
+            reg.1 += 1;
+            if !reg.0.contains(&id) {
+                reg.0.push(id);
+            }
+            reg.1
+        };
+        lock(&self.streams).insert(id, Conn { generation, stream });
+        self.registered.notify_all();
+        generation
+    }
+
+    /// Tears down `id`'s connection only if it still is generation `gen`
+    /// (a rejoined participant's fresh connection is left alone). Returns
+    /// whether the teardown applied.
+    fn deregister(&self, id: ParticipantId, generation: u64) -> bool {
+        let mut streams = lock(&self.streams);
+        match streams.get(&id) {
+            Some(conn) if conn.generation == generation => {
+                streams.remove(&id);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Server side: accepts connections for its whole lifetime, runs one reader
+/// thread per connection (feeding a single incoming event queue), and keeps
+/// write halves addressable by participant id.
 pub struct TcpHub {
-    streams: Arc<Mutex<HashMap<ParticipantId, TcpStream>>>,
-    incoming: Receiver<Message>,
+    shared: Arc<HubShared>,
+    incoming: Receiver<HubEvent>,
     local_addr: SocketAddr,
     monitor: MonitorHandle,
 }
@@ -136,6 +285,7 @@ pub struct TcpHub {
 pub struct PendingHub {
     listener: TcpListener,
     monitor: MonitorHandle,
+    read_timeout: Duration,
 }
 
 impl PendingHub {
@@ -152,9 +302,29 @@ impl PendingHub {
         self
     }
 
-    /// Accepts exactly `expected_clients` connections and starts the hub.
+    /// Sets the per-connection read deadline (the liveness tick; default
+    /// 50ms). Reader threads wake at this cadence to notice shutdown.
+    pub fn with_read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// Starts the hub and waits (up to 30s) until `expected_clients`
+    /// distinct participants have completed their join handshake, so every
+    /// write half is registered before this returns.
     pub fn accept(self, expected_clients: usize) -> Result<TcpHub, TcpError> {
-        TcpHub::from_listener(self.listener, expected_clients, self.monitor)
+        self.accept_within(expected_clients, Duration::from_secs(30))
+    }
+
+    /// [`PendingHub::accept`] with an explicit handshake deadline.
+    pub fn accept_within(
+        self,
+        expected_clients: usize,
+        wait: Duration,
+    ) -> Result<TcpHub, TcpError> {
+        let hub = TcpHub::start(self.listener, self.monitor, self.read_timeout)?;
+        hub.await_registrations(expected_clients, wait)?;
+        Ok(hub)
     }
 }
 
@@ -165,60 +335,155 @@ impl TcpHub {
         Ok(PendingHub {
             listener: TcpListener::bind(addr)?,
             monitor: MonitorHandle::null(),
+            read_timeout: Duration::from_millis(50),
         })
     }
 
-    /// Binds `addr` and accepts exactly `expected_clients` connections.
-    /// Returns once all are connected and their reader threads run.
+    /// Binds `addr` and waits for exactly `expected_clients` join
+    /// handshakes. Returns once all write halves are registered.
     pub fn listen(addr: impl ToSocketAddrs, expected_clients: usize) -> Result<TcpHub, TcpError> {
-        Self::from_listener(
-            TcpListener::bind(addr)?,
-            expected_clients,
-            MonitorHandle::null(),
-        )
+        Self::bind(addr)?.accept(expected_clients)
     }
 
-    fn from_listener(
+    /// Spawns the acceptor thread and returns the hub handle.
+    fn start(
         listener: TcpListener,
-        expected_clients: usize,
         monitor: MonitorHandle,
+        read_timeout: Duration,
     ) -> Result<TcpHub, TcpError> {
         let local_addr = listener.local_addr()?;
-        let streams: Arc<Mutex<HashMap<ParticipantId, TcpStream>>> =
-            Arc::new(Mutex::new(HashMap::new()));
-        let (tx, incoming): (Sender<Message>, Receiver<Message>) = channel();
-        for _ in 0..expected_clients {
-            let (stream, _peer) = listener.accept()?;
-            let tx = tx.clone();
-            let streams = streams.clone();
-            let mut reader = stream.try_clone()?;
+        let shared = Arc::new(HubShared {
+            streams: Mutex::new(HashMap::new()),
+            registry: Mutex::new((Vec::new(), 0)),
+            registered: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let (tx, incoming): (Sender<HubEvent>, Receiver<HubEvent>) = channel();
+        // the acceptor polls so it can notice hub shutdown: accepted sockets
+        // get their blocking behaviour back via set_read_timeout below
+        listener.set_nonblocking(true)?;
+        {
+            let shared = shared.clone();
             let monitor = monitor.clone();
-            std::thread::spawn(move || {
-                let mut registered = false;
-                loop {
-                    match read_frame_monitored(&mut reader, &monitor) {
-                        Ok(msg) => {
-                            if !registered {
-                                if let Ok(s) = reader.try_clone() {
-                                    lock_streams(&streams).insert(msg.sender, s);
-                                }
-                                registered = true;
-                            }
-                            if tx.send(msg).is_err() {
-                                return;
-                            }
+            std::thread::spawn(move || loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_read_timeout(Some(read_timeout)).is_err() {
+                            continue;
                         }
-                        Err(_) => return, // connection closed
+                        let _ = stream.set_nonblocking(false);
+                        Self::spawn_reader(stream, shared.clone(), tx.clone(), monitor.clone());
                     }
+                    Err(e) if is_deadline(&e) => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => return,
                 }
             });
         }
         Ok(TcpHub {
-            streams,
+            shared,
             incoming,
             local_addr,
             monitor,
         })
+    }
+
+    /// One reader thread per connection: the first frame is the join
+    /// handshake (it registers the write half and wakes `accept`);
+    /// [`MessageKind::Rejoin`] frames are consumed as transport control;
+    /// everything else flows to the incoming queue. Death is reported as
+    /// [`HubEvent::Disconnected`] unless a newer connection for the same
+    /// participant has already taken over.
+    fn spawn_reader(
+        stream: TcpStream,
+        shared: Arc<HubShared>,
+        tx: Sender<HubEvent>,
+        monitor: MonitorHandle,
+    ) {
+        std::thread::spawn(move || {
+            let mut reader = match stream.try_clone() {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            let mut frames = FrameReader::default();
+            let mut me: Option<(ParticipantId, u64)> = None;
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                match frames.poll(&mut reader, &monitor) {
+                    Ok(None) => continue, // deadline tick, frame still partial
+                    Ok(Some(msg)) => {
+                        let first = me.is_none();
+                        if first {
+                            let write_half = match stream.try_clone() {
+                                Ok(w) => w,
+                                Err(_) => return,
+                            };
+                            let generation = shared.register(msg.sender, write_half);
+                            me = Some((msg.sender, generation));
+                        }
+                        if msg.kind == MessageKind::Rejoin {
+                            // transport control: the handshake re-registered
+                            // the write half above (or refreshes it here for
+                            // a mid-stream rejoin); the workers never see it
+                            if tx.send(HubEvent::Rejoined(msg.sender)).is_err() {
+                                return;
+                            }
+                            continue;
+                        }
+                        if tx.send(HubEvent::Message(msg)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(TcpError::Codec(e)) => {
+                        let id = me.map(|(id, _)| id);
+                        let _ = tx.send(HubEvent::Codec(id, e.to_string()));
+                        if let Some((id, generation)) = me {
+                            shared.deregister(id, generation);
+                        }
+                        return;
+                    }
+                    Err(_) => {
+                        // connection dead: report it unless a rejoin already
+                        // replaced this connection with a fresh one
+                        if let Some((id, generation)) = me {
+                            if shared.deregister(id, generation) {
+                                let _ = tx.send(HubEvent::Disconnected(id));
+                            }
+                        }
+                        return;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Blocks until `expected` distinct participants have registered.
+    fn await_registrations(&self, expected: usize, wait: Duration) -> Result<(), TcpError> {
+        let deadline = Instant::now() + wait;
+        let mut reg = lock(&self.shared.registry);
+        while reg.0.len() < expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("only {}/{expected} clients joined", reg.0.len()),
+                )
+                .into());
+            }
+            let (guard, _timeout) = self
+                .shared
+                .registered
+                .wait_timeout(reg, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            reg = guard;
+        }
+        Ok(())
     }
 
     /// The bound address (useful with port 0).
@@ -226,36 +491,67 @@ impl TcpHub {
         self.local_addr
     }
 
-    /// Blocks for the next decoded incoming message.
-    pub fn recv(&self) -> Result<Message, TcpError> {
+    /// Blocks for the next hub event (message or liveness transition).
+    pub fn recv_event(&self) -> Result<HubEvent, TcpError> {
         self.incoming.recv().map_err(|_| TcpError::Closed)
     }
 
-    /// Non-blocking receive.
+    /// Blocks up to `timeout` for the next hub event; `Ok(None)` when the
+    /// timeout elapses. The blocking path the distributed server loop uses
+    /// instead of busy-polling.
+    pub fn recv_event_timeout(&self, timeout: Duration) -> Result<Option<HubEvent>, TcpError> {
+        match self.incoming.recv_timeout(timeout) {
+            Ok(ev) => Ok(Some(ev)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TcpError::Closed),
+        }
+    }
+
+    /// Blocks for the next decoded incoming *message*, skipping liveness
+    /// events (compatibility path for callers without dropout handling).
+    pub fn recv(&self) -> Result<Message, TcpError> {
+        loop {
+            if let HubEvent::Message(m) = self.recv_event()? {
+                return Ok(m);
+            }
+        }
+    }
+
+    /// Non-blocking receive of the next *message*, skipping liveness events;
+    /// `Ok(None)` when the queue holds no message.
     pub fn try_recv(&self) -> Result<Option<Message>, TcpError> {
-        match self.incoming.try_recv() {
-            Ok(m) => Ok(Some(m)),
-            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
-            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(TcpError::Closed),
+        loop {
+            match self.incoming.try_recv() {
+                Ok(HubEvent::Message(m)) => return Ok(Some(m)),
+                Ok(_) => continue,
+                Err(std::sync::mpsc::TryRecvError::Empty) => return Ok(None),
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => return Err(TcpError::Closed),
+            }
         }
     }
 
     /// Sends a message to its receiver's connection.
     pub fn send(&self, msg: &Message) -> Result<(), TcpError> {
-        let mut streams = lock_streams(&self.streams);
-        let stream = streams
+        let mut streams = lock(&self.shared.streams);
+        let conn = streams
             .get_mut(&msg.receiver)
             .ok_or(TcpError::UnknownReceiver(msg.receiver))?;
-        write_frame_monitored(stream, msg, &self.monitor)
+        write_frame_monitored(&mut conn.stream, msg, &self.monitor)
     }
 
     /// Ids of currently registered client connections.
     pub fn connected(&self) -> Vec<ParticipantId> {
-        lock_streams(&self.streams).keys().copied().collect()
+        lock(&self.shared.streams).keys().copied().collect()
     }
 }
 
-/// Client side: one connection to the hub.
+impl Drop for TcpHub {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Client side: one plain connection to the hub.
 pub struct TcpPeer {
     stream: TcpStream,
     monitor: MonitorHandle,
@@ -284,16 +580,219 @@ impl TcpPeer {
     pub fn recv(&mut self) -> Result<Message, TcpError> {
         read_frame_monitored(&mut self.stream, &self.monitor)
     }
+
+    /// Tears the connection down immediately (both directions).
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Capped exponential backoff for client reconnects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Connection attempts per outage before giving up.
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling on the doubled delay.
+    pub max_delay: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The backoff before attempt `n` (0-based): `base * 2^n`, capped.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(2u32.saturating_pow(attempt));
+        exp.min(self.max_delay)
+    }
+}
+
+/// A client connection with optional fault injection on sends and optional
+/// reconnect-with-backoff on outages.
+///
+/// An injected `Disconnect` verdict really closes the socket (the hub's
+/// liveness machinery sees a dead connection). With a [`ReconnectPolicy`]
+/// the next operation transparently reconnects — capped exponential backoff,
+/// then a [`MessageKind::Rejoin`] handshake so the hub re-registers the
+/// write half — and the `reconnects` counter records the recovery. Without
+/// one, the link stays dead and operations report it.
+pub struct ResilientPeer {
+    addr: SocketAddr,
+    id: ParticipantId,
+    peer: Option<TcpPeer>,
+    reconnect: Option<ReconnectPolicy>,
+    faults: Option<FaultState>,
+    monitor: MonitorHandle,
+    reconnects: u64,
+}
+
+impl ResilientPeer {
+    /// Connects participant `id` to the hub at `addr`.
+    pub fn connect(addr: SocketAddr, id: ParticipantId) -> Result<Self, TcpError> {
+        Ok(Self {
+            addr,
+            id,
+            peer: Some(TcpPeer::connect(addr)?),
+            reconnect: None,
+            faults: None,
+            monitor: MonitorHandle::null(),
+            reconnects: 0,
+        })
+    }
+
+    /// Enables reconnect-with-backoff on outages.
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
+        self
+    }
+
+    /// Injects the given fault schedule into this peer's sends.
+    pub fn with_faults(mut self, faults: FaultState) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches an observability sink (wire counters + reconnect counter).
+    pub fn with_monitor(mut self, monitor: MonitorHandle) -> Self {
+        if let Some(p) = self.peer.as_mut() {
+            p.set_monitor(monitor.clone());
+        }
+        self.monitor = monitor;
+        self
+    }
+
+    /// Successful reconnections performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Whether the link is currently down.
+    pub fn is_down(&self) -> bool {
+        self.peer.is_none()
+    }
+
+    /// Closes the current connection (if any).
+    fn kill_link(&mut self) {
+        if let Some(p) = self.peer.take() {
+            p.shutdown();
+        }
+    }
+
+    /// Re-establishes a dead link per the reconnect policy and performs the
+    /// rejoin handshake. Errors when no policy is set or attempts run out.
+    fn ensure_connected(&mut self) -> Result<&mut TcpPeer, TcpError> {
+        if self.peer.is_some() {
+            // (returning from an `if let Some(p)` borrow trips the borrow
+            // checker against the reconnect path below)
+            return self.peer.as_mut().ok_or(TcpError::Closed);
+        }
+        let policy = self.reconnect.ok_or(TcpError::Closed)?;
+        let mut last_err: Option<TcpError> = None;
+        for attempt in 0..policy.max_attempts {
+            std::thread::sleep(policy.backoff(attempt));
+            match TcpPeer::connect(self.addr) {
+                Ok(mut peer) => {
+                    peer.set_monitor(self.monitor.clone());
+                    let hello =
+                        Message::new(self.id, SERVER_ID, MessageKind::Rejoin, 0, Payload::Empty);
+                    match peer.send(&hello) {
+                        Ok(()) => {
+                            self.reconnects += 1;
+                            self.monitor.add(counters::RECONNECTS, 1);
+                            self.peer = Some(peer);
+                            return Ok(self.peer.as_mut().expect("just set"));
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or(TcpError::Closed))
+    }
+
+    /// Sends one message through the fault model, reconnecting first if the
+    /// link is down and a policy allows it.
+    pub fn send(&mut self, msg: &Message) -> Result<SendOutcome, TcpError> {
+        if let Some(f) = self.faults.as_mut() {
+            match f.next_action() {
+                FaultAction::Deliver => {
+                    if let Some(d) = f.delay() {
+                        std::thread::sleep(d);
+                    }
+                }
+                FaultAction::Drop => return Ok(SendOutcome::Dropped),
+                FaultAction::Disconnect => {
+                    self.kill_link();
+                    return Ok(SendOutcome::Disconnected);
+                }
+            }
+        }
+        if self.peer.is_none() && self.reconnect.is_none() {
+            return Ok(SendOutcome::Disconnected);
+        }
+        match self.ensure_connected()?.send(msg) {
+            Ok(()) => Ok(SendOutcome::Sent),
+            Err(TcpError::Io(_)) if self.reconnect.is_some() => {
+                // the link died underneath us: reconnect once and retry, so a
+                // transient outage does not lose the frame
+                self.kill_link();
+                self.ensure_connected()?.send(msg)?;
+                Ok(SendOutcome::Sent)
+            }
+            Err(e) => {
+                self.kill_link();
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocks for the next message, reconnecting on outages when a policy
+    /// allows it. A frame in flight during an outage is lost — the caller
+    /// simply waits for the next server broadcast, exactly like a phone
+    /// rejoining after a tunnel.
+    pub fn recv(&mut self) -> Result<Message, TcpError> {
+        loop {
+            if self.peer.is_none() && self.reconnect.is_none() {
+                return Err(TcpError::Closed);
+            }
+            match self.ensure_connected()?.recv() {
+                Ok(msg) => return Ok(msg),
+                Err(TcpError::Io(_)) if self.reconnect.is_some() => {
+                    self.kill_link();
+                    // loop: ensure_connected applies the backoff schedule
+                }
+                Err(e) => {
+                    self.kill_link();
+                    return Err(e);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultSpec};
     use crate::message::{MessageKind, Payload, SERVER_ID};
     use fs_tensor::{ParamMap, Tensor};
 
     fn join_msg(id: ParticipantId) -> Message {
         Message::new(id, SERVER_ID, MessageKind::JoinIn, 0, Payload::Empty)
+    }
+
+    fn id_msg(id: ParticipantId) -> Message {
+        Message::new(SERVER_ID, id, MessageKind::IdAssignment, 0, Payload::Empty)
     }
 
     #[test]
@@ -345,19 +844,134 @@ mod tests {
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 2]);
         for id in [1u32, 2] {
-            hub.send(&Message::new(
-                SERVER_ID,
-                id,
-                MessageKind::IdAssignment,
-                0,
-                Payload::Empty,
-            ))
-            .unwrap();
+            hub.send(&id_msg(id)).unwrap();
         }
         assert_eq!(hub.connected().len(), 2);
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn send_immediately_after_accept_succeeds() {
+        // regression: registration used to happen on the reader thread after
+        // accept returned, so an eager server send hit UnknownReceiver
+        let pending = TcpHub::bind("127.0.0.1:0").unwrap();
+        let addr = pending.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut peer = TcpPeer::connect(addr).unwrap();
+            peer.send(&join_msg(9)).unwrap();
+            peer.recv().unwrap()
+        });
+        let hub = pending.accept(1).unwrap();
+        // no recv first: the write half must already be registered
+        hub.send(&id_msg(9)).expect("send right after accept");
+        let got = client.join().unwrap();
+        assert_eq!(got.kind, MessageKind::IdAssignment);
+    }
+
+    #[test]
+    fn dead_connection_surfaces_as_disconnected_event() {
+        let pending = TcpHub::bind("127.0.0.1:0").unwrap();
+        let addr = pending.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut peer = TcpPeer::connect(addr).unwrap();
+            peer.send(&join_msg(3)).unwrap();
+            peer.shutdown(); // dies without a goodbye
+        });
+        let hub = pending.accept(1).unwrap();
+        client.join().unwrap();
+        let mut saw_join = false;
+        let mut saw_disconnect = false;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline && !(saw_join && saw_disconnect) {
+            match hub.recv_event_timeout(Duration::from_millis(100)).unwrap() {
+                Some(HubEvent::Message(m)) if m.kind == MessageKind::JoinIn => saw_join = true,
+                Some(HubEvent::Disconnected(3)) => saw_disconnect = true,
+                Some(other) => panic!("unexpected event {other:?}"),
+                None => {}
+            }
+        }
+        assert!(saw_join && saw_disconnect, "missing join or disconnect");
+        assert!(hub.connected().is_empty(), "dead stream must deregister");
+    }
+
+    #[test]
+    fn garbage_frame_surfaces_as_codec_event() {
+        let pending = TcpHub::bind("127.0.0.1:0").unwrap();
+        let addr = pending.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut peer = TcpPeer::connect(addr).unwrap();
+            peer.send(&join_msg(5)).unwrap();
+            // a validly framed payload of garbage bytes
+            let garbage = [0xFFu8; 16];
+            peer.stream.write_all(&(16u32).to_le_bytes()).unwrap();
+            peer.stream.write_all(&garbage).unwrap();
+        });
+        let hub = pending.accept(1).unwrap();
+        client.join().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut saw_codec = false;
+        while Instant::now() < deadline && !saw_codec {
+            match hub.recv_event_timeout(Duration::from_millis(100)).unwrap() {
+                Some(HubEvent::Codec(Some(5), _)) => saw_codec = true,
+                Some(HubEvent::Message(_)) | None => {}
+                Some(other) => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(saw_codec, "codec error never surfaced");
+    }
+
+    #[test]
+    fn rejoin_swaps_write_half_and_suppresses_stale_disconnect() {
+        let pending = TcpHub::bind("127.0.0.1:0").unwrap();
+        let addr = pending.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut peer = ResilientPeer::connect(addr, 4)
+                .unwrap()
+                .with_reconnect(ReconnectPolicy::default())
+                .with_faults(
+                    FaultPlan::new(3)
+                        .with(4, FaultSpec::dies_after(1))
+                        .state_for(4),
+                );
+            assert_eq!(peer.send(&join_msg(4)).unwrap(), SendOutcome::Sent);
+            // fault schedule kills the link on the second send attempt
+            assert_eq!(peer.send(&join_msg(4)).unwrap(), SendOutcome::Disconnected);
+            // the next op reconnects with the rejoin handshake
+            let got = peer.recv().unwrap();
+            assert_eq!(peer.reconnects(), 1);
+            got
+        });
+        let hub = pending.accept(1).unwrap();
+        let mut rejoined = false;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline && !rejoined {
+            match hub.recv_event_timeout(Duration::from_millis(100)).unwrap() {
+                Some(HubEvent::Rejoined(4)) => rejoined = true,
+                Some(HubEvent::Message(_)) | Some(HubEvent::Disconnected(_)) | None => {}
+                Some(other) => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(rejoined, "rejoin handshake never surfaced");
+        // the fresh write half must be addressable
+        hub.send(&id_msg(4)).expect("send after rejoin");
+        let got = client.join().unwrap();
+        assert_eq!(got.kind, MessageKind::IdAssignment);
+    }
+
+    #[test]
+    fn reconnect_backoff_is_capped() {
+        let p = ReconnectPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(3), Duration::from_millis(80));
+        assert_eq!(p.backoff(9), Duration::from_millis(80), "capped");
     }
 
     #[test]
@@ -382,14 +996,7 @@ mod tests {
         let hub = pending.accept(1).unwrap();
         let joined = hub.recv().unwrap();
         assert_eq!(joined.sender, 1);
-        hub.send(&Message::new(
-            SERVER_ID,
-            1,
-            MessageKind::IdAssignment,
-            0,
-            Payload::Empty,
-        ))
-        .unwrap();
+        hub.send(&id_msg(1)).unwrap();
         client.join().unwrap();
         let hub_mon = hub_mon.lock().unwrap();
         let peer_mon = peer_mon.lock().unwrap();

@@ -23,6 +23,15 @@ pub mod channel {
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Receiving with a deadline on an empty or disconnected channel.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed with no message.
+        Timeout,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
     /// Sending on a channel with no receivers left.
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
@@ -61,6 +70,18 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             let guard = self.inner.lock().expect("channel receiver poisoned");
             guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            let guard = self.inner.lock().expect("channel receiver poisoned");
+            guard.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Returns immediately with a message, `Empty`, or `Disconnected`.
