@@ -28,6 +28,11 @@ pub struct ExpArgs {
     /// `--threads N` — worker threads for the standalone runner's parallel
     /// client execution (`FlConfig::parallelism`): 1 serial, 0 all cores.
     pub threads: Option<usize>,
+    /// `--clients a,b,c` — client counts to sweep (scale experiments).
+    pub clients: Option<Vec<u64>>,
+    /// `--mem-budget-mb N` — peak-RSS budget; experiments that track memory
+    /// fail when the process high-water mark exceeds it.
+    pub mem_budget_mb: Option<u64>,
     /// Flags the experiment itself interprets (everything starting `--` that
     /// this parser does not know, recorded without the leading dashes).
     pub extra_flags: Vec<String>,
@@ -46,7 +51,8 @@ impl ExpArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--seed N] [--rounds N] [--strategies a,b,c] \
-                     [--workloads femnist,cifar,twitter] [--threads N] [--quick]"
+                     [--workloads femnist,cifar,twitter] [--threads N] \
+                     [--clients a,b,c] [--mem-budget-mb N] [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -102,6 +108,32 @@ impl ExpArgs {
                     let v = value_for("--threads")?;
                     args.threads = Some(v.parse().map_err(|_| format!("bad threads {v:?}"))?);
                 }
+                "--clients" => {
+                    let v = value_for("--clients")?;
+                    let mut out = Vec::new();
+                    for n in v.split(',').filter(|s| !s.is_empty()) {
+                        // allow 250k / 1m style suffixes alongside raw counts
+                        let n = n.to_ascii_lowercase();
+                        let (digits, mul) = match n.strip_suffix(['k', 'm']) {
+                            Some(d) if n.ends_with('k') => (d, 1_000),
+                            Some(d) => (d, 1_000_000),
+                            None => (n.as_str(), 1),
+                        };
+                        let base: u64 = digits
+                            .parse()
+                            .map_err(|_| format!("bad client count {n:?}"))?;
+                        out.push(base * mul);
+                    }
+                    if out.is_empty() {
+                        return Err("--clients needs at least one count".to_string());
+                    }
+                    args.clients = Some(out);
+                }
+                "--mem-budget-mb" => {
+                    let v = value_for("--mem-budget-mb")?;
+                    args.mem_budget_mb =
+                        Some(v.parse().map_err(|_| format!("bad mem budget {v:?}"))?);
+                }
                 "--quick" => args.quick = true,
                 other if other.starts_with("--") => {
                     args.extra_flags
@@ -141,6 +173,16 @@ impl ExpArgs {
         self.threads.unwrap_or(default)
     }
 
+    /// The client-count sweep, or an experiment-specific default.
+    pub fn clients_or(&self, default: &[u64]) -> Vec<u64> {
+        self.clients.clone().unwrap_or_else(|| default.to_vec())
+    }
+
+    /// The peak-RSS budget in MiB, or an experiment-specific default.
+    pub fn mem_budget_mb_or(&self, default: u64) -> u64 {
+        self.mem_budget_mb.unwrap_or(default)
+    }
+
     /// `true` when `--<flag>` was passed among the unclaimed extras.
     pub fn has_flag(&self, flag: &str) -> bool {
         self.extra_flags.iter().any(|f| f == flag)
@@ -168,6 +210,10 @@ mod tests {
             "femnist,twitter",
             "--threads",
             "4",
+            "--clients",
+            "10000,250k,1m",
+            "--mem-budget-mb",
+            "4096",
             "--quick",
             "--validate",
         ]))
@@ -175,6 +221,8 @@ mod tests {
         assert_eq!(a.seed_or(7), 42);
         assert_eq!(a.rounds_or(300), 10);
         assert_eq!(a.threads_or(1), 4);
+        assert_eq!(a.clients_or(&[5]), vec![10_000, 250_000, 1_000_000]);
+        assert_eq!(a.mem_budget_mb_or(1024), 4096);
         assert_eq!(
             a.strategies_or(vec![]),
             vec![Strategy::SyncVanilla, Strategy::GoalAggrUnif]
@@ -196,6 +244,8 @@ mod tests {
             vec!["femnist", "cifar", "twitter"]
         );
         assert_eq!(a.threads_or(1), 1);
+        assert_eq!(a.clients_or(&[10_000]), vec![10_000]);
+        assert_eq!(a.mem_budget_mb_or(4096), 4096);
         assert!(!a.quick);
     }
 
@@ -206,6 +256,9 @@ mod tests {
         assert!(ExpArgs::parse_from(&argv(&["--threads", "x"])).is_err());
         assert!(ExpArgs::parse_from(&argv(&["--strategies", "nope"])).is_err());
         assert!(ExpArgs::parse_from(&argv(&["--workloads", "mnist"])).is_err());
+        assert!(ExpArgs::parse_from(&argv(&["--clients", "abc"])).is_err());
+        assert!(ExpArgs::parse_from(&argv(&["--clients", ""])).is_err());
+        assert!(ExpArgs::parse_from(&argv(&["--mem-budget-mb", "x"])).is_err());
         assert!(ExpArgs::parse_from(&argv(&["stray"])).is_err());
     }
 

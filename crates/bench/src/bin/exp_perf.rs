@@ -29,6 +29,7 @@
 use fs_bench::args::ExpArgs;
 use fs_bench::output::render_table;
 use fs_bench::strategies::Strategy;
+use fs_bench::sys::peak_rss_mb;
 use fs_bench::workloads::{cifar, femnist, twitter, Workload};
 use fs_core::runner::CourseReport;
 use fs_monitor::export::{validate_perf_snapshot, MatmulRow, PerfRow, PerfSnapshot};
@@ -242,4 +243,15 @@ fn main() {
         snapshot.matmul.len(),
         snapshot.cores
     );
+
+    // report process peak RSS (Linux only) and honor an optional budget
+    if let Some(mb) = peak_rss_mb() {
+        println!("peak RSS: {mb:.0} MB");
+        if let Some(budget) = args.mem_budget_mb {
+            if mb > budget as f64 {
+                eprintln!("memory budget exceeded: peak RSS {mb:.0} MB > budget {budget} MB");
+                std::process::exit(1);
+            }
+        }
+    }
 }

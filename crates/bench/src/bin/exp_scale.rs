@@ -1,0 +1,221 @@
+//! **fs-scale harness** — the persisted throughput baseline for the
+//! million-client simulation core.
+//!
+//! Sweeps client counts (default 10k → 1M, 100 rounds each) over a
+//! femnist-style synthetic workload generated *on demand* — the data for a
+//! client exists only while that client is materialized, which is the whole
+//! point of the scale runner. Each sweep point records wall-clock time,
+//! events processed, `clients/sec`, `events/sec`, and the process peak RSS,
+//! written to `BENCH_scale.json` (repo root) following the `BENCH_perf.json`
+//! pattern: schema-versioned, self-validated after writing, gated in CI.
+//!
+//! ```text
+//! cargo run -p fs-bench --release --bin exp_scale               # full sweep
+//! cargo run -p fs-bench --release --bin exp_scale -- --quick    # CI sweep (≤50k)
+//! cargo run -p fs-bench --release --bin exp_scale -- --validate # gate only
+//! ```
+//!
+//! `--validate` additionally compares against a baseline snapshot when
+//! `SCALE_BASELINE=<path>` is set: any row matching a baseline row on
+//! (clients, rounds) must retain at least 75% of the baseline's
+//! `clients_per_sec`, so CI catches throughput regressions.
+//!
+//! `--mem-budget-mb N` (default 4096) fails the run when peak RSS exceeds
+//! the budget — the acceptance bar for "a million clients fit in memory".
+
+use fs_bench::args::ExpArgs;
+use fs_bench::output::render_table;
+use fs_bench::sys::{peak_rss, peak_rss_mb};
+use fs_core::config::FlConfig;
+use fs_data::{ClientData, ClientSplit};
+use fs_monitor::export::{validate_scale_snapshot, ScaleRow, ScaleSnapshot};
+use fs_scale::ScaleCourseBuilder;
+use fs_tensor::loss::Target;
+use fs_tensor::model::logistic_regression;
+use fs_tensor::optim::SgdConfig;
+use fs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::sync::Arc;
+use std::time::Instant;
+
+const BENCH_PATH: &str = "BENCH_scale.json";
+/// Feature dimension of the synthetic femnist-style workload.
+const DIM: usize = 64;
+/// Class count of the synthetic workload.
+const CLASSES: usize = 10;
+/// Examples per client (8 train / 2 val / 2 test).
+const PER_CLIENT: usize = 12;
+/// Minimum fraction of baseline `clients_per_sec` a row must retain under
+/// `SCALE_BASELINE` comparison.
+const REGRESSION_FLOOR: f64 = 0.75;
+
+/// Deterministic femnist-style split for client index `idx`: Gaussian-ish
+/// clusters around per-class feature bumps, derived purely from
+/// `(seed, idx)` so every materialization of the same client sees the same
+/// data.
+fn synth_split(seed: u64, idx: usize) -> ClientSplit {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ 0xda7a ^ (idx as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
+    let mut xs = Vec::with_capacity(PER_CLIENT * DIM);
+    let mut ys = Vec::with_capacity(PER_CLIENT);
+    for _ in 0..PER_CLIENT {
+        let c = rng.gen_range(0..CLASSES);
+        for d in 0..DIM {
+            let center: f32 = if d % CLASSES == c { 2.0 } else { 0.0 };
+            xs.push(center + rng.gen_range(-0.5f32..0.5));
+        }
+        ys.push(c);
+    }
+    let all = ClientData {
+        x: Tensor::from_vec(vec![PER_CLIENT, DIM], xs),
+        y: Target::Classes(ys),
+    };
+    ClientSplit::from_fractions(&all, 8.0 / 12.0, 2.0 / 12.0)
+}
+
+/// Validate mode: parse the snapshot, and when `SCALE_BASELINE` names a
+/// baseline file, fail on a >25% `clients_per_sec` regression at any
+/// matching (clients, rounds) point.
+fn validate() {
+    let text =
+        fs::read_to_string(BENCH_PATH).unwrap_or_else(|e| panic!("cannot read {BENCH_PATH}: {e}"));
+    let snap = validate_scale_snapshot(&text)
+        .unwrap_or_else(|e| panic!("{BENCH_PATH} failed validation: {e}"));
+    println!("{BENCH_PATH} valid: {} rows", snap.rows.len());
+    let Some(baseline_path) = std::env::var_os("SCALE_BASELINE") else {
+        return;
+    };
+    let baseline_text = fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path:?}: {e}"));
+    let baseline = validate_scale_snapshot(&baseline_text)
+        .unwrap_or_else(|e| panic!("baseline {baseline_path:?} failed validation: {e}"));
+    let mut compared = 0usize;
+    for row in &snap.rows {
+        let Some(base) = baseline
+            .rows
+            .iter()
+            .find(|b| b.clients == row.clients && b.rounds == row.rounds)
+        else {
+            continue;
+        };
+        compared += 1;
+        let floor = REGRESSION_FLOOR * base.clients_per_sec;
+        assert!(
+            row.clients_per_sec >= floor,
+            "throughput regression at {} clients x {} rounds: {:.0} clients/sec \
+             < 75% of baseline {:.0}",
+            row.clients,
+            row.rounds,
+            row.clients_per_sec,
+            base.clients_per_sec
+        );
+        println!(
+            "  {} clients: {:.0} clients/sec vs baseline {:.0} — ok",
+            row.clients, row.clients_per_sec, base.clients_per_sec
+        );
+    }
+    println!("baseline comparison: {compared} matching rows checked");
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    if args.has_flag("validate") {
+        validate();
+        return;
+    }
+
+    let seed = args.seed_or(7);
+    let rounds = args.rounds_or(100);
+    let clients_list = if args.quick {
+        args.clients_or(&[10_000, 50_000])
+    } else {
+        args.clients_or(&[10_000, 100_000, 1_000_000])
+    };
+    let budget_mb = args.mem_budget_mb_or(4096);
+
+    let mut snapshot = ScaleSnapshot::new("exp_scale");
+    let mut table: Vec<Vec<String>> = Vec::new();
+
+    for &n in &clients_list {
+        let n_usize = n as usize;
+        let cfg = FlConfig {
+            total_rounds: rounds,
+            concurrency: 100.min(n_usize),
+            local_steps: 4,
+            batch_size: 8,
+            sgd: SgdConfig::with_lr(0.1),
+            seed,
+            ..Default::default()
+        };
+        let data_seed = seed;
+        let mut runner = ScaleCourseBuilder::synthetic(
+            n_usize,
+            Arc::new(move |i| synth_split(data_seed, i)),
+            Box::new(move |rng| Box::new(logistic_regression(DIM, CLASSES, rng))),
+            cfg,
+        )
+        .build();
+        let start = Instant::now();
+        let report = runner.run();
+        let wall_secs = start.elapsed().as_secs_f64();
+        assert_eq!(report.rounds, rounds, "course must complete every round");
+        let events = runner.events_processed();
+        let clients_per_sec = n as f64 / wall_secs;
+        let events_per_sec = events as f64 / wall_secs;
+        let rss = peak_rss().unwrap_or(0);
+        let rss_label = peak_rss_mb().map_or_else(|| "n/a".to_string(), |mb| format!("{mb:.0}"));
+        eprintln!(
+            "  {n} clients x {rounds} rounds: {wall_secs:.2} s wall, {events} events \
+             ({clients_per_sec:.0} clients/sec, {events_per_sec:.0} events/sec), \
+             peak RSS {rss_label} MB"
+        );
+        table.push(vec![
+            n.to_string(),
+            rounds.to_string(),
+            format!("{wall_secs:.2}"),
+            format!("{clients_per_sec:.0}"),
+            format!("{events_per_sec:.0}"),
+            rss_label,
+        ]);
+        snapshot.rows.push(ScaleRow {
+            clients: n,
+            rounds: report.rounds,
+            events,
+            wall_secs,
+            clients_per_sec,
+            events_per_sec,
+            peak_rss_bytes: rss,
+        });
+        if let Some(mb) = peak_rss_mb() {
+            if mb > budget_mb as f64 {
+                eprintln!(
+                    "memory budget exceeded after {n} clients: peak RSS {mb:.0} MB \
+                     > budget {budget_mb} MB"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "clients",
+                "rounds",
+                "wall s",
+                "clients/sec",
+                "events/sec",
+                "peak RSS MB"
+            ],
+            &table
+        )
+    );
+
+    fs::write(BENCH_PATH, snapshot.to_json()).expect("write BENCH_scale.json");
+    let reread = fs::read_to_string(BENCH_PATH).expect("re-read BENCH_scale.json");
+    validate_scale_snapshot(&reread).expect("snapshot round-trips through its own validator");
+    println!("wrote {BENCH_PATH}: {} rows", snapshot.rows.len());
+}

@@ -21,4 +21,5 @@
 pub mod args;
 pub mod output;
 pub mod strategies;
+pub mod sys;
 pub mod workloads;

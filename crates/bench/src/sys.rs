@@ -1,0 +1,55 @@
+//! Process-level measurements for the experiment harness.
+
+/// Peak resident set size of this process in bytes, if the platform exposes
+/// it. On Linux this reads `VmHWM` from `/proc/self/status` — the high-water
+/// mark over the whole process lifetime, so sample it after the workload of
+/// interest. Other platforms return `None`.
+pub fn peak_rss() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// `peak_rss` as mebibytes for display, or `None` off-Linux.
+pub fn peak_rss_mb() -> Option<f64> {
+    peak_rss().map(|b| b as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_reads_a_plausible_value() {
+        // touch some memory so the high-water mark is comfortably nonzero
+        let v = vec![1u8; 4 << 20];
+        std::hint::black_box(&v);
+        let rss = peak_rss().expect("VmHWM available on Linux");
+        assert!(rss > 1 << 20, "peak RSS {rss} implausibly small");
+        assert!(rss < 1 << 42, "peak RSS {rss} implausibly large");
+    }
+
+    #[test]
+    fn peak_rss_mb_matches_bytes() {
+        match (peak_rss(), peak_rss_mb()) {
+            (Some(b), Some(mb)) => {
+                assert!((mb - b as f64 / (1024.0 * 1024.0)).abs() < 1e-9)
+            }
+            (None, None) => {}
+            other => panic!("inconsistent peak_rss forms: {other:?}"),
+        }
+    }
+}

@@ -141,6 +141,19 @@ impl Default for DropoutPolicy {
     }
 }
 
+/// Which standalone execution core drives the course.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// The legacy runner: every client fully materialized for the whole
+    /// course. Supports custom handlers, speculation, and parallelism.
+    #[default]
+    Legacy,
+    /// The fs-scale runner: lazy client state with cohort-granular
+    /// scheduling. Handles millions of clients; requires default handlers
+    /// and `LocalTrainer`-backed clients, and always runs serially.
+    Scale,
+}
+
 /// Full configuration of an FL course.
 #[derive(Clone, Debug)]
 pub struct FlConfig {
@@ -188,6 +201,10 @@ pub struct FlConfig {
     /// workers. Any setting produces bit-identical reports, RNG streams, and
     /// virtual-time accounting — parallelism only changes wall-clock time.
     pub parallelism: usize,
+    /// Which standalone execution core to use. `Scale` trades handler
+    /// flexibility for million-client capacity; reports are bit-identical
+    /// on overlapping scales.
+    pub execution: ExecutionMode,
 }
 
 impl Default for FlConfig {
@@ -212,6 +229,7 @@ impl Default for FlConfig {
             dropout: DropoutPolicy::default(),
             seed: 42,
             parallelism: 1,
+            execution: ExecutionMode::default(),
         }
     }
 }

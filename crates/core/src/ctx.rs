@@ -8,7 +8,7 @@
 
 use crate::event::{Condition, Event};
 use fs_monitor::MonitorHandle;
-use fs_net::Message;
+use fs_net::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};
 use fs_sim::VirtualTime;
 use std::collections::VecDeque;
 
@@ -40,6 +40,25 @@ pub struct Timer {
     pub round: u64,
 }
 
+/// A server-side broadcast recorded at cohort granularity: one payload, many
+/// targets, scheduled by a batching runner as a single heap entry instead of
+/// per-client owned messages.
+#[derive(Clone, Debug)]
+pub struct BatchedBroadcast {
+    /// `outbox.len()` at record time: the broadcast happened after this many
+    /// individual sends, so a runner replaying the dispatch interleaves it at
+    /// exactly this point to preserve the global message order.
+    pub anchor: usize,
+    /// Message kind shared by every copy.
+    pub kind: MessageKind,
+    /// Round stamp shared by every copy.
+    pub round: u64,
+    /// Payload shared by every copy (cloned per target on delivery).
+    pub payload: Payload,
+    /// Recipients, in broadcast order.
+    pub targets: Vec<ParticipantId>,
+}
+
 /// Mutable per-dispatch context handed to every handler.
 pub struct Ctx {
     /// Current virtual time (arrival time of the triggering message).
@@ -61,6 +80,13 @@ pub struct Ctx {
     /// Observability sink. Null (free) unless the runner attached a monitor;
     /// handlers record domain counters and round metrics through it.
     pub monitor: MonitorHandle,
+    /// When set (by a cohort-batching runner), [`Ctx::broadcast`] records a
+    /// single [`BatchedBroadcast`] instead of expanding into per-target
+    /// outbox entries. Defaults to `false`: legacy runners see the exact
+    /// per-client sends they always did.
+    pub batch_broadcasts: bool,
+    /// Broadcasts recorded while `batch_broadcasts` was set, in order.
+    pub broadcasts: Vec<BatchedBroadcast>,
 }
 
 impl Ctx {
@@ -74,6 +100,8 @@ impl Ctx {
             emitted: Vec::new(),
             finished: false,
             monitor: MonitorHandle::null(),
+            batch_broadcasts: false,
+            broadcasts: Vec::new(),
         }
     }
 
@@ -108,6 +136,41 @@ impl Ctx {
         self.raised.push_back(condition);
     }
 
+    /// Broadcasts `payload` from the server to every client in `targets`.
+    ///
+    /// Under a legacy runner this expands into one [`Ctx::send`] per target —
+    /// byte-for-byte what the pre-batching server did. Under a batching
+    /// runner (`batch_broadcasts` set) it records a single
+    /// [`BatchedBroadcast`] and one emitted event; registry conformance diffs
+    /// emissions by membership, not count, so the two paths are
+    /// conformance-equivalent. Empty target lists are a no-op either way.
+    pub fn broadcast(
+        &mut self,
+        kind: MessageKind,
+        round: u64,
+        payload: Payload,
+        targets: &[ParticipantId],
+    ) {
+        if targets.is_empty() {
+            return;
+        }
+        if self.batch_broadcasts {
+            self.emitted.push(Event::Message(kind));
+            self.broadcasts.push(BatchedBroadcast {
+                anchor: self.outbox.len(),
+                kind,
+                round,
+                payload,
+                targets: targets.to_vec(),
+            });
+        } else {
+            self.outbox.reserve(targets.len());
+            for &c in targets {
+                self.send(Message::new(SERVER_ID, c, kind, round, payload.clone()));
+            }
+        }
+    }
+
     /// Arms a timer that will raise `condition` after `delay_secs`.
     pub fn arm_timer(&mut self, delay_secs: f64, condition: Condition, round: u64) {
         self.emitted.push(Event::Condition(condition));
@@ -139,5 +202,51 @@ mod tests {
         assert_eq!(ctx.raised.len(), 1);
         assert_eq!(ctx.timers.len(), 1);
         assert!(!ctx.finished);
+    }
+
+    #[test]
+    fn broadcast_expands_per_target_by_default() {
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        ctx.broadcast(MessageKind::ModelParams, 2, Payload::Empty, &[1, 2, 3]);
+        assert_eq!(ctx.outbox.len(), 3);
+        assert!(ctx.broadcasts.is_empty());
+        assert_eq!(ctx.emitted.len(), 3);
+        for (i, out) in ctx.outbox.iter().enumerate() {
+            assert_eq!(out.msg.receiver, (i + 1) as u32);
+            assert_eq!(out.msg.kind, MessageKind::ModelParams);
+            assert_eq!(out.msg.round, 2);
+        }
+    }
+
+    #[test]
+    fn broadcast_batches_when_enabled() {
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        ctx.batch_broadcasts = true;
+        ctx.send(Message::new(
+            0,
+            9,
+            MessageKind::IdAssignment,
+            0,
+            Payload::Empty,
+        ));
+        ctx.broadcast(MessageKind::ModelParams, 2, Payload::Empty, &[1, 2, 3]);
+        assert_eq!(ctx.outbox.len(), 1);
+        assert_eq!(ctx.broadcasts.len(), 1);
+        let b = &ctx.broadcasts[0];
+        assert_eq!(b.anchor, 1);
+        assert_eq!(b.targets, vec![1, 2, 3]);
+        // One emitted event per batch: conformance diffs by membership.
+        assert_eq!(ctx.emitted.len(), 2);
+    }
+
+    #[test]
+    fn broadcast_to_nobody_is_a_no_op() {
+        let mut ctx = Ctx::at(VirtualTime::ZERO);
+        ctx.broadcast(MessageKind::Finish, 1, Payload::Empty, &[]);
+        ctx.batch_broadcasts = true;
+        ctx.broadcast(MessageKind::Finish, 1, Payload::Empty, &[]);
+        assert!(ctx.outbox.is_empty());
+        assert!(ctx.broadcasts.is_empty());
+        assert!(ctx.emitted.is_empty());
     }
 }

@@ -223,7 +223,7 @@ fn apply_dropout(
     match server.state.cfg.dropout {
         DropoutPolicy::Fail => Err(DistributedError::PeerDisconnected(id)),
         DropoutPolicy::Survivors { min_survivors } => {
-            let survivors = if server.state.roster.contains(&id) {
+            let survivors = if server.state.roster_index.contains(&id) {
                 server.state.roster.len() - 1
             } else {
                 server.state.roster.len()

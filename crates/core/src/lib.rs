@@ -49,13 +49,16 @@ pub mod verify;
 pub use aggregator::{Aggregator, ReceivedUpdate};
 pub use client::{Client, ClientState};
 pub use config::{
-    AggregationRule, BroadcastManner, CodecSpec, CompressionConfig, DropoutPolicy, FlConfig,
-    SamplerKind,
+    AggregationRule, BroadcastManner, CodecSpec, CompressionConfig, DropoutPolicy, ExecutionMode,
+    FlConfig, SamplerKind,
 };
 pub use course::CourseBuilder;
 pub use ctx::Ctx;
 pub use event::{Condition, Event};
 pub use runner::{CourseReport, StandaloneRunner};
 pub use server::{Server, ServerState};
-pub use trainer::{LocalTrainer, ShareFilter, TrainConfig, Trainer};
-pub use verify::{course_ir, effective_handler_log, verify_assembled};
+pub use trainer::{LocalTrainer, ShareFilter, TrainConfig, Trainer, TrainerParts};
+pub use verify::{
+    course_ir, course_ir_grouped, effective_handler_log, effective_handler_log_grouped,
+    verify_assembled, verify_assembled_grouped,
+};

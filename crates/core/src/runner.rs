@@ -546,19 +546,21 @@ impl StandaloneRunner {
         if parallelism != 1 && self.pool.is_none() {
             self.pool = Some(WorkerPool::new(parallelism));
         }
-        // kick off: every client asks to join at t = 0
-        let ids: Vec<ParticipantId> = self.clients.keys().copied().collect();
-        for id in ids {
+        // kick off: every client asks to join at t = 0. The map is taken out
+        // for the sweep so each client is visited once by iteration instead
+        // of one O(log n) lookup per client (`enqueue_intents` only needs the
+        // map for speculation, which never applies to client-originated
+        // sends).
+        let mut clients = std::mem::take(&mut self.clients);
+        for (&id, client) in clients.iter_mut() {
             let mut ctx = Ctx::with_monitor(VirtualTime::ZERO, self.monitor.clone());
             self.monitor
                 .enter(id, "start", "dispatch", VirtualTime::ZERO);
-            self.clients
-                .get_mut(&id)
-                .expect("client exists")
-                .start(&mut ctx);
+            client.start(&mut ctx);
             self.monitor.exit(id, VirtualTime::ZERO);
             self.enqueue_intents(id, ctx);
         }
+        self.clients = clients;
         let mut events = 0u64;
         while let Some((at, ev)) = self.queue.pop() {
             events += 1;

@@ -35,6 +35,10 @@ pub struct ServerState {
     pub round: u64,
     /// Clients that have joined.
     pub roster: Vec<ParticipantId>,
+    /// Index over `roster` for O(log n) membership checks: keeps join and
+    /// rejoin handling from scanning the whole roster per message at scale.
+    /// Invariant: contains exactly the ids in `roster`.
+    pub roster_index: BTreeSet<ParticipantId>,
     /// Clients the course waits for before starting.
     pub expected_clients: usize,
     /// Clients currently training (sampled, not yet replied).
@@ -142,20 +146,21 @@ impl ServerState {
     }
 
     /// Broadcasts the current global model to `targets`, marking them busy.
+    ///
+    /// The payload is computed once (the per-version cache already made every
+    /// copy identical) and handed to [`Ctx::broadcast`], which either expands
+    /// it per target (legacy runners) or records one cohort-granular batch.
     fn broadcast_to(&mut self, targets: &[ParticipantId], ctx: &mut Ctx) {
+        if targets.is_empty() {
+            return;
+        }
         for &c in targets {
             self.busy.insert(c);
             self.outstanding.insert(c);
-            let payload = self.broadcast_payload();
-            ctx.send(Message::new(
-                SERVER_ID,
-                c,
-                MessageKind::ModelParams,
-                self.round,
-                payload,
-            ));
-            self.models_sent += 1;
         }
+        let payload = self.broadcast_payload();
+        ctx.broadcast(MessageKind::ModelParams, self.round, payload, targets);
+        self.models_sent += targets.len() as u64;
     }
 
     /// Samples up to `k` idle clients and broadcasts the model to them.
@@ -174,6 +179,10 @@ impl ServerState {
         self.outstanding.clear();
         self.received_this_round = 0;
         let target = self.cfg.sample_target();
+        // Pre-size the round's inbox: the buffer will hold at most one usable
+        // update per sampled client before the next aggregation drains it.
+        self.buffer
+            .reserve(target.saturating_sub(self.buffer.len()));
         let need = target.saturating_sub(self.busy.len());
         self.sample_and_broadcast(need, ctx);
         if let AggregationRule::TimeUp { budget_secs, .. } = self.cfg.rule {
@@ -197,12 +206,17 @@ impl ServerState {
     /// so raised conditions are drained.
     pub fn drop_client(&mut self, id: ParticipantId, ctx: &mut Ctx) {
         let joining = self.models_sent == 0;
-        let pos = self.roster.iter().position(|&c| c == id);
-        if pos.is_none() && !joining {
+        let known = self.roster_index.remove(&id);
+        if !known && !joining {
             return; // unknown, or already dropped
         }
-        if let Some(p) = pos {
-            self.roster.remove(p);
+        if known {
+            let pos = self
+                .roster
+                .iter()
+                .position(|&c| c == id)
+                .expect("roster_index tracks roster");
+            self.roster.remove(pos);
         }
         self.busy.remove(&id);
         self.outstanding.remove(&id);
@@ -225,7 +239,7 @@ impl ServerState {
     pub fn rejoin_client(&mut self, id: ParticipantId, ctx: &mut Ctx) {
         self.reconnects += 1;
         ctx.monitor.add(fs_monitor::counters::RECONNECTS, 1);
-        if !self.roster.contains(&id) {
+        if self.roster_index.insert(id) {
             self.roster.push(id);
         }
         self.busy.remove(&id);
@@ -379,6 +393,7 @@ impl Server {
             version: 0,
             round: 0,
             roster: Vec::new(),
+            roster_index: BTreeSet::new(),
             expected_clients,
             busy: BTreeSet::new(),
             buffer: Vec::new(),
@@ -522,7 +537,7 @@ impl Server {
                 Event::Condition(Condition::AllJoinedIn),
             ],
             Box::new(|state, msg, ctx| {
-                if !state.roster.contains(&msg.sender) {
+                if state.roster_index.insert(msg.sender) {
                     state.roster.push(msg.sender);
                 }
                 ctx.send(Message::new(
@@ -744,17 +759,11 @@ impl Server {
                     state.finish_reason = Some("early stop".to_string());
                 }
                 // ships the final model compressed when a download codec is
-                // configured, like any other broadcast
+                // configured, like any other broadcast (the payload is built
+                // even for an empty roster so the codec cache advances the
+                // same way it always did)
                 let payload = state.broadcast_payload();
-                for &c in &state.roster {
-                    ctx.send(Message::new(
-                        SERVER_ID,
-                        c,
-                        MessageKind::Finish,
-                        state.round,
-                        payload.clone(),
-                    ));
-                }
+                ctx.broadcast(MessageKind::Finish, state.round, payload, &state.roster);
             }),
         );
 

@@ -82,6 +82,17 @@ pub trait Trainer: Send {
     fn try_clone(&self) -> Option<Box<dyn Trainer>> {
         None
     }
+
+    /// Downcasts this trainer into a [`LocalTrainer`] by value, consuming the
+    /// box. The lazy-materialization runner uses this to dismantle a client
+    /// when it goes dormant — recycling the model tensors through a pool and
+    /// keeping only the tiny resumable state (optimizer, RNG) — so only
+    /// `LocalTrainer`-backed clients can run under `execution: scale`.
+    ///
+    /// The default returns `None` (not a `LocalTrainer`).
+    fn into_local(self: Box<Self>) -> Option<LocalTrainer> {
+        None
+    }
 }
 
 /// Configuration of the standard local training loop.
@@ -254,6 +265,54 @@ impl Trainer for LocalTrainer {
 
     fn try_clone(&self) -> Option<Box<dyn Trainer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn into_local(self: Box<Self>) -> Option<LocalTrainer> {
+        Some(*self)
+    }
+}
+
+/// The constituent parts of a [`LocalTrainer`], exposed so a lazy runner can
+/// dismantle a trainer on deactivation (recycling the model allocation) and
+/// reassemble it bit-identically on the next activation.
+pub struct TrainerParts {
+    /// The local model.
+    pub model: Box<dyn Model>,
+    /// The local dataset.
+    pub data: ClientSplit,
+    /// Training-loop configuration.
+    pub cfg: TrainConfig,
+    /// The share filter.
+    pub share: ShareFilter,
+    /// Optimizer state (momentum buffers survive hibernation).
+    pub opt: Sgd,
+    /// The minibatch RNG, mid-stream.
+    pub rng: StdRng,
+}
+
+impl LocalTrainer {
+    /// Dismantles the trainer into its parts.
+    pub fn into_parts(self) -> TrainerParts {
+        TrainerParts {
+            model: self.model,
+            data: self.data,
+            cfg: self.cfg,
+            share: self.share,
+            opt: self.opt,
+            rng: self.rng,
+        }
+    }
+
+    /// Reassembles a trainer from parts produced by [`Self::into_parts`].
+    pub fn from_parts(parts: TrainerParts) -> Self {
+        Self {
+            model: parts.model,
+            data: parts.data,
+            cfg: parts.cfg,
+            share: parts.share,
+            opt: parts.opt,
+            rng: parts.rng,
+        }
     }
 }
 

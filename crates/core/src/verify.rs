@@ -18,13 +18,33 @@ use fs_verify::{CourseIr, HandlerSpec, ParticipantSpec, VerifyReport};
 /// Lowers a course into the verifier's IR. `config` is optional so callers
 /// can verify a hand-assembled server/client set without a full `FlConfig`.
 pub fn course_ir(server: &Server, clients: &[&Client], config: Option<&FlConfig>) -> CourseIr {
+    let groups: Vec<(&Client, Vec<ParticipantId>)> =
+        clients.iter().map(|c| (*c, vec![c.state.id])).collect();
+    course_ir_grouped(server, &groups, config)
+}
+
+/// Lowers a course given as representative clients plus the id sets they
+/// stand for. A lazy runner that materializes clients on demand verifies a
+/// million-client course through one representative without building the
+/// other 999,999; the result is identical to [`course_ir`] over fully
+/// materialized clients with the same handler tables.
+pub fn course_ir_grouped(
+    server: &Server,
+    reps: &[(&Client, Vec<ParticipantId>)],
+    config: Option<&FlConfig>,
+) -> CourseIr {
     let mut groups: Vec<(Vec<HandlerSpec>, Vec<ParticipantId>)> = Vec::new();
-    for c in clients {
+    for (c, ids) in reps {
         let specs = c.specs();
         match groups.iter_mut().find(|(s, _)| *s == specs) {
-            Some((_, ids)) => ids.push(c.state.id),
-            None => groups.push((specs, vec![c.state.id])),
+            Some((_, all)) => all.extend(ids.iter().copied()),
+            None => groups.push((specs, ids.clone())),
         }
+    }
+    let total: usize = groups.iter().map(|(_, ids)| ids.len()).sum();
+    let mut registry_warnings: Vec<String> = server.warnings().to_vec();
+    for (c, _) in reps {
+        registry_warnings.extend(c.warnings().iter().cloned());
     }
     let client_groups = groups
         .into_iter()
@@ -40,11 +60,6 @@ pub fn course_ir(server: &Server, clients: &[&Client], config: Option<&FlConfig>
         })
         .collect();
 
-    let mut registry_warnings: Vec<String> = server.warnings().to_vec();
-    for c in clients {
-        registry_warnings.extend(c.warnings().iter().cloned());
-    }
-
     CourseIr {
         server: ParticipantSpec {
             label: "server".to_string(),
@@ -52,7 +67,7 @@ pub fn course_ir(server: &Server, clients: &[&Client], config: Option<&FlConfig>
         },
         client_groups,
         registry_warnings,
-        config: config.map(|cfg| cfg.facts(Some(clients.len()))),
+        config: config.map(|cfg| cfg.facts(Some(total))),
     }
 }
 
@@ -65,10 +80,31 @@ pub fn verify_assembled(
     fs_verify::verify_course(&course_ir(server, clients, config))
 }
 
+/// [`verify_assembled`] over representative clients (see
+/// [`course_ir_grouped`]).
+pub fn verify_assembled_grouped(
+    server: &Server,
+    reps: &[(&Client, Vec<ParticipantId>)],
+    config: Option<&FlConfig>,
+) -> VerifyReport {
+    fs_verify::verify_course(&course_ir_grouped(server, reps, config))
+}
+
 /// The effective-handler log the paper prints: one line per participant
 /// group, `<event> -> <handler>` pairs in registration-table order.
 pub fn effective_handler_log(server: &Server, clients: &[&Client]) -> Vec<String> {
-    let ir = course_ir(server, clients, None);
+    let groups: Vec<(&Client, Vec<ParticipantId>)> =
+        clients.iter().map(|c| (*c, vec![c.state.id])).collect();
+    effective_handler_log_grouped(server, &groups)
+}
+
+/// [`effective_handler_log`] over representative clients (see
+/// [`course_ir_grouped`]).
+pub fn effective_handler_log_grouped(
+    server: &Server,
+    reps: &[(&Client, Vec<ParticipantId>)],
+) -> Vec<String> {
+    let ir = course_ir_grouped(server, reps, None);
     let mut lines = Vec::new();
     for spec in std::iter::once(&ir.server).chain(ir.client_groups.iter()) {
         for h in &spec.handlers {

@@ -268,6 +268,97 @@ pub fn validate_perf_snapshot(json: &str) -> Result<PerfSnapshot, String> {
     Ok(snap)
 }
 
+/// One client-count sweep point in `BENCH_scale.json`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScaleRow {
+    /// Clients in the simulated course.
+    pub clients: u64,
+    /// Aggregation rounds completed.
+    pub rounds: u64,
+    /// Simulation events processed (deliveries, batch members, timers).
+    pub events: u64,
+    /// Wall-clock seconds for the full course.
+    pub wall_secs: f64,
+    /// `clients / wall_secs` — the headline scale metric.
+    pub clients_per_sec: f64,
+    /// `events / wall_secs` — event-heap throughput.
+    pub events_per_sec: f64,
+    /// Peak resident set size in bytes (`VmHWM`), or 0 when the platform
+    /// does not expose it. Measured once per process, so rows report the
+    /// high-water mark *up to and including* their run.
+    pub peak_rss_bytes: u64,
+}
+
+/// The `BENCH_scale.json` document: the client-count sweep of the fs-scale
+/// runner, with schema metadata the CI gate checks.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScaleSnapshot {
+    /// Snapshot schema version; bump on incompatible changes.
+    pub schema_version: u64,
+    /// Benchmark name (`"exp_scale"`).
+    pub bench: String,
+    /// One row per swept client count.
+    pub rows: Vec<ScaleRow>,
+}
+
+impl ScaleSnapshot {
+    /// Current schema version.
+    pub const SCHEMA_VERSION: u64 = 1;
+
+    /// An empty snapshot for the given bench.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            schema_version: Self::SCHEMA_VERSION,
+            bench: bench.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Serializes the snapshot as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// Parses and validates a `BENCH_scale.json` document. This is the CI gate:
+/// a missing field, wrong schema version, empty sweep, zero counts, or a
+/// non-finite/non-positive rate all fail loudly.
+pub fn validate_scale_snapshot(json: &str) -> Result<ScaleSnapshot, String> {
+    let snap: ScaleSnapshot =
+        serde_json::from_str(json).map_err(|e| format!("malformed scale snapshot: {e:?}"))?;
+    if snap.schema_version != ScaleSnapshot::SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {}",
+            snap.schema_version,
+            ScaleSnapshot::SCHEMA_VERSION
+        ));
+    }
+    if snap.rows.is_empty() {
+        return Err("snapshot has no rows".to_string());
+    }
+    for (i, row) in snap.rows.iter().enumerate() {
+        if row.clients == 0 {
+            return Err(format!("row {i}: zero clients"));
+        }
+        if row.rounds == 0 {
+            return Err(format!("row {i}: zero rounds completed"));
+        }
+        if row.events == 0 {
+            return Err(format!("row {i}: zero events processed"));
+        }
+        for (name, v) in [
+            ("wall_secs", row.wall_secs),
+            ("clients_per_sec", row.clients_per_sec),
+            ("events_per_sec", row.events_per_sec),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("row {i}: bad {name} ({v})"));
+            }
+        }
+    }
+    Ok(snap)
+}
+
 /// Parses one JSONL round log back into values (used by tests and tooling).
 pub fn parse_rounds_jsonl(text: &str) -> Result<Vec<Value>, String> {
     text.lines()
@@ -450,5 +541,62 @@ mod tests {
         bad_timing.rows.push(row);
         bad_timing.matmul.push(sample_matmul_row());
         assert!(validate_perf_snapshot(&bad_timing.to_json()).is_err());
+    }
+
+    fn sample_scale_row() -> ScaleRow {
+        ScaleRow {
+            clients: 100_000,
+            rounds: 100,
+            events: 1_250_000,
+            wall_secs: 12.5,
+            clients_per_sec: 8_000.0,
+            events_per_sec: 100_000.0,
+            peak_rss_bytes: 512 << 20,
+        }
+    }
+
+    #[test]
+    fn scale_snapshot_roundtrips_and_validates() {
+        let mut snap = ScaleSnapshot::new("exp_scale");
+        snap.rows.push(sample_scale_row());
+        let json = snap.to_json();
+        let back = validate_scale_snapshot(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn scale_validation_rejects_bad_snapshots() {
+        assert!(validate_scale_snapshot("not json").is_err());
+        assert!(validate_scale_snapshot("{}").is_err(), "missing fields");
+
+        let empty = ScaleSnapshot::new("exp_scale");
+        assert!(
+            validate_scale_snapshot(&empty.to_json()).is_err(),
+            "no rows"
+        );
+
+        let mut wrong_version = ScaleSnapshot::new("exp_scale");
+        wrong_version.rows.push(sample_scale_row());
+        wrong_version.schema_version = 999;
+        assert!(validate_scale_snapshot(&wrong_version.to_json()).is_err());
+
+        let mut zero_clients = ScaleSnapshot::new("exp_scale");
+        let mut row = sample_scale_row();
+        row.clients = 0;
+        zero_clients.rows.push(row);
+        assert!(validate_scale_snapshot(&zero_clients.to_json()).is_err());
+
+        let mut bad_rate = ScaleSnapshot::new("exp_scale");
+        let mut row = sample_scale_row();
+        row.clients_per_sec = f64::NAN;
+        bad_rate.rows.push(row);
+        assert!(validate_scale_snapshot(&bad_rate.to_json()).is_err());
+
+        // peak_rss_bytes = 0 is the "unavailable" sentinel and must pass
+        let mut no_rss = ScaleSnapshot::new("exp_scale");
+        let mut row = sample_scale_row();
+        row.peak_rss_bytes = 0;
+        no_rss.rows.push(row);
+        assert!(validate_scale_snapshot(&no_rss.to_json()).is_ok());
     }
 }

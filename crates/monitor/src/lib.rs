@@ -36,5 +36,7 @@ pub mod trace;
 
 pub use api::{counters, Monitor, MonitorHandle, NullMonitor, TrackId, SERVER_TRACK};
 pub use buffer::{BufferMonitor, MonitorOp};
-pub use export::{BenchRow, BenchSnapshot, MatmulRow, PerfRow, PerfSnapshot};
+pub use export::{
+    BenchRow, BenchSnapshot, MatmulRow, PerfRow, PerfSnapshot, ScaleRow, ScaleSnapshot,
+};
 pub use recording::{RecordingMonitor, RoundRecord, SpanRecord};

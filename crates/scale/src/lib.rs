@@ -1,0 +1,73 @@
+//! # fs-scale — million-client simulation core
+//!
+//! The legacy standalone runner materializes every client up front: a model,
+//! a dataset split, an optimizer, and a handler registry per client, held for
+//! the whole course. That caps simulations around the tens of thousands of
+//! clients. This crate rearchitects the standalone execution core around two
+//! observations about federated courses at scale:
+//!
+//! 1. **Almost every client is idle almost always.** Per round the server
+//!    samples a small cohort; the rest of the fleet does nothing. An idle
+//!    client needs no tensors — only the tiny resumable state (optimizer
+//!    buffers, RNG stream, a few counters) that makes its *next* activation
+//!    bit-identical to a world where it had stayed resident.
+//! 2. **Most events are cohort-shaped.** A broadcast to `m` clients is one
+//!    payload and `m` arrival times — not `m` owned messages.
+//!
+//! So: idle clients live as O(1) slots ([`runner::ScaleRunner`]'s slab of
+//! slot structs), the dispatched client is lazily materialized from a
+//! [`runner::ClientFactory`] (model tensors recycled through a pool), and
+//! the course is driven by a single indexed event heap
+//! ([`fs_sim::IndexedEventQueue`]) where a broadcast occupies one entry that
+//! is re-armed member by member. The result runs 1,000,000-client courses in
+//! a memory footprint the legacy runner would need for a few hundred, while
+//! producing **bit-identical** [`fs_core::CourseReport`]s (and monitor
+//! streams) on scales where both runners can run — the equivalence suite in
+//! `tests/scale_equivalence.rs` holds that line.
+//!
+//! Select it per course with `FlConfig { execution: ExecutionMode::Scale }`
+//! through [`course::build_course`], or construct a
+//! [`course::ScaleCourseBuilder`] directly (required for the closure-backed
+//! synthetic data sources that make million-client datasets feasible).
+
+pub mod course;
+pub mod runner;
+pub mod slab;
+
+pub use course::{build_course, CourseRunner, ScaleCourseBuilder};
+pub use runner::{ClientFactory, ScaleRunner};
+pub use slab::Slab;
+
+use fs_core::trainer::{LocalUpdate, Trainer};
+use fs_tensor::model::Metrics;
+use fs_tensor::ParamMap;
+
+/// A placeholder trainer for client shells that must never train: the
+/// verification representative, and hibernating clients whose real trainer
+/// has been dismantled into pooled parts.
+pub struct NullTrainer;
+
+impl Trainer for NullTrainer {
+    fn incorporate(&mut self, _global: &ParamMap) {}
+
+    fn local_train(&mut self, _global: &ParamMap, _round: u64) -> LocalUpdate {
+        LocalUpdate {
+            params: ParamMap::new(),
+            n_samples: 0,
+            n_steps: 0,
+            examples_processed: 0,
+        }
+    }
+
+    fn evaluate_val(&mut self) -> Metrics {
+        Metrics::default()
+    }
+
+    fn evaluate_test(&mut self) -> Metrics {
+        Metrics::default()
+    }
+
+    fn num_train_samples(&self) -> usize {
+        0
+    }
+}

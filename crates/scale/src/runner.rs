@@ -1,0 +1,784 @@
+//! The lazy-materialization standalone runner.
+//!
+//! Bit-identical to `fs_core::StandaloneRunner` (serial mode) on overlapping
+//! scales, but built for cohorts the legacy runner cannot hold: idle clients
+//! are O(1) slots, only the currently dispatched client exists as a full
+//! [`Client`], model tensors are recycled through a pool, in-flight messages
+//! live in a slab, and a server broadcast occupies a single indexed-heap
+//! entry re-armed member by member instead of one owned message per target.
+//!
+//! # Determinism contract
+//!
+//! The legacy runner's global event order is the `(VirtualTime, seq)` order
+//! of its queue, where `seq` counts pushes. This runner reproduces exactly
+//! that order: every point where the legacy runner would push one event
+//! consumes one sequence number here too (batches reserve a contiguous range
+//! up front, one per member, in legacy push order), so pops interleave
+//! identically — which makes the crash-RNG draw order, the sampler RNG
+//! stream, every virtual timestamp, and every monitor counter match the
+//! legacy runner bit for bit.
+
+use crate::slab::Slab;
+use crate::NullTrainer;
+use fs_core::client::Client;
+use fs_core::config::CompressionConfig;
+use fs_core::ctx::{BatchedBroadcast, Ctx, Outgoing};
+use fs_core::event::Condition;
+use fs_core::server::Server;
+use fs_core::trainer::{LocalTrainer, ShareFilter, TrainConfig, TrainerParts};
+use fs_core::CourseReport;
+use fs_monitor::{counters, MonitorHandle};
+use fs_net::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};
+use fs_sim::{Fleet, IndexedEventQueue, VirtualTime};
+use fs_tensor::model::{Metrics, Model};
+use fs_tensor::optim::Sgd;
+use fs_tensor::ParamMap;
+use fs_verify::{VerifyMode, VerifyReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::mem;
+use std::sync::Arc;
+
+/// Recreates the full state of any client on demand.
+///
+/// Everything a dormant client needs that is *common* across clients lives
+/// here once, instead of once per client: the template model (initial
+/// parameters), the training configuration, the share filter, and a
+/// deterministic data source mapping a 0-based client index to its split.
+pub struct ClientFactory {
+    /// The template model — initial parameters for every client.
+    pub template: Box<dyn Model>,
+    /// Template parameters failing the share filter. Empty when everything
+    /// is shared (then every key is overwritten by `incorporate` before any
+    /// observation, so no restore is needed on materialization).
+    pub template_private: ParamMap,
+    /// Deterministic data source: client index → its split. Called on every
+    /// materialization; must return identical data for identical indices.
+    pub data: Arc<dyn Fn(usize) -> ClientSplit + Send + Sync>,
+    /// Local training-loop configuration.
+    pub train_cfg: TrainConfig,
+    /// Parameter-sharing filter.
+    pub share: ShareFilter,
+    /// Compression config (builds one upload codec per client).
+    pub compression: CompressionConfig,
+    /// Whether clients detect validation-performance drops.
+    pub detect_perf_drop: bool,
+    /// Course seed (per-client trainer seeds derive from it exactly as the
+    /// legacy course builder does).
+    pub seed: u64,
+}
+
+use fs_data::ClientSplit;
+
+/// The resumable state of a client between dispatches, small enough to keep
+/// a million of: optimizer state, RNG stream, bookkeeping, codec state, and
+/// (only under a partial share filter) the private parameter subset.
+struct Dormant {
+    opt: Sgd,
+    rng: StdRng,
+    rounds_trained: u64,
+    last_val: Option<Metrics>,
+    perf_drop_count: u64,
+    done: bool,
+    final_test: Option<Metrics>,
+    compressor: Option<Box<dyn fs_compress::Compressor>>,
+    private: ParamMap,
+}
+
+/// Per-client lifecycle slot.
+enum SlotState {
+    /// Never materialized: the factory's template state *is* this client.
+    Untouched,
+    /// Currently materialized (mid-dispatch).
+    Active,
+    /// Materialized at least once; resumable state retained.
+    Dormant(Box<Dormant>),
+    /// Done and unreachable: no further delivery can need its state.
+    Finished,
+}
+
+/// Which way a batched message fan travels.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BatchDir {
+    /// Many clients → server (the t=0 join wave); `sender` varies.
+    ToServer,
+    /// Server → many clients (a broadcast); `receiver` varies.
+    ToClients,
+}
+
+/// One member of a batch: its delivery key and the client it involves.
+#[derive(Clone, Copy)]
+struct BatchMember {
+    at: VirtualTime,
+    seq: u64,
+    client: ParticipantId,
+}
+
+/// A message fan scheduled as a single heap entry, re-armed member by
+/// member in global `(at, seq)` order.
+struct BatchRecord {
+    /// The shared message; `sender`/`receiver`/`timestamp` are stamped per
+    /// member at delivery.
+    template: Message,
+    /// Members sorted by `(at, seq)`.
+    members: Vec<BatchMember>,
+    /// Index of the next member to deliver.
+    next: usize,
+    dir: BatchDir,
+}
+
+/// An entry in the scale runner's indexed event heap.
+enum ScaleEvent {
+    /// Deliver the slab-held message.
+    Deliver(u32),
+    /// Deliver the next member of the slab-held batch.
+    Batch(u32),
+    /// Deliver a message whose handler is known to be a no-op
+    /// (`IdAssignment` → `confirm_id`): burns the event and the dispatch
+    /// span without materializing the client.
+    Noop {
+        receiver: ParticipantId,
+        kind: MessageKind,
+    },
+    /// Fire a timer-armed condition on a participant.
+    Timer {
+        to: ParticipantId,
+        condition: Condition,
+        round: u64,
+    },
+}
+
+/// Runs an FL course under virtual time with lazy client state.
+pub struct ScaleRunner {
+    /// The server participant (fully materialized — there is one).
+    pub server: Server,
+    /// Device profiles.
+    pub fleet: Fleet,
+    /// Current virtual time.
+    pub now: VirtualTime,
+    /// Broadcast deliveries dropped by simulated device crashes.
+    pub crashed_deliveries: u64,
+    /// Payload bytes sent toward the server so far.
+    pub uploaded_bytes: u64,
+    /// Payload bytes sent toward clients so far.
+    pub downloaded_bytes: u64,
+    queue: IndexedEventQueue<ScaleEvent>,
+    crash_rng: StdRng,
+    max_events: u64,
+    events_processed: u64,
+    monitor: MonitorHandle,
+    factory: ClientFactory,
+    slots: Vec<SlotState>,
+    /// Recycled model allocations (stays ~1 deep: dispatches are serial).
+    pool: Vec<Box<dyn Model>>,
+    messages: Slab<Message>,
+    batches: Slab<BatchRecord>,
+    /// A representative client for verification and handler logs; never
+    /// dispatched. All scale clients share the default handler table.
+    rep_client: Client,
+    /// Registry warnings per client id, harvested at hibernation.
+    client_warnings: BTreeMap<ParticipantId, Vec<String>>,
+    /// Conformance violations per client id, harvested at hibernation.
+    client_violations: BTreeMap<ParticipantId, Vec<String>>,
+}
+
+impl ScaleRunner {
+    /// Assembles a runner over `num_clients` lazily materialized clients.
+    pub fn new(
+        server: Server,
+        factory: ClientFactory,
+        num_clients: usize,
+        fleet: Fleet,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            fleet.len(),
+            num_clients,
+            "fleet size must match client count"
+        );
+        let rep_client = Client::new(1, Box::new(NullTrainer));
+        Self {
+            server,
+            fleet,
+            now: VirtualTime::ZERO,
+            crashed_deliveries: 0,
+            uploaded_bytes: 0,
+            downloaded_bytes: 0,
+            queue: IndexedEventQueue::new(),
+            crash_rng: StdRng::seed_from_u64(seed ^ 0xc4a5),
+            max_events: 50_000_000,
+            events_processed: 0,
+            monitor: MonitorHandle::null(),
+            factory,
+            slots: (0..num_clients).map(|_| SlotState::Untouched).collect(),
+            pool: Vec::new(),
+            messages: Slab::new(),
+            batches: Slab::new(),
+            rep_client,
+            client_warnings: BTreeMap::new(),
+            client_violations: BTreeMap::new(),
+        }
+    }
+
+    /// Caps the number of processed events (safety valve for tests).
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Attaches an observability sink (same contract as the legacy runner).
+    pub fn with_monitor(mut self, monitor: MonitorHandle) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
+    /// Number of simulation events processed by the last `run`.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of clients in the course.
+    pub fn num_clients(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn rep_groups(&self) -> Vec<(&Client, Vec<ParticipantId>)> {
+        let ids: Vec<ParticipantId> = (1..=self.slots.len()).map(|i| i as u32).collect();
+        vec![(&self.rep_client, ids)]
+    }
+
+    /// Verifies the assembled course per the configured [`VerifyMode`],
+    /// through the one representative client.
+    fn preflight(&self) -> Result<(), Box<VerifyReport>> {
+        let mode = self.server.state.cfg.verify;
+        if mode == VerifyMode::Skip {
+            return Ok(());
+        }
+        let groups = self.rep_groups();
+        let report =
+            fs_core::verify_assembled_grouped(&self.server, &groups, Some(&self.server.state.cfg));
+        let verbose = std::env::var_os("FS_VERIFY_LOG").is_some();
+        if verbose {
+            for line in fs_core::effective_handler_log_grouped(&self.server, &groups) {
+                eprintln!("fs-verify: {line}");
+            }
+        }
+        if verbose || !report.is_clean() {
+            eprint!("{}", report.render_table());
+        }
+        if mode == VerifyMode::Enforce && report.has_errors() {
+            return Err(Box::new(report));
+        }
+        Ok(())
+    }
+
+    /// Runs the course to completion and returns the report, or the
+    /// verification report when the course fails static analysis under
+    /// [`VerifyMode::Enforce`].
+    pub fn try_run(&mut self) -> Result<CourseReport, Box<VerifyReport>> {
+        self.preflight()?;
+        Ok(self.run_unchecked())
+    }
+
+    /// Runs the course to completion (queue drained or event cap reached)
+    /// and returns the report.
+    ///
+    /// # Panics
+    /// Panics with the rendered diagnostic table when the course fails
+    /// static verification under [`VerifyMode::Enforce`].
+    pub fn run(&mut self) -> CourseReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(verify) => panic!("course rejected by static verification:\n{verify}"),
+        }
+    }
+
+    fn run_unchecked(&mut self) -> CourseReport {
+        self.kickoff();
+        let mut events = 0u64;
+        while let Some((at, _seq, ev)) = self.queue.pop() {
+            events += 1;
+            if events > self.max_events {
+                self.server.state.finish_reason =
+                    Some(format!("event cap {} reached", self.max_events));
+                break;
+            }
+            self.now = at;
+            match ev {
+                ScaleEvent::Deliver(key) => {
+                    let msg = self.messages.remove(key);
+                    self.monitor.add(counters::MESSAGES_DELIVERED, 1);
+                    if msg.receiver == SERVER_ID {
+                        self.dispatch_server(at, &msg);
+                    } else {
+                        self.deliver_to_client(at, &msg);
+                    }
+                }
+                ScaleEvent::Batch(key) => self.handle_batch(at, key),
+                ScaleEvent::Noop { receiver, kind } => {
+                    // the legacy runner would materialize the client and run
+                    // its (side-effect-free) handler; only the counters and
+                    // the dispatch span are observable
+                    self.monitor.add(counters::MESSAGES_DELIVERED, 1);
+                    self.monitor.enter(receiver, kind.name(), "dispatch", at);
+                    self.monitor.exit(receiver, at);
+                }
+                ScaleEvent::Timer {
+                    to,
+                    condition,
+                    round,
+                } => {
+                    if to == SERVER_ID {
+                        let mut ctx = Ctx::with_monitor(at, self.monitor.clone());
+                        ctx.batch_broadcasts = true;
+                        self.monitor.enter(SERVER_ID, "timer", "dispatch", at);
+                        self.server.handle_timer(condition, round, &mut ctx);
+                        self.monitor.exit(SERVER_ID, at);
+                        self.enqueue_server_intents(ctx);
+                    }
+                }
+            }
+        }
+        self.events_processed = events;
+        self.report()
+    }
+
+    /// Kick off: every client asks to join at t = 0, scheduled as a single
+    /// batch. The per-client monitor records and byte counters match the
+    /// legacy kickoff loop exactly.
+    fn kickoff(&mut self) {
+        let n = self.slots.len();
+        if n == 0 {
+            return;
+        }
+        let template = Message::new(1, SERVER_ID, MessageKind::JoinIn, 0, Payload::Empty);
+        let payload_bytes = template.payload_bytes();
+        let pb64 = payload_bytes as u64;
+        let seq0 = self.queue.reserve_seqs(n as u64);
+        let mut members = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = (i + 1) as u32;
+            self.monitor
+                .enter(id, "start", "dispatch", VirtualTime::ZERO);
+            self.monitor.exit(id, VirtualTime::ZERO);
+            self.monitor.add(counters::MESSAGES_SENT, 1);
+            self.uploaded_bytes += pb64;
+            self.monitor.add(counters::UPLOADED_BYTES, pb64);
+            let p = self.fleet.profile(id);
+            let compute = p.compute_secs(0);
+            let comm = p.comm_secs(payload_bytes);
+            if self.monitor.is_live() {
+                if compute > 0.0 {
+                    self.monitor
+                        .span(id, "local_train", "compute", VirtualTime::ZERO, compute);
+                }
+                if comm > 0.0 {
+                    self.monitor
+                        .span(id, "upload", "comm", VirtualTime::ZERO + compute, comm);
+                }
+            }
+            members.push(BatchMember {
+                at: VirtualTime::ZERO + (compute + comm),
+                seq: seq0 + i as u64,
+                client: id,
+            });
+        }
+        self.schedule_batch(BatchRecord {
+            template,
+            members,
+            next: 0,
+            dir: BatchDir::ToServer,
+        });
+    }
+
+    /// Sorts a batch's members into `(at, seq)` order and schedules its
+    /// first member.
+    fn schedule_batch(&mut self, mut rec: BatchRecord) {
+        rec.members.sort_by_key(|m| (m.at, m.seq));
+        let first = rec.members[0];
+        let key = self.batches.insert(rec);
+        self.queue
+            .push_at_seq(first.at, first.seq, ScaleEvent::Batch(key));
+    }
+
+    /// Delivers the next member of a batch, then re-arms the batch at its
+    /// next member's reserved `(at, seq)` key.
+    fn handle_batch(&mut self, at: VirtualTime, key: u32) {
+        let mut rec = self.batches.remove(key);
+        let m = rec.members[rec.next];
+        rec.next += 1;
+        self.monitor.add(counters::MESSAGES_DELIVERED, 1);
+        rec.template.timestamp = m.at.as_secs();
+        match rec.dir {
+            BatchDir::ToServer => {
+                rec.template.sender = m.client;
+                self.dispatch_server(at, &rec.template);
+            }
+            BatchDir::ToClients => {
+                rec.template.receiver = m.client;
+                self.deliver_to_client(at, &rec.template);
+            }
+        }
+        if rec.next < rec.members.len() {
+            let nm = rec.members[rec.next];
+            let k2 = self.batches.insert(rec);
+            self.queue.push_at_seq(nm.at, nm.seq, ScaleEvent::Batch(k2));
+        }
+    }
+
+    /// Runs a server handler and realizes its intents.
+    fn dispatch_server(&mut self, at: VirtualTime, msg: &Message) {
+        let mut ctx = Ctx::with_monitor(at, self.monitor.clone());
+        ctx.batch_broadcasts = true;
+        self.monitor
+            .enter(SERVER_ID, msg.kind.name(), "dispatch", at);
+        self.server.handle(msg, &mut ctx);
+        self.monitor.exit(SERVER_ID, at);
+        self.enqueue_server_intents(ctx);
+    }
+
+    /// The client-delivery path: crash draw, participation counter,
+    /// materialize, dispatch, hibernate.
+    fn deliver_to_client(&mut self, at: VirtualTime, msg: &Message) {
+        if msg.kind == MessageKind::ModelParams
+            && self.fleet.crashes(msg.receiver, &mut self.crash_rng)
+        {
+            // device crash: the broadcast never reaches the client
+            self.crashed_deliveries += 1;
+            self.monitor.add(counters::CRASHED_DELIVERIES, 1);
+            return;
+        }
+        if msg.kind == MessageKind::ModelParams {
+            self.monitor.add(counters::PARTICIPATION, 1);
+        }
+        let id = msg.receiver;
+        let mut client = self.materialize(id);
+        let mut ctx = Ctx::with_monitor(at, self.monitor.clone());
+        self.monitor.enter(id, msg.kind.name(), "dispatch", at);
+        client.handle(msg, &mut ctx);
+        self.monitor.exit(id, at);
+        self.enqueue_client_intents(id, ctx);
+        self.hibernate(client);
+    }
+
+    /// Builds the full [`Client`] for `id` from its slot: a pooled (or
+    /// fresh) model allocation, the deterministic data split, and either the
+    /// template state (first activation) or the retained dormant state.
+    fn materialize(&mut self, id: ParticipantId) -> Client {
+        let idx = (id - 1) as usize;
+        let slot = mem::replace(&mut self.slots[idx], SlotState::Active);
+        let mut model = self
+            .pool
+            .pop()
+            .unwrap_or_else(|| self.factory.template.clone_model());
+        let data = (self.factory.data)(idx);
+        match slot {
+            SlotState::Dormant(d) => {
+                let d = *d;
+                if !d.private.is_empty() {
+                    let mut params = model.get_params();
+                    params.merge_from(&d.private);
+                    model.set_params(&params);
+                }
+                let trainer = LocalTrainer::from_parts(TrainerParts {
+                    model,
+                    data,
+                    cfg: self.factory.train_cfg.clone(),
+                    share: self.factory.share.clone(),
+                    opt: d.opt,
+                    rng: d.rng,
+                });
+                let mut client = Client::new(id, Box::new(trainer));
+                client.state.rounds_trained = d.rounds_trained;
+                client.state.last_val = d.last_val;
+                client.state.perf_drop_count = d.perf_drop_count;
+                client.state.done = d.done;
+                client.state.final_test = d.final_test;
+                client.state.detect_perf_drop = self.factory.detect_perf_drop;
+                client.state.compressor = d.compressor;
+                client
+            }
+            _ => {
+                // Untouched (Finished slots hold no state either; a Finished
+                // client is only ever rematerialized by a delivery the
+                // server can no longer produce)
+                if !self.factory.template_private.is_empty() {
+                    let mut params = model.get_params();
+                    params.merge_from(&self.factory.template_private);
+                    model.set_params(&params);
+                }
+                let trainer = LocalTrainer::new(
+                    model,
+                    data,
+                    self.factory.train_cfg.clone(),
+                    self.factory.share.clone(),
+                    self.factory.seed ^ (idx as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15),
+                );
+                let mut client = Client::new(id, Box::new(trainer));
+                client.state.detect_perf_drop = self.factory.detect_perf_drop;
+                client.state.compressor = self.factory.compression.build_upload();
+                client
+            }
+        }
+    }
+
+    /// Dismantles a client after its dispatch: harvests registry output,
+    /// recycles the model allocation into the pool, and retains only the
+    /// resumable state (or nothing, when the client is provably done).
+    fn hibernate(&mut self, mut client: Client) {
+        let id = client.state.id;
+        let idx = (id - 1) as usize;
+        {
+            let ws = client.warnings();
+            if !ws.is_empty() {
+                let entry = self.client_warnings.entry(id).or_default();
+                for w in ws {
+                    if !entry.contains(w) {
+                        entry.push(w.clone());
+                    }
+                }
+            }
+            let vs = client.violations();
+            if !vs.is_empty() {
+                let entry = self.client_violations.entry(id).or_default();
+                for v in vs {
+                    if !entry.contains(v) {
+                        entry.push(v.clone());
+                    }
+                }
+            }
+        }
+        let trainer = mem::replace(&mut client.state.trainer, Box::new(NullTrainer));
+        let parts = trainer
+            .into_local()
+            .expect("execution: scale requires LocalTrainer-backed clients")
+            .into_parts();
+        let private = if self.factory.template_private.is_empty() {
+            ParamMap::new()
+        } else {
+            let share = self.factory.share.clone();
+            parts.model.get_params().filter(|k| !share(k))
+        };
+        self.pool.push(parts.model);
+        // a done client still in the server's busy set may yet receive an
+        // in-flight ModelParams (post-Finish training is legal and must be
+        // bit-identical), so it keeps its dormant state
+        let finished = client.state.done && !self.server.state.busy.contains(&id);
+        self.slots[idx] = if finished {
+            SlotState::Finished
+        } else {
+            SlotState::Dormant(Box::new(Dormant {
+                opt: parts.opt,
+                rng: parts.rng,
+                rounds_trained: client.state.rounds_trained,
+                last_val: client.state.last_val,
+                perf_drop_count: client.state.perf_drop_count,
+                done: client.state.done,
+                final_test: client.state.final_test,
+                compressor: mem::take(&mut client.state.compressor),
+                private,
+            }))
+        };
+    }
+
+    /// Realizes a client dispatch's intents: byte counters, device delays,
+    /// spans, and delivery events — statement for statement the legacy
+    /// `enqueue_intents` with `from != SERVER_ID`.
+    fn enqueue_client_intents(&mut self, from: ParticipantId, ctx: Ctx) {
+        debug_assert_ne!(from, SERVER_ID);
+        debug_assert!(ctx.broadcasts.is_empty(), "clients never batch");
+        let now = ctx.now;
+        for out in ctx.outbox {
+            let mut msg = out.msg;
+            let payload_bytes = msg.payload_bytes() as u64;
+            self.monitor.add(counters::MESSAGES_SENT, 1);
+            if msg.receiver == SERVER_ID {
+                self.uploaded_bytes += payload_bytes;
+                self.monitor.add(counters::UPLOADED_BYTES, payload_bytes);
+            } else {
+                self.downloaded_bytes += payload_bytes;
+                self.monitor.add(counters::DOWNLOADED_BYTES, payload_bytes);
+            }
+            let p = self.fleet.profile(from);
+            let compute = p.compute_secs(out.compute_work.round() as usize);
+            let comm = p.comm_secs(msg.payload_bytes());
+            if self.monitor.is_live() {
+                if compute > 0.0 {
+                    self.monitor
+                        .span(from, "local_train", "compute", now, compute);
+                }
+                if comm > 0.0 {
+                    self.monitor
+                        .span(from, "upload", "comm", now + compute, comm);
+                }
+            }
+            let delay = compute + comm;
+            msg.timestamp = (now + delay).as_secs();
+            let key = self.messages.insert(msg);
+            self.queue.push(now + delay, ScaleEvent::Deliver(key));
+        }
+        for t in ctx.timers {
+            self.queue.push(
+                now + t.delay_secs,
+                ScaleEvent::Timer {
+                    to: from,
+                    condition: t.condition,
+                    round: t.round,
+                },
+            );
+        }
+    }
+
+    /// Realizes a server dispatch's intents, interleaving recorded batched
+    /// broadcasts with individual sends at their anchors so sequence numbers
+    /// are assigned in exactly the legacy order.
+    fn enqueue_server_intents(&mut self, ctx: Ctx) {
+        let now = ctx.now;
+        let mut broadcasts = ctx.broadcasts.into_iter().peekable();
+        for (i, out) in ctx.outbox.into_iter().enumerate() {
+            while broadcasts.peek().is_some_and(|b| b.anchor <= i) {
+                let b = broadcasts.next().expect("peeked");
+                self.enqueue_batch(now, b);
+            }
+            self.enqueue_server_single(now, out);
+        }
+        for b in broadcasts {
+            self.enqueue_batch(now, b);
+        }
+        for t in ctx.timers {
+            self.queue.push(
+                now + t.delay_secs,
+                ScaleEvent::Timer {
+                    to: SERVER_ID,
+                    condition: t.condition,
+                    round: t.round,
+                },
+            );
+        }
+    }
+
+    /// One individual server send: counters, download span, and either a
+    /// real delivery or — for `IdAssignment`, whose client handler is a pure
+    /// debug assertion — a [`ScaleEvent::Noop`] that burns the event without
+    /// materializing the receiver.
+    fn enqueue_server_single(&mut self, now: VirtualTime, out: Outgoing) {
+        let mut msg = out.msg;
+        let payload_bytes = msg.payload_bytes() as u64;
+        self.monitor.add(counters::MESSAGES_SENT, 1);
+        if msg.receiver == SERVER_ID {
+            self.uploaded_bytes += payload_bytes;
+            self.monitor.add(counters::UPLOADED_BYTES, payload_bytes);
+        } else {
+            self.downloaded_bytes += payload_bytes;
+            self.monitor.add(counters::DOWNLOADED_BYTES, payload_bytes);
+        }
+        let p = self.fleet.profile(msg.receiver);
+        let comm = p.comm_secs(msg.payload_bytes());
+        if self.monitor.is_live() && comm > 0.0 {
+            self.monitor
+                .span(msg.receiver, "download", "comm", now, comm);
+        }
+        msg.timestamp = (now + comm).as_secs();
+        let deliver_at = now + comm;
+        if msg.kind == MessageKind::IdAssignment {
+            self.queue.push(
+                deliver_at,
+                ScaleEvent::Noop {
+                    receiver: msg.receiver,
+                    kind: msg.kind,
+                },
+            );
+        } else {
+            let key = self.messages.insert(msg);
+            self.queue.push(deliver_at, ScaleEvent::Deliver(key));
+        }
+    }
+
+    /// One batched broadcast: per-target counters, spans, and delivery keys
+    /// exactly as if each copy had been sent individually, but stored as a
+    /// single [`BatchRecord`] occupying one heap entry.
+    fn enqueue_batch(&mut self, now: VirtualTime, b: BatchedBroadcast) {
+        let template = Message::new(SERVER_ID, SERVER_ID, b.kind, b.round, b.payload);
+        let payload_bytes = template.payload_bytes();
+        let pb64 = payload_bytes as u64;
+        let seq0 = self.queue.reserve_seqs(b.targets.len() as u64);
+        let mut members = Vec::with_capacity(b.targets.len());
+        for (j, &c) in b.targets.iter().enumerate() {
+            self.monitor.add(counters::MESSAGES_SENT, 1);
+            self.downloaded_bytes += pb64;
+            self.monitor.add(counters::DOWNLOADED_BYTES, pb64);
+            let comm = self.fleet.profile(c).comm_secs(payload_bytes);
+            if self.monitor.is_live() && comm > 0.0 {
+                self.monitor.span(c, "download", "comm", now, comm);
+            }
+            members.push(BatchMember {
+                at: now + comm,
+                seq: seq0 + j as u64,
+                client: c,
+            });
+        }
+        self.schedule_batch(BatchRecord {
+            template,
+            members,
+            next: 0,
+            dir: BatchDir::ToClients,
+        });
+    }
+
+    /// Builds the course report from the current state — field for field the
+    /// legacy report, with client registry output harvested at hibernation
+    /// instead of from live clients.
+    pub fn report(&self) -> CourseReport {
+        let effective_handlers =
+            fs_core::effective_handler_log_grouped(&self.server, &self.rep_groups());
+        let mut registry_warnings: Vec<String> = self.server.warnings().to_vec();
+        let mut conformance_violations: Vec<String> = self.server.violations().to_vec();
+        for ws in self.client_warnings.values() {
+            for w in ws {
+                if !registry_warnings.contains(w) {
+                    registry_warnings.push(w.clone());
+                }
+            }
+        }
+        for vs in self.client_violations.values() {
+            for v in vs {
+                if !conformance_violations.contains(v) {
+                    conformance_violations.push(v.clone());
+                }
+            }
+        }
+        let s = &self.server.state;
+        CourseReport {
+            final_time_secs: self.now.as_secs(),
+            rounds: s.round,
+            history: s.history.clone(),
+            finish_reason: s
+                .finish_reason
+                .clone()
+                .unwrap_or_else(|| "queue drained".to_string()),
+            dropped_updates: s.dropped_updates,
+            total_updates: s.total_updates,
+            crashed_deliveries: self.crashed_deliveries,
+            remedial_count: s.remedial_count,
+            uploaded_bytes: self.uploaded_bytes,
+            downloaded_bytes: self.downloaded_bytes,
+            effective_handlers,
+            registry_warnings,
+            conformance_violations,
+            dropouts: s.dropouts.clone(),
+            reconnects: s.reconnects,
+        }
+    }
+
+    /// First virtual time (seconds) at which global test accuracy reached
+    /// `target`, if it ever did.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.server
+            .state
+            .history
+            .iter()
+            .find(|r| r.metrics.accuracy >= target)
+            .map(|r| r.time_secs)
+    }
+}

@@ -1,0 +1,95 @@
+//! A minimal slab allocator for in-flight simulation objects.
+//!
+//! Messages and batch records live for exactly one heap round-trip: inserted
+//! when scheduled, removed when delivered. A slab turns that churn into two
+//! `Vec` index operations with slot reuse, instead of per-message heap
+//! allocations keyed by a growing map.
+
+/// A vector-backed slab with free-list slot reuse.
+pub struct Slab<T> {
+    items: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self {
+            items: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.items.len() - self.free.len()
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `value`, returning its key.
+    pub fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(k) => {
+                debug_assert!(self.items[k as usize].is_none());
+                self.items[k as usize] = Some(value);
+                k
+            }
+            None => {
+                assert!(self.items.len() < u32::MAX as usize, "slab overflow");
+                self.items.push(Some(value));
+                (self.items.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Removes and returns the entry at `key`.
+    ///
+    /// # Panics
+    /// Panics if `key` does not name a live entry.
+    pub fn remove(&mut self, key: u32) -> T {
+        let v = self.items[key as usize]
+            .take()
+            .expect("slab key names a live entry");
+        self.free.push(key);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_reuses_slots() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.len(), 1);
+        let c = s.insert("c");
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(s.remove(b), "b");
+        assert_eq!(s.remove(c), "c");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "live entry")]
+    fn double_remove_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        s.remove(a);
+    }
+}

@@ -20,5 +20,5 @@ pub mod queue;
 pub mod time;
 
 pub use device::{DeviceProfile, Fleet, FleetConfig};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, Handle, IndexedEventQueue};
 pub use time::VirtualTime;

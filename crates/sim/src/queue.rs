@@ -81,6 +81,255 @@ impl<T> EventQueue<T> {
     }
 }
 
+/// A stable handle into an [`IndexedEventQueue`].
+///
+/// Handles are generation-checked: once the entry it names has been popped or
+/// cancelled, the handle goes stale and every operation on it becomes a no-op
+/// (`cancel` returns `None`, `contains` returns `false`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Handle {
+    slot: u32,
+    generation: u32,
+}
+
+/// Sentinel for "this slot is not currently in the heap".
+const FREE: u32 = u32::MAX;
+
+struct IndexedEntry<T> {
+    at: VirtualTime,
+    seq: u64,
+    generation: u32,
+    /// Position in `heap`, or [`FREE`] when the slot is unscheduled.
+    pos: u32,
+    item: Option<T>,
+}
+
+/// An indexed min-heap of `(VirtualTime, seq, T)` events with stable handles,
+/// cancellation, and rescheduling.
+///
+/// This extends [`EventQueue`] with the operations a cohort-granular scheduler
+/// needs: every `push` returns a [`Handle`] that can later `cancel` or
+/// `reschedule` the entry in `O(log n)`. Determinism follows the same rule as
+/// the plain queue — entries pop in `(at, seq)` order, where `seq` is the
+/// insertion sequence number — and `push_at_seq` / `reserve_seqs` let a caller
+/// reproduce a specific interleaving (e.g. the legacy runner's per-client
+/// push order) while scheduling at batch granularity.
+pub struct IndexedEventQueue<T> {
+    slots: Vec<IndexedEntry<T>>,
+    free: Vec<u32>,
+    /// Binary min-heap of slot indices, keyed by `(slots[i].at, slots[i].seq)`.
+    heap: Vec<u32>,
+    next_seq: u64,
+}
+
+impl<T> Default for IndexedEventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> IndexedEventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `item` at `at` with the next insertion sequence number.
+    pub fn push(&mut self, at: VirtualTime, item: T) -> Handle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.insert(at, seq, item)
+    }
+
+    /// Schedules `item` at `at` under an explicit sequence number.
+    ///
+    /// The caller must guarantee `(at, seq)` pairs are unique across live
+    /// entries; the internal counter is bumped past `seq` so later `push`
+    /// calls never collide.
+    pub fn push_at_seq(&mut self, at: VirtualTime, seq: u64, item: T) -> Handle {
+        self.next_seq = self.next_seq.max(seq + 1);
+        self.insert(at, seq, item)
+    }
+
+    /// Reserves `n` consecutive sequence numbers and returns the first, for
+    /// callers that stamp a batch of future entries up front.
+    pub fn reserve_seqs(&mut self, n: u64) -> u64 {
+        let first = self.next_seq;
+        self.next_seq += n;
+        first
+    }
+
+    /// Removes and returns the earliest event as `(at, seq, item)`.
+    pub fn pop(&mut self) -> Option<(VirtualTime, u64, T)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let slot = self.heap[0];
+        let last = self.heap.pop().expect("heap non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.slots[last as usize].pos = 0;
+            self.sift_down(0);
+        }
+        let e = &mut self.slots[slot as usize];
+        e.pos = FREE;
+        e.generation = e.generation.wrapping_add(1);
+        let item = e.item.take().expect("scheduled slot holds an item");
+        let (at, seq) = (e.at, e.seq);
+        self.free.push(slot);
+        Some((at, seq, item))
+    }
+
+    /// Key of the earliest event without removing it.
+    pub fn peek_key(&self) -> Option<(VirtualTime, u64)> {
+        self.heap.first().map(|&s| {
+            let e = &self.slots[s as usize];
+            (e.at, e.seq)
+        })
+    }
+
+    /// `true` if `h` still names a scheduled entry.
+    pub fn contains(&self, h: Handle) -> bool {
+        self.slots
+            .get(h.slot as usize)
+            .is_some_and(|e| e.generation == h.generation && e.pos != FREE)
+    }
+
+    /// Cancels the entry named by `h`, returning its item, or `None` if the
+    /// handle is stale.
+    pub fn cancel(&mut self, h: Handle) -> Option<T> {
+        if !self.contains(h) {
+            return None;
+        }
+        let slot = h.slot;
+        let pos = self.slots[slot as usize].pos as usize;
+        let last = self.heap.pop().expect("heap non-empty");
+        if pos < self.heap.len() {
+            self.heap[pos] = last;
+            self.slots[last as usize].pos = pos as u32;
+            // The replacement may need to move either direction.
+            self.sift_down(pos);
+            self.sift_up(self.slots[last as usize].pos as usize);
+        }
+        let e = &mut self.slots[slot as usize];
+        e.pos = FREE;
+        e.generation = e.generation.wrapping_add(1);
+        let item = e.item.take();
+        self.free.push(slot);
+        item
+    }
+
+    /// Moves the entry named by `h` to `at` under a fresh sequence number.
+    /// Returns `false` (and does nothing) if the handle is stale. The handle
+    /// remains valid after a successful reschedule.
+    pub fn reschedule(&mut self, h: Handle, at: VirtualTime) -> bool {
+        if !self.contains(h) {
+            return false;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let e = &mut self.slots[h.slot as usize];
+        e.at = at;
+        e.seq = seq;
+        let pos = e.pos as usize;
+        self.sift_down(pos);
+        self.sift_up(self.slots[h.slot as usize].pos as usize);
+        true
+    }
+
+    fn insert(&mut self, at: VirtualTime, seq: u64, item: T) -> Handle {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let e = &mut self.slots[s as usize];
+                e.at = at;
+                e.seq = seq;
+                e.item = Some(item);
+                s
+            }
+            None => {
+                assert!(
+                    self.slots.len() < FREE as usize,
+                    "event queue slot overflow"
+                );
+                self.slots.push(IndexedEntry {
+                    at,
+                    seq,
+                    generation: 0,
+                    pos: FREE,
+                    item: Some(item),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let pos = self.heap.len();
+        self.heap.push(slot);
+        self.slots[slot as usize].pos = pos as u32;
+        self.sift_up(pos);
+        Handle {
+            slot,
+            generation: self.slots[slot as usize].generation,
+        }
+    }
+
+    fn key(&self, slot: u32) -> (VirtualTime, u64) {
+        let e = &self.slots[slot as usize];
+        (e.at, e.seq)
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.key(self.heap[pos]) < self.key(self.heap[parent]) {
+                self.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < self.heap.len() && self.key(self.heap[right]) < self.key(self.heap[left]) {
+                smallest = right;
+            }
+            if self.key(self.heap[smallest]) < self.key(self.heap[pos]) {
+                self.swap(pos, smallest);
+                pos = smallest;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.slots[self.heap[a] as usize].pos = a as u32;
+        self.slots[self.heap[b] as usize].pos = b as u32;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +376,218 @@ mod tests {
         q.push(VirtualTime::from_secs(5.0), "mid");
         assert_eq!(q.pop().unwrap().1, "mid");
         assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn indexed_pops_in_key_order() {
+        let mut q = IndexedEventQueue::new();
+        q.push(VirtualTime::from_secs(3.0), "c");
+        q.push(VirtualTime::from_secs(1.0), "a");
+        q.push(VirtualTime::from_secs(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, v)| v)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn indexed_ties_break_by_seq() {
+        let mut q = IndexedEventQueue::new();
+        let t = VirtualTime::from_secs(5.0);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<(u64, i32)> =
+            std::iter::from_fn(|| q.pop().map(|(_, s, v)| (s, v))).collect();
+        assert_eq!(order, (0..10).map(|i| (i as u64, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_cancel_removes_middle_entry() {
+        let mut q = IndexedEventQueue::new();
+        let _a = q.push(VirtualTime::from_secs(1.0), "a");
+        let b = q.push(VirtualTime::from_secs(2.0), "b");
+        let _c = q.push(VirtualTime::from_secs(3.0), "c");
+        assert!(q.contains(b));
+        assert_eq!(q.cancel(b), Some("b"));
+        assert!(!q.contains(b));
+        // A stale handle is inert.
+        assert_eq!(q.cancel(b), None);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, v)| v)).collect();
+        assert_eq!(order, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn indexed_pop_invalidates_handle_even_after_slot_reuse() {
+        let mut q = IndexedEventQueue::new();
+        let a = q.push(VirtualTime::from_secs(1.0), "a");
+        assert_eq!(q.pop().unwrap().2, "a");
+        // Slot is reused with a bumped generation: the old handle stays stale.
+        let b = q.push(VirtualTime::from_secs(2.0), "b");
+        assert!(!q.contains(a));
+        assert_eq!(q.cancel(a), None);
+        assert!(q.contains(b));
+        assert_eq!(q.cancel(b), Some("b"));
+    }
+
+    #[test]
+    fn indexed_reschedule_moves_entry_and_keeps_handle() {
+        let mut q = IndexedEventQueue::new();
+        let a = q.push(VirtualTime::from_secs(10.0), "a");
+        q.push(VirtualTime::from_secs(5.0), "b");
+        assert!(q.reschedule(a, VirtualTime::from_secs(1.0)));
+        assert_eq!(q.pop().unwrap().2, "a");
+        assert!(!q.reschedule(a, VirtualTime::from_secs(1.0)));
+        assert_eq!(q.pop().unwrap().2, "b");
+    }
+
+    #[test]
+    fn indexed_explicit_seqs_reproduce_interleaving() {
+        let mut q = IndexedEventQueue::new();
+        let first = q.reserve_seqs(3);
+        assert_eq!(first, 0);
+        let t = VirtualTime::from_secs(1.0);
+        // Insert out of order; pops must follow seq, not insertion.
+        q.push_at_seq(t, first + 2, "third");
+        q.push_at_seq(t, first, "first");
+        q.push_at_seq(t, first + 1, "second");
+        // A plain push after explicit seqs never collides.
+        q.push(t, "fourth");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, v)| v)).collect();
+        assert_eq!(order, vec!["first", "second", "third", "fourth"]);
+    }
+
+    #[test]
+    fn indexed_peek_key_matches_next_pop() {
+        let mut q = IndexedEventQueue::new();
+        assert_eq!(q.peek_key(), None);
+        q.push(VirtualTime::from_secs(2.0), "b");
+        q.push(VirtualTime::from_secs(1.0), "a");
+        assert_eq!(q.peek_key(), Some((VirtualTime::from_secs(1.0), 1)));
+        let (at, seq, v) = q.pop().unwrap();
+        assert_eq!((at, seq, v), (VirtualTime::from_secs(1.0), 1, "a"));
+    }
+
+    #[test]
+    fn indexed_interleaved_matches_plain_queue() {
+        let mut plain = EventQueue::new();
+        let mut indexed = IndexedEventQueue::new();
+        let times = [7.0, 1.0, 4.0, 4.0, 2.0, 9.0, 0.5, 4.0];
+        for (i, &t) in times.iter().enumerate() {
+            plain.push(VirtualTime::from_secs(t), i);
+            indexed.push(VirtualTime::from_secs(t), i);
+        }
+        loop {
+            match (plain.pop(), indexed.pop()) {
+                (Some((ta, va)), Some((tb, _, vb))) => {
+                    assert_eq!((ta, va), (tb, vb));
+                }
+                (None, None) => break,
+                other => panic!("queues diverged: {other:?}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod indexed_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u16),
+        Pop,
+        Cancel(usize),
+        Reschedule(usize, u16),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // The vendored proptest has no `prop_oneof`; pick the variant by a
+        // mapped discriminant with the same 4:3:1:1 weighting.
+        (0u8..9, 0u16..1000, 0usize..64).prop_map(|(which, t, i)| match which {
+            0..=3 => Op::Push(t),
+            4..=6 => Op::Pop,
+            7 => Op::Cancel(i),
+            _ => Op::Reschedule(i, t),
+        })
+    }
+
+    proptest! {
+        /// Random push/pop/cancel/reschedule sequences agree with a sorted
+        /// reference model keyed by `(at, seq)`.
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            let mut q = IndexedEventQueue::new();
+            // Reference: live entries as (at, seq, id); handles by insertion id.
+            let mut live: Vec<(VirtualTime, u64, u32)> = Vec::new();
+            let mut handles: Vec<Handle> = Vec::new();
+            let mut next_id = 0u32;
+            let mut next_seq = 0u64;
+            for op in ops {
+                match op {
+                    Op::Push(t) => {
+                        let at = VirtualTime::from_secs(t as f64);
+                        let h = q.push(at, next_id);
+                        handles.push(h);
+                        live.push((at, next_seq, next_id));
+                        next_seq += 1;
+                        next_id += 1;
+                    }
+                    Op::Pop => {
+                        let got = q.pop();
+                        if live.is_empty() {
+                            prop_assert!(got.is_none());
+                        } else {
+                            let min = *live.iter().min().unwrap();
+                            live.retain(|e| *e != min);
+                            let (at, seq, id) = got.unwrap();
+                            prop_assert_eq!((at, seq, id), min);
+                        }
+                    }
+                    Op::Cancel(i) => {
+                        if handles.is_empty() { continue; }
+                        let h = handles[i % handles.len()];
+                        let was_live = q.contains(h);
+                        let got = q.cancel(h);
+                        prop_assert_eq!(got.is_some(), was_live);
+                        if let Some(id) = got {
+                            prop_assert!(live.iter().any(|e| e.2 == id));
+                            live.retain(|e| e.2 != id);
+                        }
+                    }
+                    Op::Reschedule(i, t) => {
+                        if handles.is_empty() { continue; }
+                        let h = handles[i % handles.len()];
+                        let was_live = q.contains(h);
+                        let at = VirtualTime::from_secs(t as f64);
+                        prop_assert_eq!(q.reschedule(h, at), was_live);
+                        if was_live {
+                            // Find which id this handle governs by peeking the
+                            // queue later; instead track via cancel-free model:
+                            // the handle's id is unknown here, so re-derive it
+                            // by removing the entry whose id the queue reports
+                            // on eventual pop. Simplest correct model update:
+                            // reschedule assigns a fresh max seq.
+                            let id = {
+                                // A live handle maps 1:1 to a live id pushed at
+                                // the same position in `handles`.
+                                let idx = handles.iter().position(|x| *x == h).unwrap();
+                                idx as u32
+                            };
+                            if let Some(e) = live.iter_mut().find(|e| e.2 == id) {
+                                e.0 = at;
+                                e.1 = next_seq;
+                                next_seq += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // Drain and compare the tail.
+            let mut rest: Vec<(VirtualTime, u64, u32)> =
+                std::iter::from_fn(|| q.pop()).collect();
+            live.sort();
+            prop_assert_eq!(std::mem::take(&mut rest), live);
+        }
     }
 }

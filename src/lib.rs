@@ -18,6 +18,8 @@
 //!   `FSVnnn` diagnostics (§3.6, Appendix E)
 //! * [`core`] — the event-driven FL engine (workers, events, handlers,
 //!   aggregators, samplers, runners, completeness checking)
+//! * [`scale`] — million-client simulation core: lazy client state over an
+//!   indexed event-heap, bit-identical to the legacy runner
 //! * [`personalize`] — FedBN / Ditto / pFedMe / FedEM and multi-goal FL
 //! * [`privacy`] — DP mechanisms, Paillier, secret sharing
 //! * [`attack`] — privacy attacks (DLG, membership/property inference) and
@@ -37,6 +39,7 @@ pub use fs_monitor as monitor;
 pub use fs_net as net;
 pub use fs_personalize as personalize;
 pub use fs_privacy as privacy;
+pub use fs_scale as scale;
 pub use fs_sim as sim;
 pub use fs_tensor as tensor;
 pub use fs_verify as verify;

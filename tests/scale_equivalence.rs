@@ -1,0 +1,305 @@
+//! Equivalence suite for the fs-scale runner: the lazy, heap-indexed
+//! million-client core must produce a **bit-identical** [`CourseReport`] to
+//! the legacy standalone runner on every overlapping scale — same strategy,
+//! same codec, same fleet, same seed. The comparison goes beyond the report:
+//! the fs-monitor streams (counters, round records, span sequences) must
+//! match event-for-event, and the monitor's byte counters must reconcile
+//! with the sim-charged totals in both runners.
+
+use fedscope::core::config::{
+    BroadcastManner, CodecSpec, CompressionConfig, FlConfig, SamplerKind,
+};
+use fedscope::core::course::CourseBuilder;
+use fedscope::core::runner::CourseReport;
+use fedscope::data::synth::{twitter_like, TwitterConfig};
+use fedscope::data::FedDataset;
+use fedscope::monitor::{counters, MonitorHandle, RecordingMonitor};
+use fedscope::scale::ScaleCourseBuilder;
+use fedscope::sim::FleetConfig;
+use fedscope::tensor::model::logistic_regression;
+use fedscope::tensor::optim::SgdConfig;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Deterministic dataset: both runners regenerate it from the same config,
+/// so neither sees the other's copy.
+fn dataset(num_clients: usize, seed: u64) -> FedDataset {
+    twitter_like(&TwitterConfig {
+        num_clients,
+        per_client: 6,
+        vocab: 60,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn extract(monitor: Arc<Mutex<RecordingMonitor>>) -> RecordingMonitor {
+    Arc::try_unwrap(monitor)
+        .map_err(|_| "runner kept a monitor handle")
+        .unwrap()
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn run_legacy(
+    num_clients: usize,
+    data_seed: u64,
+    cfg: FlConfig,
+    fleet_cfg: Option<FleetConfig>,
+) -> (CourseReport, RecordingMonitor) {
+    let data = dataset(num_clients, data_seed);
+    let dim = data.input_dim();
+    let monitor = Arc::new(Mutex::new(RecordingMonitor::new()));
+    let mut builder = CourseBuilder::new(
+        data,
+        Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+        cfg,
+    );
+    if let Some(fc) = fleet_cfg {
+        builder = builder.fleet_config(fc);
+    }
+    let mut runner = builder
+        .build()
+        .with_monitor(MonitorHandle::from_shared(monitor.clone()));
+    let report = runner.run();
+    drop(runner);
+    (report, extract(monitor))
+}
+
+fn run_scale(
+    num_clients: usize,
+    data_seed: u64,
+    cfg: FlConfig,
+    fleet_cfg: Option<FleetConfig>,
+) -> (CourseReport, RecordingMonitor) {
+    let data = Arc::new(dataset(num_clients, data_seed));
+    let dim = data.input_dim();
+    let monitor = Arc::new(Mutex::new(RecordingMonitor::new()));
+    let mut builder = ScaleCourseBuilder::from_dataset(
+        data,
+        Box::new(move |rng| Box::new(logistic_regression(dim, 2, rng))),
+        cfg,
+    );
+    if let Some(fc) = fleet_cfg {
+        builder = builder.fleet_config(fc);
+    }
+    let mut runner = builder
+        .build()
+        .with_monitor(MonitorHandle::from_shared(monitor.clone()));
+    let report = runner.run();
+    drop(runner);
+    (report, extract(monitor))
+}
+
+/// Runs one (config, fleet) cell through both runners and asserts the full
+/// equivalence contract: report, counters, round records, span sequence, and
+/// byte-counter reconciliation against the sim-charged totals.
+fn assert_equivalent(
+    label: &str,
+    num_clients: usize,
+    cfg: FlConfig,
+    fleet_cfg: Option<FleetConfig>,
+) {
+    let (legacy_report, legacy_mon) = run_legacy(num_clients, 21, cfg.clone(), fleet_cfg.clone());
+    let (scale_report, scale_mon) = run_scale(num_clients, 21, cfg, fleet_cfg);
+
+    assert_eq!(
+        legacy_report, scale_report,
+        "{label}: CourseReport diverged at {num_clients} clients"
+    );
+    assert_eq!(
+        legacy_mon.counters(),
+        scale_mon.counters(),
+        "{label}: monitor counters diverged at {num_clients} clients"
+    );
+    assert_eq!(
+        legacy_mon.rounds(),
+        scale_mon.rounds(),
+        "{label}: round records diverged at {num_clients} clients"
+    );
+    assert_eq!(
+        legacy_mon.spans().len(),
+        scale_mon.spans().len(),
+        "{label}: span counts diverged at {num_clients} clients"
+    );
+    assert_eq!(
+        legacy_mon.spans(),
+        scale_mon.spans(),
+        "{label}: span sequences diverged at {num_clients} clients"
+    );
+
+    // byte counters reconcile with the sim-charged totals in *both* runners
+    for (who, report, mon) in [
+        ("legacy", &legacy_report, &legacy_mon),
+        ("scale", &scale_report, &scale_mon),
+    ] {
+        assert_eq!(
+            mon.counter(counters::UPLOADED_BYTES),
+            report.uploaded_bytes,
+            "{label}/{who}: uploaded bytes do not reconcile"
+        );
+        assert_eq!(
+            mon.counter(counters::DOWNLOADED_BYTES),
+            report.downloaded_bytes,
+            "{label}/{who}: downloaded bytes do not reconcile"
+        );
+    }
+    scale_mon.validate_nesting().unwrap();
+}
+
+fn base_cfg(rounds: u64) -> FlConfig {
+    FlConfig {
+        total_rounds: rounds,
+        concurrency: 10,
+        local_steps: 4,
+        batch_size: 4,
+        sgd: SgdConfig::with_lr(0.3),
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+/// The strategy axis of the grid: one synchronous and two asynchronous
+/// aggregation regimes, exercising both broadcast manners and all three
+/// sampler kinds.
+fn strategy_grid() -> Vec<(&'static str, FlConfig)> {
+    vec![
+        ("sync_vanilla", base_cfg(4).sync_vanilla()),
+        (
+            "async_goal",
+            base_cfg(6).async_goal(
+                5,
+                BroadcastManner::AfterReceiving,
+                SamplerKind::Responsiveness,
+            ),
+        ),
+        (
+            "async_time",
+            base_cfg(6).async_time(
+                60.0,
+                2,
+                BroadcastManner::AfterAggregating,
+                SamplerKind::Group,
+            ),
+        ),
+    ]
+}
+
+/// The codec axis of the grid: no compression, 8-bit quantization, top-k
+/// with delta encoding on the uplink, and a downlink codec.
+fn codec_grid() -> Vec<(&'static str, CompressionConfig)> {
+    vec![
+        ("plain", CompressionConfig::default()),
+        (
+            "quant8",
+            CompressionConfig {
+                upload: Some(CodecSpec::UniformQuant { bits: 8 }),
+                upload_delta: false,
+                download: None,
+            },
+        ),
+        (
+            "topk_delta",
+            CompressionConfig {
+                upload: Some(CodecSpec::TopK { ratio: 0.25 }),
+                upload_delta: true,
+                download: None,
+            },
+        ),
+        (
+            "downlink",
+            CompressionConfig {
+                upload: Some(CodecSpec::Identity),
+                upload_delta: false,
+                download: Some(CodecSpec::UniformQuant { bits: 8 }),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn strategy_codec_grid_bit_identical_at_100_clients() {
+    for (sname, strat_cfg) in strategy_grid() {
+        for (cname, compression) in codec_grid() {
+            let cfg = FlConfig {
+                compression,
+                ..strat_cfg.clone()
+            };
+            assert_equivalent(&format!("{sname}/{cname}"), 100, cfg, None);
+        }
+    }
+}
+
+#[test]
+fn strategy_grid_bit_identical_at_1000_clients() {
+    // the full codec axis is covered at 100 clients; at 1,000 the point is
+    // that laziness changes nothing, so one codec per strategy suffices
+    let codecs = codec_grid();
+    for (i, (sname, strat_cfg)) in strategy_grid().into_iter().enumerate() {
+        let (cname, compression) = &codecs[i % codecs.len()];
+        let cfg = FlConfig {
+            concurrency: 25,
+            compression: *compression,
+            ..strat_cfg
+        };
+        assert_equivalent(&format!("{sname}/{cname}@1000"), 1000, cfg, None);
+    }
+}
+
+#[test]
+fn crash_faults_replay_identically() {
+    // a crashing fleet exercises the crash-RNG draw order, which is the most
+    // fragile part of the determinism contract: one missed or extra draw
+    // desynchronizes every later delivery
+    let cfg = base_cfg(6).async_time(
+        60.0,
+        2,
+        BroadcastManner::AfterReceiving,
+        SamplerKind::Uniform,
+    );
+    let fleet_cfg = FleetConfig {
+        num_clients: 100,
+        crash_prob: 0.15,
+        seed: cfg.seed ^ 0xf1ee,
+        ..Default::default()
+    };
+    let (report, _) = run_scale(100, 21, cfg.clone(), Some(fleet_cfg.clone()));
+    assert!(
+        report.crashed_deliveries > 0,
+        "crash cell is vacuous: no deliveries crashed"
+    );
+    assert_equivalent("crash/plain", 100, cfg, Some(fleet_cfg));
+}
+
+proptest! {
+    /// Property: for any seed and sampler kind, the two runners agree
+    /// bit-for-bit. Small course so the case count stays cheap; the grids
+    /// above cover the 100/1,000-client scales.
+    #[test]
+    fn any_sampler_seed_is_equivalent(
+        seed in 0u64..1_000,
+        sampler_ix in 0usize..3,
+        goal in 2usize..5,
+    ) {
+        let sampler = [
+            SamplerKind::Uniform,
+            SamplerKind::Responsiveness,
+            SamplerKind::Group,
+        ][sampler_ix];
+        let cfg = FlConfig {
+            total_rounds: 3,
+            concurrency: 6,
+            local_steps: 2,
+            batch_size: 4,
+            sgd: SgdConfig::with_lr(0.3),
+            seed,
+            ..Default::default()
+        }
+        .async_goal(goal, BroadcastManner::AfterAggregating, sampler);
+        let (legacy_report, legacy_mon) = run_legacy(20, seed ^ 0x5eed, cfg.clone(), None);
+        let (scale_report, scale_mon) = run_scale(20, seed ^ 0x5eed, cfg, None);
+        prop_assert_eq!(&legacy_report, &scale_report);
+        prop_assert_eq!(legacy_mon.counters(), scale_mon.counters());
+        prop_assert_eq!(legacy_mon.spans(), scale_mon.spans());
+    }
+}
