@@ -1,0 +1,6 @@
+// FSA001 fixture: ambient RNG calls break seeded replay.
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    let other = rand::rngs::StdRng::from_entropy();
+    rng.gen::<u64>() ^ other.gen::<u64>()
+}

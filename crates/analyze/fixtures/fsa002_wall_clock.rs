@@ -1,0 +1,6 @@
+// FSA002 fixture: wall-clock reads on a sim-charged path.
+pub fn stamp() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    t0.elapsed()
+}

@@ -1,0 +1,10 @@
+// FSA003 fixture: order-sensitive containers in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.len()
+}

@@ -1,0 +1,6 @@
+// FSA004 fixture: float reductions outside the blessed kernels.
+pub fn mean(xs: &[f32]) -> f32 {
+    let s = xs.iter().sum::<f32>();
+    let f = xs.iter().fold(0.0f32, |a, b| a + b);
+    (s + f) / 2.0 / xs.len() as f32
+}

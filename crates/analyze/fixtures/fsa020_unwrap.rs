@@ -1,0 +1,4 @@
+// FSA020 fixture: unwrap on a runtime path.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,4 @@
+// FSA021 fixture: expect on a runtime path.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("nonempty by contract")
+}

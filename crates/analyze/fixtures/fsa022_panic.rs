@@ -1,0 +1,9 @@
+// FSA022 fixture: the panic-family macros.
+pub fn boom(kind: u8) -> u32 {
+    match kind {
+        0 => panic!("boom"),
+        1 => unreachable!(),
+        2 => todo!(),
+        _ => unimplemented!(),
+    }
+}

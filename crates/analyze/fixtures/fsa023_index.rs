@@ -1,0 +1,4 @@
+// FSA023 fixture: direct indexing can panic out-of-range.
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}

@@ -1,0 +1,11 @@
+// FSA040 fixture: second lock acquired while a guard is held.
+pub fn swap(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {
+    let ga = lock(a);
+    let gb = lock(b);
+    drop(gb);
+    drop(ga);
+}
+
+fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().expect("poisoned")
+}

@@ -1,0 +1,10 @@
+// FSA041 fixture: a lock guard held across a channel operation.
+pub fn publish(state: &std::sync::Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+    let guard = lock(state);
+    tx.send(*guard).ok();
+    drop(guard);
+}
+
+fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().expect("poisoned")
+}

@@ -1,0 +1,5 @@
+// FSA090 fixture: a suppression without a reason.
+pub fn head(xs: &[u32]) -> u32 {
+    // fsa::allow(FSA020)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,5 @@
+// FSA091 fixture: a stale suppression on a clean line.
+pub fn id(x: u32) -> u32 {
+    // fsa::allow(FSA020, nothing here unwraps anymore)
+    x + 1
+}

@@ -1,0 +1,5 @@
+// FSA092 fixture: a pragma naming a code that does not exist.
+pub fn id(x: u32) -> u32 {
+    // fsa::allow(FSA999, no such code)
+    x
+}

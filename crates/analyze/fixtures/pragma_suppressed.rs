@@ -1,0 +1,9 @@
+// Pragma fixture: justified findings cost nothing, in both placements.
+pub fn head(xs: &[u32]) -> u32 {
+    // fsa::allow(FSA020, fixture demonstrates the standalone placement)
+    *xs.first().unwrap()
+}
+
+pub fn tail(xs: &[u32]) -> u32 {
+    *xs.last().unwrap() // fsa::allow(FSA020, trailing form on the same line)
+}

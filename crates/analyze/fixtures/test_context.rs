@@ -1,0 +1,12 @@
+// Test-context fixture: panic-family lints are exempt inside tests.
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn adds() {
+        assert_eq!("3".parse::<u32>().unwrap(), super::add(1, 2));
+    }
+}

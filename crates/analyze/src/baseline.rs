@@ -1,0 +1,254 @@
+//! The debt ratchet: a committed `ANALYZE_baseline.json` of known findings.
+//!
+//! Semantics: a finding is identified by `(file, code)` with a count —
+//! deliberately *not* by line, so unrelated edits to a file don't churn the
+//! baseline. `fsa --check` fails when any `(file, code)` count exceeds its
+//! baselined count (a **new** finding); counts going down passes with a
+//! hint to re-freeze, so debt only ever shrinks. Notes never enter the
+//! baseline — only Error and Warning findings gate.
+
+use crate::diag::{Code, Finding};
+use std::collections::BTreeMap;
+
+/// One `(file, code)` debt entry.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BaselineEntry {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// `FSAnnn` code string.
+    pub code: String,
+    /// Baselined finding count (> 0).
+    pub count: u64,
+}
+
+/// The committed baseline document.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Baseline {
+    /// Schema version; bump on incompatible changes.
+    pub schema_version: u64,
+    /// Producing tool (`"fsa"`).
+    pub tool: String,
+    /// Sum of entry counts (redundant, checked by `validate`).
+    pub total: u64,
+    /// Entries sorted by `(file, code)`.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Current schema version.
+    pub const SCHEMA_VERSION: u64 = 1;
+
+    /// Freezes the gating findings (Error + Warning) into a baseline.
+    pub fn from_findings<'a>(findings: impl IntoIterator<Item = &'a Finding>) -> Self {
+        let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in findings {
+            if f.gates() {
+                *counts
+                    .entry((f.file.clone(), f.code.as_str().to_string()))
+                    .or_default() += 1;
+            }
+        }
+        let entries: Vec<BaselineEntry> = counts
+            .into_iter()
+            .map(|((file, code), count)| BaselineEntry { file, code, count })
+            .collect();
+        let total = entries.iter().map(|e| e.count).sum();
+        Self {
+            schema_version: Self::SCHEMA_VERSION,
+            tool: "fsa".into(),
+            total,
+            entries,
+        }
+    }
+
+    /// Schema check: version, tool, sort order, positive counts, known
+    /// codes, and the redundant total.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != Self::SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != {}",
+                self.schema_version,
+                Self::SCHEMA_VERSION
+            ));
+        }
+        if self.tool != "fsa" {
+            return Err(format!("tool {:?} != \"fsa\"", self.tool));
+        }
+        let mut prev: Option<(&str, &str)> = None;
+        let mut total = 0u64;
+        for e in &self.entries {
+            if e.count == 0 {
+                return Err(format!("{}:{} has zero count", e.file, e.code));
+            }
+            if Code::parse(&e.code).is_none() {
+                return Err(format!("{}: unknown code {:?}", e.file, e.code));
+            }
+            let key = (e.file.as_str(), e.code.as_str());
+            if let Some(p) = prev {
+                if p >= key {
+                    return Err(format!(
+                        "entries not strictly sorted by (file, code) at {}:{}",
+                        e.file, e.code
+                    ));
+                }
+            }
+            prev = Some(key);
+            total += e.count;
+        }
+        if total != self.total {
+            return Err(format!("total {} != sum of counts {}", self.total, total));
+        }
+        Ok(())
+    }
+
+    /// Pretty JSON (the committed form).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| {
+            // fsa::allow(FSA022, serializing a plain data struct cannot fail; a panic here is a tool bug, not a course path)
+            panic!("baseline serialization failed: {e:?}")
+        })
+    }
+
+    /// Parses and validates the committed form.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let b: Baseline = serde_json::from_str(s).map_err(|e| format!("{e:?}"))?;
+        b.validate()?;
+        Ok(b)
+    }
+
+    /// Baselined count for `(file, code)`.
+    fn count_for(&self, file: &str, code: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.file == file && e.code == code)
+            .map(|e| e.count)
+            .unwrap_or(0)
+    }
+}
+
+/// The ratchet comparison's outcome.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RatchetOutcome {
+    /// Findings in excess of the baseline, per `(file, code)` — these fail
+    /// CI. Holds *all* current findings of an exceeded `(file, code)` pair
+    /// so the report shows every candidate line.
+    pub new: Vec<Finding>,
+    /// `(file, code, baselined, current)` where current < baselined — debt
+    /// went down; re-freeze to lock in the improvement.
+    pub improved: Vec<(String, String, u64, u64)>,
+}
+
+impl RatchetOutcome {
+    /// CI verdict.
+    pub fn passes(&self) -> bool {
+        self.new.is_empty()
+    }
+}
+
+/// Compares current gating findings against the baseline.
+pub fn ratchet(current: &[Finding], baseline: &Baseline) -> RatchetOutcome {
+    let mut counts: BTreeMap<(String, String), Vec<&Finding>> = BTreeMap::new();
+    for f in current {
+        if f.gates() {
+            counts
+                .entry((f.file.clone(), f.code.as_str().to_string()))
+                .or_default()
+                .push(f);
+        }
+    }
+    let mut out = RatchetOutcome::default();
+    for ((file, code), fs) in &counts {
+        let baselined = baseline.count_for(file, code);
+        if fs.len() as u64 > baselined {
+            out.new.extend(fs.iter().map(|f| (*f).clone()));
+        } else if (fs.len() as u64) < baselined {
+            out.improved
+                .push((file.clone(), code.clone(), baselined, fs.len() as u64));
+        }
+    }
+    for e in &baseline.entries {
+        if !counts.contains_key(&(e.file.clone(), e.code.clone())) {
+            out.improved
+                .push((e.file.clone(), e.code.clone(), e.count, 0));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn finding(file: &str, line: u32, code: Code, sev: Severity) -> Finding {
+        Finding {
+            code,
+            severity: sev,
+            file: file.into(),
+            line,
+            message: "m".into(),
+            suggestion: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_validate() {
+        let fs = [
+            finding("a.rs", 1, Code::Unwrap, Severity::Error),
+            finding("a.rs", 9, Code::Unwrap, Severity::Error),
+            finding("b.rs", 2, Code::Expect, Severity::Warning),
+            finding("b.rs", 3, Code::SliceIndex, Severity::Note), // not baselined
+        ];
+        let b = Baseline::from_findings(fs.iter());
+        assert_eq!(b.total, 3);
+        assert_eq!(b.entries.len(), 2);
+        let back = Baseline::from_json(&b.to_json()).expect("roundtrip");
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        let fs = [finding("a.rs", 1, Code::Unwrap, Severity::Error)];
+        let mut b = Baseline::from_findings(fs.iter());
+        b.total = 7;
+        assert!(b.validate().unwrap_err().contains("total"));
+        let mut b2 = Baseline::from_findings(fs.iter());
+        b2.entries[0].code = "FSA999".into();
+        assert!(b2.validate().unwrap_err().contains("unknown code"));
+        let mut b3 = Baseline::from_findings(fs.iter());
+        b3.entries.push(b3.entries[0].clone());
+        b3.total *= 2;
+        assert!(b3.validate().unwrap_err().contains("sorted"));
+    }
+
+    #[test]
+    fn ratchet_fails_on_new_passes_on_equal_hints_on_less() {
+        let old = [
+            finding("a.rs", 1, Code::Unwrap, Severity::Error),
+            finding("b.rs", 2, Code::Expect, Severity::Warning),
+        ];
+        let b = Baseline::from_findings(old.iter());
+
+        // equal → pass, no hints
+        let out = ratchet(&old, &b);
+        assert!(out.passes() && out.improved.is_empty());
+
+        // synthetic new finding → fail, and the report names it
+        let mut plus = old.to_vec();
+        plus.push(finding("a.rs", 40, Code::Unwrap, Severity::Error));
+        let out = ratchet(&plus, &b);
+        assert!(!out.passes());
+        assert_eq!(out.new.len(), 2, "all candidate lines of the pair surface");
+
+        // a note never trips the ratchet
+        let mut noted = old.to_vec();
+        noted.push(finding("a.rs", 40, Code::SliceIndex, Severity::Note));
+        assert!(ratchet(&noted, &b).passes());
+
+        // debt going down → pass with an improvement hint
+        let out = ratchet(&old[..1], &b);
+        assert!(out.passes());
+        assert_eq!(out.improved.len(), 1);
+        assert_eq!(out.improved[0].3, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The suppression grammar: `// fsa::allow(FSA0nn, reason)`.
+//!
+//! A pragma lives in a comment. Placement decides its target line:
+//!
+//! * a comment with code before it on the same line suppresses findings on
+//!   **that line** (`let x = m.lock(); // fsa::allow(FSA040, re-entrant)`);
+//! * a comment alone on its line suppresses findings on the **next line
+//!   that holds code** (attribute-style, stackable).
+//!
+//! The grammar polices itself: a pragma without a reason is `FSA090`, one
+//! that suppressed nothing is `FSA091` (stale suppressions are debt, not
+//! decoration), and one naming an unknown code is `FSA092`.
+//!
+//! Only **plain** comments (`//`, `/* … */`) carry pragmas. Doc comments
+//! (`///`, `//!`, `/** … */`) are documentation — text there may *describe*
+//! the grammar without being parsed as a directive.
+
+use crate::diag::Code;
+use crate::lexer::{Tok, TokKind};
+
+/// One parsed pragma occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pragma {
+    /// The code named in the pragma, when it parsed as a known `FSAnnn`.
+    pub code: Option<Code>,
+    /// The raw code field text (kept for FSA092 messages).
+    pub code_text: String,
+    /// The stated reason (may be empty → FSA090).
+    pub reason: String,
+    /// Line the pragma comment starts on.
+    pub at_line: u32,
+    /// Line whose findings this pragma suppresses.
+    pub applies_to: u32,
+}
+
+/// Extracts every pragma from a token stream.
+///
+/// `code_lines` must hold, per source line, whether any non-comment token
+/// lives there (the lexer pass computes it); it drives the
+/// same-line-vs-next-line placement rule.
+pub fn collect_pragmas(toks: &[Tok], code_lines: &[bool]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    let line_has_code = |line: u32| code_lines.get(line as usize - 1).copied().unwrap_or(false);
+    for t in toks {
+        let is_doc = match t.kind {
+            // `///` lexes as a LineComment whose text starts with `/`;
+            // `//!` starts with `!`. Same for `/**` and `/*!` blocks.
+            TokKind::LineComment | TokKind::BlockComment => {
+                t.text.starts_with('/') || t.text.starts_with('!') || t.text.starts_with('*')
+            }
+            _ => continue,
+        };
+        if is_doc {
+            continue;
+        }
+        for (offset, code_text, reason) in parse_comment(&t.text) {
+            let at_line = t.line + offset;
+            let applies_to = if line_has_code(at_line) {
+                at_line
+            } else {
+                // alone on its line: target the next line holding code
+                let mut l = at_line + 1;
+                while (l as usize) <= code_lines.len() && !line_has_code(l) {
+                    l += 1;
+                }
+                l
+            };
+            out.push(Pragma {
+                code: Code::parse(&code_text),
+                code_text,
+                reason,
+                at_line,
+                applies_to,
+            });
+        }
+    }
+    out
+}
+
+/// Parses one comment's text, returning `(line offset, code, reason)` per
+/// `fsa::allow(...)` occurrence (block comments may span lines).
+fn parse_comment(text: &str) -> Vec<(u32, String, String)> {
+    let mut out = Vec::new();
+    for (i, line) in text.split('\n').enumerate() {
+        let mut rest = line;
+        while let Some(start) = rest.find("fsa::allow(") {
+            rest = &rest[start + "fsa::allow(".len()..];
+            let Some(end) = rest.find(')') else { break };
+            let inner = &rest[..end];
+            rest = &rest[end + 1..];
+            let (code, reason) = match inner.split_once(',') {
+                Some((c, r)) => (c.trim().to_string(), r.trim().to_string()),
+                None => (inner.trim().to_string(), String::new()),
+            };
+            out.push((i as u32, code, reason));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code_lines(toks: &[Tok], total_lines: usize) -> Vec<bool> {
+        let mut v = vec![false; total_lines];
+        for t in toks {
+            if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                if let Some(slot) = v.get_mut(t.line as usize - 1) {
+                    *slot = true;
+                }
+            }
+        }
+        v
+    }
+
+    fn pragmas(src: &str) -> Vec<Pragma> {
+        let toks = lex(src);
+        let lines = code_lines(&toks, src.lines().count() + 1);
+        collect_pragmas(&toks, &lines)
+    }
+
+    #[test]
+    fn trailing_pragma_targets_its_own_line() {
+        let ps = pragmas("let g = m.lock(); // fsa::allow(FSA040, re-entrant by design)\n");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].code, Some(Code::NestedLock));
+        assert_eq!(ps[0].applies_to, 1);
+        assert_eq!(ps[0].reason, "re-entrant by design");
+    }
+
+    #[test]
+    fn standalone_pragma_targets_next_code_line() {
+        let src = "\n// fsa::allow(FSA001, fixture)\n// another comment\nlet r = thread_rng();\n";
+        let ps = pragmas(src);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].at_line, 2);
+        assert_eq!(ps[0].applies_to, 4, "skips the intervening comment line");
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_code_are_kept_raw() {
+        let ps = pragmas("// fsa::allow(FSA001)\nx();\n// fsa::allow(FSA999, huh)\ny();\n");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].code, Some(Code::AmbientRng));
+        assert!(ps[0].reason.is_empty());
+        assert_eq!(ps[1].code, None);
+        assert_eq!(ps[1].code_text, "FSA999");
+    }
+
+    #[test]
+    fn pragma_inside_string_is_ignored() {
+        let ps = pragmas("let s = \"fsa::allow(FSA001, nope)\";\n");
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn block_comment_pragma_with_line_offset() {
+        let ps = pragmas("/* docs\n   fsa::allow(FSA020, invariant)\n*/\nfoo.unwrap();\n");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].at_line, 2);
+        assert_eq!(ps[0].applies_to, 4);
+    }
+}

@@ -303,6 +303,7 @@ pub fn run_distributed_with(
     }
     drop(exit_tx);
 
+    // fsa::allow(FSA002, distributed runtime wall budget; real threads and sockets are not on the virtual clock)
     let deadline = Instant::now() + wall_budget;
     let mut done = Completion::new();
     let mut finished_exits: BTreeSet<ParticipantId> = BTreeSet::new();
@@ -344,6 +345,7 @@ pub fn run_distributed_with(
         if done.complete(&server) {
             break Ok(());
         }
+        // fsa::allow(FSA002, measuring against the wall-clock deadline above)
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
             break Err(DistributedError::Timeout);
@@ -500,6 +502,7 @@ pub fn run_distributed_tcp_with(
     }
     drop(exit_tx);
 
+    // fsa::allow(FSA002, distributed runtime wall budget; real threads and sockets are not on the virtual clock)
     let deadline = Instant::now() + wall_budget;
     let mut exits: BTreeMap<ParticipantId, ClientOutcome> = BTreeMap::new();
     let hub = match pending.accept_within(n_clients, wall_budget.min(Duration::from_secs(30))) {
@@ -546,6 +549,7 @@ pub fn run_distributed_tcp_with(
         if done.complete(&server) {
             break Ok(());
         }
+        // fsa::allow(FSA002, measuring against the wall-clock deadline above)
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
             break Err(DistributedError::Timeout);
@@ -654,9 +658,10 @@ fn handle_tcp_disconnect(
     }
     // brief grace window: if the socket died because the worker panicked, the
     // exit report is microseconds behind the EOF — prefer ClientPanic
+    // fsa::allow(FSA002, wall-clock grace window for racing a real socket EOF against the exit report)
     let grace = Instant::now() + Duration::from_millis(100);
     while !exits.contains_key(&id) {
-        let left = grace.saturating_duration_since(Instant::now());
+        let left = grace.saturating_duration_since(Instant::now()); // fsa::allow(FSA002, same grace window)
         if left.is_zero() {
             break;
         }

@@ -184,6 +184,8 @@ impl FedDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn toy() -> ClientData {
         let x = Tensor::from_vec(vec![4, 2], vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1, 3.0, 3.1]);
@@ -208,9 +210,34 @@ mod tests {
     #[test]
     fn sample_batch_caps_at_len() {
         let d = toy();
-        let mut rng = rand::thread_rng();
+        let mut rng = StdRng::seed_from_u64(7);
         let b = d.sample_batch(10, &mut rng);
         assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn sample_batch_replays_bit_identically_per_seed() {
+        // regression: this path once drew from thread_rng(), so two runs of
+        // the same course could train on different minibatches (FSA001)
+        let d = toy();
+        for seed in [0u64, 1, 42] {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let b1 = d.sample_batch(3, &mut r1);
+            let b2 = d.sample_batch(3, &mut r2);
+            assert_eq!(b1.x.data(), b2.x.data(), "seed {seed}: features differ");
+            match (&b1.y, &b2.y) {
+                (Target::Classes(a), Target::Classes(b)) => assert_eq!(a, b),
+                _ => panic!("wrong target kind"),
+            }
+        }
+        let mut ra = StdRng::seed_from_u64(0);
+        let mut rb = StdRng::seed_from_u64(1);
+        assert_ne!(
+            d.sample_batch(3, &mut ra).x.data(),
+            d.sample_batch(3, &mut rb).x.data(),
+            "different seeds must draw different batches"
+        );
     }
 
     #[test]

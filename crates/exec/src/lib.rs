@@ -26,7 +26,10 @@
 //! Built on the vendored `crossbeam` channel (an MPMC queue): workers loop
 //! on `recv()` and exit when the pool drops the sender side.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
@@ -38,19 +41,70 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 ///
 /// `join()` blocks until the job finishes and returns its output; if the
 /// job panicked, the panic is re-raised here, on the joining thread.
+/// `try_join()` is the non-panicking variant: it reports both failure modes
+/// as a typed [`JoinError`] so runners can degrade gracefully (e.g. mark a
+/// client failed) instead of tearing down the whole course.
 pub struct JobHandle<T> {
     rx: mpsc::Receiver<std::thread::Result<T>>,
 }
 
+/// Why a job produced no result.
+pub enum JoinError {
+    /// The job panicked; the payload is the panic value, suitable for
+    /// re-raising via [`std::panic::resume_unwind`].
+    Panicked(Box<dyn std::any::Any + Send + 'static>),
+    /// The worker dropped the job without reporting a result — the pool
+    /// died between accepting the job and running it. Indicates a pool bug.
+    Lost,
+}
+
+impl fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Panicked(p) => {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                write!(f, "Panicked({msg:?})")
+            }
+            JoinError::Lost => write!(f, "Lost"),
+        }
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Panicked(_) => write!(f, "job panicked"),
+            JoinError::Lost => write!(f, "worker dropped the job without reporting"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
 impl<T> JobHandle<T> {
+    /// Waits for the job; a panicking or lost job comes back as a typed
+    /// error instead of unwinding the joining thread.
+    pub fn try_join(self) -> Result<T, JoinError> {
+        match self.rx.recv() {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(payload)) => Err(JoinError::Panicked(payload)),
+            // The result sender is dropped only after a send or if the
+            // worker died between catch_unwind and send.
+            Err(_) => Err(JoinError::Lost),
+        }
+    }
+
     /// Waits for the job and returns its result, re-raising its panic.
     pub fn join(self) -> T {
-        match self.rx.recv() {
-            Ok(Ok(value)) => value,
-            Ok(Err(payload)) => resume_unwind(payload),
-            // The result sender is dropped only after a send or if the
-            // worker died between catch_unwind and send — treat as a bug.
-            Err(_) => panic!("fs-exec: worker dropped a job without reporting"),
+        match self.try_join() {
+            Ok(value) => value,
+            Err(JoinError::Panicked(payload)) => resume_unwind(payload),
+            // fsa::allow(FSA022, a lost job means the pool itself is broken; there is no caller-side recovery)
+            Err(JoinError::Lost) => panic!("fs-exec: worker dropped a job without reporting"),
         }
     }
 }
@@ -97,6 +151,7 @@ impl WorkerPool {
                             job();
                         }
                     })
+                    // fsa::allow(FSA021, OS thread spawn failing at pool construction is unrecoverable resource exhaustion)
                     .expect("fs-exec: spawn worker thread")
             })
             .collect();
@@ -136,6 +191,7 @@ impl WorkerPool {
         match &self.tx {
             Some(pool_tx) => {
                 if pool_tx.send(Box::new(job)).is_err() {
+                    // fsa::allow(FSA022, the pool owns both channel ends; a send failure violates the type's own invariant)
                     unreachable!("fs-exec: pool workers alive while pool exists");
                 }
             }
@@ -220,6 +276,21 @@ mod tests {
             h.join();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn try_join_reports_panics_as_typed_errors() {
+        let pool = WorkerPool::new(2);
+        let ok = pool.spawn(|| 7u32);
+        let bad = pool.spawn(|| -> u32 { panic!("job exploded") });
+        assert_eq!(ok.try_join().unwrap(), 7);
+        let err = bad.try_join().unwrap_err();
+        assert!(matches!(err, JoinError::Panicked(_)));
+        let rendered = format!("{err:?}");
+        assert!(rendered.contains("job exploded"), "got {rendered}");
+        assert_eq!(err.to_string(), "job panicked");
+        // the pool survives: later jobs still run and join cleanly
+        assert_eq!(pool.spawn(|| 1 + 1).try_join().unwrap(), 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::message::{Message, ParticipantId};
 use crate::wire::{decode_message, encode_message, CodecError};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -43,9 +43,12 @@ impl From<CodecError> for BusError {
 }
 
 /// Routes wire-encoded messages between registered participants.
+///
+/// Keyed by a `BTreeMap` so any future iteration over the roster is in
+/// participant-id order by construction (FSA003).
 #[derive(Clone, Default)]
 pub struct Bus {
-    senders: HashMap<ParticipantId, Sender<Bytes>>,
+    senders: BTreeMap<ParticipantId, Sender<Bytes>>,
 }
 
 impl Bus {

@@ -18,7 +18,7 @@ use crate::bus::{Bus, BusError};
 use crate::message::{Message, ParticipantId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Per-participant fault behaviour.
@@ -69,11 +69,14 @@ pub enum FaultAction {
 }
 
 /// A seeded, per-participant fault schedule for one course.
+///
+/// Overrides live in a `BTreeMap` so every walk over them (roster listings,
+/// fault-draw setup) is in participant-id order by construction (FSA003).
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     seed: u64,
     default: FaultSpec,
-    overrides: HashMap<ParticipantId, FaultSpec>,
+    overrides: BTreeMap<ParticipantId, FaultSpec>,
 }
 
 impl FaultPlan {
@@ -82,7 +85,7 @@ impl FaultPlan {
         Self {
             seed,
             default: FaultSpec::healthy(),
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         }
     }
 
@@ -103,11 +106,10 @@ impl FaultPlan {
         self.overrides.get(&id).copied().unwrap_or(self.default)
     }
 
-    /// Ids with an explicit override (the "interesting" participants).
+    /// Ids with an explicit override (the "interesting" participants), in
+    /// id order — the `BTreeMap` guarantees it without an explicit sort.
     pub fn overridden(&self) -> Vec<ParticipantId> {
-        let mut ids: Vec<ParticipantId> = self.overrides.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.overrides.keys().copied().collect()
     }
 
     /// Builds `id`'s fault state: an independent RNG stream keyed by

@@ -32,7 +32,7 @@ use crate::fault::{FaultAction, FaultState, SendOutcome};
 use crate::message::{Message, MessageKind, ParticipantId, Payload, SERVER_ID};
 use crate::wire::{decode_message, encode_message, CodecError};
 use fs_monitor::{counters, MonitorHandle};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -231,7 +231,10 @@ struct Conn {
 
 /// State shared between the hub handle, the acceptor, and reader threads.
 struct HubShared {
-    streams: Mutex<HashMap<ParticipantId, Conn>>,
+    /// Write halves in participant-id order: [`TcpHub::connected`]'s roster
+    /// (which reaches dropout bookkeeping) is deterministic by construction
+    /// (FSA003), not by whatever the hash seed produced.
+    streams: Mutex<BTreeMap<ParticipantId, Conn>>,
     /// (registered ids ever seen, generation counter).
     registry: Mutex<(Vec<ParticipantId>, u64)>,
     registered: Condvar,
@@ -353,7 +356,7 @@ impl TcpHub {
     ) -> Result<TcpHub, TcpError> {
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(HubShared {
-            streams: Mutex::new(HashMap::new()),
+            streams: Mutex::new(BTreeMap::new()),
             registry: Mutex::new((Vec::new(), 0)),
             registered: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -539,7 +542,7 @@ impl TcpHub {
         write_frame_monitored(&mut conn.stream, msg, &self.monitor)
     }
 
-    /// Ids of currently registered client connections.
+    /// Ids of currently registered client connections, in id order.
     pub fn connected(&self) -> Vec<ParticipantId> {
         lock(&self.shared.streams).keys().copied().collect()
     }
@@ -709,6 +712,7 @@ impl ResilientPeer {
                             self.reconnects += 1;
                             self.monitor.add(counters::RECONNECTS, 1);
                             self.peer = Some(peer);
+                            // fsa::allow(FSA021, Some was assigned on the previous line)
                             return Ok(self.peer.as_mut().expect("just set"));
                         }
                         Err(e) => last_err = Some(e),

@@ -30,6 +30,8 @@
 //! [`course::ScaleCourseBuilder`] directly (required for the closure-backed
 //! synthetic data sources that make million-client datasets feasible).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod course;
 pub mod runner;
 pub mod slab;

@@ -290,6 +290,7 @@ impl ScaleRunner {
     pub fn run(&mut self) -> CourseReport {
         match self.try_run() {
             Ok(report) => report,
+            // fsa::allow(FSA022, documented contract of run(); try_run is the fallible form)
             Err(verify) => panic!("course rejected by static verification:\n{verify}"),
         }
     }
@@ -552,6 +553,7 @@ impl ScaleRunner {
         let trainer = mem::replace(&mut client.state.trainer, Box::new(NullTrainer));
         let parts = trainer
             .into_local()
+            // fsa::allow(FSA021, ClientFactory only builds LocalTrainer clients; enforced at course construction)
             .expect("execution: scale requires LocalTrainer-backed clients")
             .into_parts();
         let private = if self.factory.template_private.is_empty() {
@@ -638,6 +640,7 @@ impl ScaleRunner {
         let mut broadcasts = ctx.broadcasts.into_iter().peekable();
         for (i, out) in ctx.outbox.into_iter().enumerate() {
             while broadcasts.peek().is_some_and(|b| b.anchor <= i) {
+                // fsa::allow(FSA021, peek just returned Some on this same iterator)
                 let b = broadcasts.next().expect("peeked");
                 self.enqueue_batch(now, b);
             }

@@ -52,16 +52,22 @@ impl<T> Slab<T> {
         }
     }
 
+    /// Removes and returns the entry at `key`, or `None` when `key` is out
+    /// of range or names a vacated slot. The non-panicking form for callers
+    /// holding keys of uncertain provenance.
+    pub fn try_remove(&mut self, key: u32) -> Option<T> {
+        let v = self.items.get_mut(key as usize)?.take()?;
+        self.free.push(key);
+        Some(v)
+    }
+
     /// Removes and returns the entry at `key`.
     ///
     /// # Panics
     /// Panics if `key` does not name a live entry.
     pub fn remove(&mut self, key: u32) -> T {
-        let v = self.items[key as usize]
-            .take()
-            .expect("slab key names a live entry");
-        self.free.push(key);
-        v
+        // fsa::allow(FSA021, panicking form is this method's documented contract; try_remove is the fallible one)
+        self.try_remove(key).expect("slab key names a live entry")
     }
 }
 
@@ -82,6 +88,17 @@ mod tests {
         assert_eq!(s.remove(b), "b");
         assert_eq!(s.remove(c), "c");
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn try_remove_is_total() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        assert_eq!(s.try_remove(a), Some("a"));
+        assert_eq!(s.try_remove(a), None, "vacated slot");
+        assert_eq!(s.try_remove(999), None, "out-of-range key");
+        let b = s.insert("b");
+        assert_eq!(b, a, "slot freed through try_remove is reused");
     }
 
     #[test]

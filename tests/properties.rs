@@ -9,6 +9,7 @@ use fedscope::privacy::bignum::BigUint;
 use fedscope::privacy::secret_sharing::{reconstruct, share};
 use fedscope::tensor::{ParamMap, Tensor};
 use proptest::prelude::*;
+use rand::SeedableRng;
 
 fn arb_param_map() -> impl Strategy<Value = ParamMap> {
     prop::collection::btree_map(
@@ -40,8 +41,8 @@ proptest! {
     }
 
     #[test]
-    fn secret_shares_reconstruct(values in prop::collection::vec(-1e4f32..1e4, 1..64), n in 1usize..8) {
-        let mut rng = rand::thread_rng();
+    fn secret_shares_reconstruct(values in prop::collection::vec(-1e4f32..1e4, 1..64), n in 1usize..8, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let shares = share(&values, n, &mut rng);
         let rec = reconstruct(&shares);
         for (a, b) in values.iter().zip(&rec) {
